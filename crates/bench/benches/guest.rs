@@ -1,0 +1,74 @@
+//! Criterion microbenchmarks of guest-chain operations (Alg. 1), including
+//! the quorum-size ablation on finalisation cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use guest_chain::{GuestConfig, GuestContract, GuestHeader, GuestLightClient};
+use ibc_core::LightClient;
+use sim_crypto::schnorr::Keypair;
+
+fn contract_with(validators: usize) -> (GuestContract, Vec<Keypair>) {
+    let keypairs: Vec<Keypair> = (0..validators as u64).map(Keypair::from_seed).collect();
+    let genesis = keypairs.iter().map(|kp| (kp.public(), 100)).collect();
+    let mut config = GuestConfig::fast();
+    config.max_validators = validators;
+    (GuestContract::new(config, genesis, 0, 0), keypairs)
+}
+
+fn bench_block_lifecycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("guest/generate_sign_finalise");
+    group.sample_size(20);
+    // Ablation: finalisation cost vs validator-set size.
+    for validators in [4usize, 24, 64] {
+        group.bench_function(format!("{validators}_validators"), |b| {
+            b.iter_batched(
+                || contract_with(validators),
+                |(mut contract, keypairs)| {
+                    let block = contract.generate_block(20_000, 10).unwrap();
+                    for kp in &keypairs {
+                        let done = contract
+                            .sign(block.height, kp.public(), kp.sign(&block.signing_bytes()))
+                            .unwrap();
+                        if done {
+                            break;
+                        }
+                    }
+                    assert!(contract.is_finalised(block.height));
+                    contract // return so the drop is not measured
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_light_client_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("guest/light_client_update");
+    group.sample_size(20);
+    for validators in [24usize, 64] {
+        let (mut contract, keypairs) = contract_with(validators);
+        let epoch = contract.current_epoch().clone();
+        let genesis = contract.block_at(0).unwrap();
+        let block = contract.generate_block(20_000, 10).unwrap();
+        let signing = block.signing_bytes();
+        let header = GuestHeader {
+            block,
+            signatures: keypairs.iter().map(|kp| (kp.public(), kp.sign(&signing))).collect(),
+        };
+        let encoded = header.encode();
+        group.bench_function(format!("verify_{validators}_sigs"), |b| {
+            b.iter_batched(
+                || GuestLightClient::from_genesis(&genesis, epoch.clone()),
+                |mut client| {
+                    client.update(&encoded).unwrap();
+                    client
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_lifecycle, bench_light_client_update);
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! Criterion microbenchmarks of the IBC core: commitments, handshakes and
+//! the packet path (proof generation + verification included).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ibc_core::channel::{Ordering, Packet, Timeout};
+use ibc_core::client::{MockClient, MockHeader};
+use ibc_core::handler::{HostTime, IbcHandler, ProofData};
+use ibc_core::router::EchoModule;
+use ibc_core::types::PortId;
+use ibc_core::ProvableStore;
+use sealable_trie::Trie;
+
+fn bench_commitment(c: &mut Criterion) {
+    let packet = Packet {
+        sequence: 42,
+        source_port: PortId::transfer(),
+        source_channel: ibc_core::ChannelId::new(0),
+        destination_port: PortId::transfer(),
+        destination_channel: ibc_core::ChannelId::new(1),
+        payload: vec![0u8; 256],
+        timeout: Timeout::at_height(1_000),
+    };
+    c.bench_function("ibc/packet_commitment", |b| b.iter(|| packet.commitment()));
+}
+
+/// Builds two connected chains (mirrors the two_chains integration test).
+fn connected() -> (IbcHandler<Trie>, IbcHandler<Trie>, ibc_core::ChannelId) {
+    let mut a = IbcHandler::new(Trie::new());
+    let mut b = IbcHandler::new(Trie::new());
+    let port = PortId::named("echo");
+    a.bind_port(port.clone(), Box::new(EchoModule::default()));
+    b.bind_port(port.clone(), Box::new(EchoModule::default()));
+    let ca = a.create_client(Box::new(MockClient::new()));
+    let cb = b.create_client(Box::new(MockClient::new()));
+
+    let mut ha = 0u64;
+    let mut hb = 0u64;
+    let sync_a = |a: &IbcHandler<Trie>, b: &mut IbcHandler<Trie>, h: &mut u64| {
+        *h += 1;
+        let header = serde_json::to_vec(&MockHeader {
+            height: *h,
+            root: a.root(),
+            timestamp_ms: *h * 1_000,
+        })
+        .unwrap();
+        b.update_client(&cb, &header).unwrap();
+        *h
+    };
+    let sync_b = |b: &IbcHandler<Trie>, a: &mut IbcHandler<Trie>, h: &mut u64| {
+        *h += 1;
+        let header = serde_json::to_vec(&MockHeader {
+            height: *h,
+            root: b.root(),
+            timestamp_ms: *h * 1_000,
+        })
+        .unwrap();
+        a.update_client(&ca, &header).unwrap();
+        *h
+    };
+
+    let conn_a = a.conn_open_init(ca.clone(), cb.clone()).unwrap();
+    let h = sync_a(&a, &mut b, &mut ha);
+    let proof = ProofData {
+        height: h,
+        bytes: ProvableStore::prove(a.store(), &ibc_core::path::connection(&conn_a)).unwrap(),
+    };
+    let conn_b = b.conn_open_try(cb.clone(), ca.clone(), conn_a.clone(), proof, None).unwrap();
+    let h = sync_b(&b, &mut a, &mut hb);
+    let proof = ProofData {
+        height: h,
+        bytes: ProvableStore::prove(b.store(), &ibc_core::path::connection(&conn_b)).unwrap(),
+    };
+    a.conn_open_ack(&conn_a, conn_b.clone(), proof, None).unwrap();
+    let h = sync_a(&a, &mut b, &mut ha);
+    let proof = ProofData {
+        height: h,
+        bytes: ProvableStore::prove(a.store(), &ibc_core::path::connection(&conn_a)).unwrap(),
+    };
+    b.conn_open_confirm(&conn_b, proof).unwrap();
+
+    let chan_a = a
+        .chan_open_init(port.clone(), conn_a, port.clone(), Ordering::Unordered, "echo-1")
+        .unwrap();
+    let h = sync_a(&a, &mut b, &mut ha);
+    let proof = ProofData {
+        height: h,
+        bytes: ProvableStore::prove(a.store(), &ibc_core::path::channel(&port, &chan_a))
+            .unwrap(),
+    };
+    let chan_b = b
+        .chan_open_try(port.clone(), conn_b, port.clone(), chan_a.clone(), Ordering::Unordered, "echo-1", proof)
+        .unwrap();
+    let h = sync_b(&b, &mut a, &mut hb);
+    let proof = ProofData {
+        height: h,
+        bytes: ProvableStore::prove(b.store(), &ibc_core::path::channel(&port, &chan_b))
+            .unwrap(),
+    };
+    a.chan_open_ack(&port, &chan_a, chan_b.clone(), proof).unwrap();
+    let h = sync_a(&a, &mut b, &mut ha);
+    let proof = ProofData {
+        height: h,
+        bytes: ProvableStore::prove(a.store(), &ibc_core::path::channel(&port, &chan_a))
+            .unwrap(),
+    };
+    b.chan_open_confirm(&port, &chan_b, proof).unwrap();
+    (a, b, chan_a)
+}
+
+fn bench_handshake(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ibc/handshake");
+    group.sample_size(20);
+    group.bench_function("connection_plus_channel", |b| b.iter(connected));
+    group.finish();
+}
+
+fn bench_packet_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ibc/packet");
+    group.sample_size(30);
+    group.bench_function("send_recv_roundtrip", |b| {
+        b.iter_batched(
+            connected,
+            |(mut a, mut b2, chan_a)| {
+                let port = PortId::named("echo");
+                let packet = a
+                    .send_packet(&port, &chan_a, vec![0u8; 200], Timeout::NEVER)
+                    .unwrap();
+                // Sync A's root to B at a fresh mock height.
+                let header = serde_json::to_vec(&MockHeader {
+                    height: 100,
+                    root: a.root(),
+                    timestamp_ms: 100_000,
+                })
+                .unwrap();
+                b2.update_client(&ibc_core::ClientId::new(0), &header).unwrap();
+                let key = ibc_core::path::packet_commitment(&port, &chan_a, packet.sequence);
+                let proof = ProofData {
+                    height: 100,
+                    bytes: ProvableStore::prove(a.store(), &key).unwrap(),
+                };
+                let ack = b2
+                    .recv_packet(&packet, proof, HostTime { height: 1, timestamp_ms: 1 })
+                    .unwrap();
+                assert!(ack.is_success());
+                (a, b2) // return so the drops are not measured
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_commitment, bench_handshake, bench_packet_path);
+criterion_main!(benches);

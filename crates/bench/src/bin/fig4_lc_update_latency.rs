@@ -1,0 +1,34 @@
+//! Fig. 4 — latency of light-client updates: time between the first and
+//! last Solana transaction of one update.
+//!
+//! Paper: updates averaged 36.5 transactions (σ = 5.8); 50 % completed in
+//! under 25 s and 96 % in under a minute.
+//!
+//! Usage: `cargo run --release -p bench --bin fig4_lc_update_latency -- [--days N]`
+
+use bench::{paper_report, print_cdf, RunOptions};
+use testnet::{fraction_below, Summary};
+
+fn main() {
+    let options = RunOptions::from_args();
+    let report = paper_report(&options);
+    bench::maybe_dump_json(&options, &report);
+
+    println!("Fig. 4 — light-client update latency (first → last transaction)");
+    println!("================================================================");
+    let tx_counts: Vec<f64> = report.fig4_update_tx_counts.iter().map(|c| *c as f64).collect();
+    let txs = Summary::of(&tx_counts);
+    println!(
+        "  transactions per update: mean = {:.1}, σ = {:.1}   (paper: 36.5, σ 5.8)",
+        txs.mean, txs.stddev
+    );
+    print_cdf("update latency", "s", &report.fig4_update_latency_s, &[0.25, 0.50, 0.75, 0.96]);
+    println!(
+        "  < 25 s: {:.0} %   (paper: 50 %)",
+        fraction_below(&report.fig4_update_latency_s, 25.0) * 100.0
+    );
+    println!(
+        "  < 60 s: {:.0} %   (paper: 96 %)",
+        fraction_below(&report.fig4_update_latency_s, 60.0) * 100.0
+    );
+}

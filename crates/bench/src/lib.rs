@@ -1,0 +1,117 @@
+//! Shared machinery for the per-figure experiment binaries.
+//!
+//! Every `fig*`/`table1`/`recv_packet_cost` binary replays the same
+//! simulated deployment; the report is cached on disk (keyed by duration
+//! and seed) so running all binaries costs one simulation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use testnet::{evaluate, EvaluationReport, TestnetConfig, DAY_MS};
+
+/// Command-line options shared by the experiment binaries.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Simulated duration in days (paper: 28).
+    pub days: u64,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Ignore any cached report.
+    pub fresh: bool,
+    /// Also dump the full report as JSON to this path (for plotting).
+    pub json: Option<String>,
+}
+
+impl RunOptions {
+    /// Parses `--days N`, `--seed N` and `--fresh` from `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut options = Self { days: 28, seed: 20240901, fresh: false, json: None };
+        let args: Vec<String> = std::env::args().collect();
+        let mut iter = args.iter().peekable();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--days" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        options.days = v;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        options.seed = v;
+                    }
+                }
+                "--fresh" => options.fresh = true,
+                "--json" => options.json = iter.next().cloned(),
+                _ => {}
+            }
+        }
+        options
+    }
+}
+
+fn cache_path(options: &RunOptions) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "be-my-guest-report-{}d-seed{}.json",
+        options.days, options.seed
+    ))
+}
+
+/// Runs (or loads from cache) the paper-configuration deployment and
+/// returns its evaluation report.
+pub fn paper_report(options: &RunOptions) -> EvaluationReport {
+    let path = cache_path(options);
+    if !options.fresh {
+        if let Ok(bytes) = std::fs::read(&path) {
+            if let Ok(report) = serde_json::from_slice::<EvaluationReport>(&bytes) {
+                eprintln!("(loaded cached report from {})", path.display());
+                return report;
+            }
+        }
+    }
+    eprintln!(
+        "simulating {} days of the paper deployment (seed {})…",
+        options.days, options.seed
+    );
+    let mut config = TestnetConfig::paper();
+    config.seed = options.seed;
+    let started = std::time::Instant::now();
+    let report = evaluate(config, options.days * DAY_MS);
+    eprintln!("…done in {:.1?}", started.elapsed());
+    if let Ok(bytes) = serde_json::to_vec(&report) {
+        let _ = std::fs::write(&path, bytes);
+    }
+    report
+}
+
+/// Writes the report to `options.json` when requested; used by every
+/// experiment binary so any figure's raw series can be re-plotted.
+pub fn maybe_dump_json(options: &RunOptions, report: &EvaluationReport) {
+    let Some(path) = &options.json else { return };
+    match serde_json::to_vec_pretty(report) {
+        Ok(bytes) => {
+            if let Err(err) = std::fs::write(path, bytes) {
+                eprintln!("could not write {path}: {err}");
+            } else {
+                eprintln!("(raw report written to {path})");
+            }
+        }
+        Err(err) => eprintln!("could not serialize the report: {err}"),
+    }
+}
+
+/// Formats a value-CDF as aligned rows for terminal output.
+pub fn print_cdf(label: &str, unit: &str, values: &[f64], points: &[f64]) {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    println!("  {label} (n = {}):", sorted.len());
+    for q in points {
+        let v = testnet::quantile(&sorted, *q);
+        println!("    p{:<4} {v:>10.2} {unit}", (q * 100.0) as u32);
+    }
+    if let (Some(min), Some(max)) = (sorted.first(), sorted.last()) {
+        println!("    min  {min:>10.2} {unit}");
+        println!("    max  {max:>10.2} {unit}");
+    }
+}

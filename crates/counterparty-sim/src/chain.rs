@@ -1,0 +1,288 @@
+//! The counterparty chain itself.
+
+use ibc_core::handler::{HandlerConfig, HostTime, IbcHandler};
+use ibc_core::IbcEvent;
+use sealable_trie::Trie;
+use sim_crypto::rng::SplitMix64;
+use sim_crypto::schnorr::{Keypair, PublicKey};
+
+use crate::header::CpHeader;
+
+/// Counterparty chain parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CounterpartyConfig {
+    /// Number of validators in the (fixed) set.
+    pub num_validators: usize,
+    /// Probability that a validator participates in a given commit —
+    /// commits vary in size, which produces the light-client-update cost
+    /// variance of Fig. 5.
+    pub participation: f64,
+    /// Block interval in milliseconds (Cosmos chains: ~6 s).
+    pub block_interval_ms: u64,
+    /// Rotate (reshuffle) the validator set every this many blocks
+    /// (0 = never). Rotation headers are larger and must be relayed to the
+    /// guest so its light client can follow the set.
+    pub rotation_interval_blocks: u64,
+}
+
+impl Default for CounterpartyConfig {
+    fn default() -> Self {
+        Self {
+            num_validators: 124,
+            participation: 0.85,
+            block_interval_ms: 6_000,
+            rotation_interval_blocks: 0,
+        }
+    }
+}
+
+/// A simulated Cosmos-style chain with native IBC.
+///
+/// Unlike the host chain, this side has no relevant resource constraints
+/// (§V evaluates only the guest's side of the costs), so relayers call the
+/// IBC handler directly instead of submitting size-limited transactions.
+pub struct CounterpartyChain {
+    ibc: IbcHandler<Trie>,
+    validators: Vec<Keypair>,
+    /// The pool rotations draw from (a superset of the active set).
+    candidate_pool: Vec<Keypair>,
+    next_set: Option<Vec<Keypair>>,
+    height: u64,
+    time_ms: u64,
+    config: CounterpartyConfig,
+    rng: SplitMix64,
+    headers: Vec<CpHeader>,
+}
+
+impl CounterpartyChain {
+    /// Spins up a chain with `config.num_validators` deterministic
+    /// validators.
+    pub fn new(config: CounterpartyConfig, seed: u64) -> Self {
+        let candidate_pool: Vec<Keypair> = (0..config.num_validators as u64 * 2)
+            .map(|i| Keypair::from_seed(0xC0DE_0000 + seed * 10_000 + i))
+            .collect();
+        let validators = candidate_pool[..config.num_validators].to_vec();
+        Self {
+            candidate_pool,
+            next_set: None,
+            // Receipts stay live here: an ordinary chain does not seal.
+            ibc: IbcHandler::with_config(
+                Trie::new(),
+                HandlerConfig { seal_receipts: false, consensus_history: 64 },
+            ),
+            validators,
+            height: 0,
+            time_ms: 0,
+            config,
+            rng: SplitMix64::new(seed ^ 0x5eed),
+            headers: Vec::new(),
+        }
+    }
+
+    /// The validator public keys and their (equal) voting powers, for
+    /// initializing a [`crate::CpLightClient`] on the guest side.
+    pub fn validator_set(&self) -> Vec<(PublicKey, u64)> {
+        self.validators.iter().map(|kp| (kp.public(), 10)).collect()
+    }
+
+    /// The chain's IBC handler (the "node RPC" of the simulation).
+    pub fn ibc(&self) -> &IbcHandler<Trie> {
+        &self.ibc
+    }
+
+    /// Mutable IBC access for relayers and applications.
+    pub fn ibc_mut(&mut self) -> &mut IbcHandler<Trie> {
+        &mut self.ibc
+    }
+
+    /// Current height.
+    pub fn height(&self) -> u64 {
+        self.height
+    }
+
+    /// Current chain time.
+    pub fn now_ms(&self) -> u64 {
+        self.time_ms
+    }
+
+    /// The chain's view of "now" for packet-timeout checks.
+    pub fn host_time(&self) -> HostTime {
+        HostTime { height: self.height, timestamp_ms: self.time_ms }
+    }
+
+    /// The header committed at `height`, if produced.
+    pub fn header_at(&self, height: u64) -> Option<&CpHeader> {
+        self.headers.get(height.checked_sub(1)? as usize)
+    }
+
+    /// The most recent header.
+    pub fn latest_header(&self) -> Option<&CpHeader> {
+        self.headers.last()
+    }
+
+    /// Produces the next block at simulation time `now_ms`: commits the
+    /// current IBC root with signatures from a random ≥⅔ subset of
+    /// validators.
+    pub fn produce_block(&mut self, now_ms: u64) -> &CpHeader {
+        self.height += 1;
+        self.time_ms = now_ms.max(self.time_ms + 1);
+        let app_hash = self.ibc.root();
+
+        // Epoch boundary: announce a reshuffled validator set, signed by
+        // the *current* set (Tendermint-style).
+        let rotation = self.config.rotation_interval_blocks;
+        let next_validators: Option<Vec<(PublicKey, u64)>> =
+            if rotation > 0 && self.height.is_multiple_of(rotation) {
+                let mut next = Vec::with_capacity(self.config.num_validators);
+                let pool = self.candidate_pool.len();
+                let start = self.rng.next_below(pool as u64) as usize;
+                for i in 0..self.config.num_validators {
+                    next.push(self.candidate_pool[(start + i) % pool].clone());
+                }
+                let set = next.iter().map(|kp| (kp.public(), 10)).collect();
+                self.next_set = Some(next);
+                Some(set)
+            } else {
+                None
+            };
+        let signing = CpHeader::signing_bytes(
+            self.height,
+            &app_hash,
+            self.time_ms,
+            next_validators.as_deref(),
+        );
+
+        // Sample participants. Per-block participation fluctuates around
+        // the configured mean (±0.15), which varies commit sizes — the
+        // source of the paper's Fig. 4 σ = 5.8 transactions and the Fig. 5
+        // cost spread. Top up to a guaranteed quorum if the draw came up
+        // short (Tendermint cannot commit without one).
+        let block_participation =
+            (self.config.participation + (self.rng.next_f64() - 0.5) * 0.50).clamp(0.0, 1.0);
+        let mut participating: Vec<usize> = (0..self.validators.len())
+            .filter(|_| self.rng.next_f64() < block_participation)
+            .collect();
+        let quorum = self.validators.len() * 2 / 3 + 1;
+        let mut idx = 0;
+        while participating.len() < quorum {
+            if !participating.contains(&idx) {
+                participating.push(idx);
+            }
+            idx += 1;
+        }
+        participating.sort_unstable();
+
+        let signatures = participating
+            .into_iter()
+            .map(|i| (self.validators[i].public(), self.validators[i].sign(&signing)))
+            .collect();
+        let header = CpHeader {
+            height: self.height,
+            app_hash,
+            timestamp_ms: self.time_ms,
+            next_validators,
+            signatures,
+        };
+        self.headers.push(header);
+        // The announced set takes over from the next block.
+        if let Some(next) = self.next_set.take() {
+            self.validators = next;
+        }
+        self.headers.last().expect("just pushed")
+    }
+
+    /// Drains pending IBC events (relayer polling).
+    pub fn drain_events(&mut self) -> Vec<IbcEvent> {
+        self.ibc.drain_events()
+    }
+}
+
+impl core::fmt::Debug for CounterpartyChain {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CounterpartyChain")
+            .field("height", &self.height)
+            .field("validators", &self.validators.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CpLightClient;
+    use ibc_core::LightClient;
+
+    #[test]
+    fn produced_headers_verify_in_light_client() {
+        let mut chain = CounterpartyChain::new(CounterpartyConfig::default(), 7);
+        let mut client = CpLightClient::new(chain.validator_set());
+        for i in 1..=5 {
+            let header = chain.produce_block(i * 6_000).clone();
+            assert_eq!(client.update(&header.encode()).unwrap(), i);
+        }
+        assert_eq!(client.latest_height(), 5);
+    }
+
+    #[test]
+    fn commit_sizes_vary_but_always_reach_quorum() {
+        let config = CounterpartyConfig {
+            num_validators: 124,
+            participation: 0.85,
+            block_interval_ms: 6_000,
+            rotation_interval_blocks: 0,
+        };
+        let mut chain = CounterpartyChain::new(config, 3);
+        let mut sizes = Vec::new();
+        for i in 1..=50 {
+            let header = chain.produce_block(i * 6_000);
+            assert!(header.signatures.len() * 3 > 124 * 2, "quorum every block");
+            sizes.push(header.signatures.len());
+        }
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max > min, "participation varies commit sizes");
+    }
+
+    #[test]
+    fn app_hash_tracks_ibc_state() {
+        let mut chain = CounterpartyChain::new(CounterpartyConfig::default(), 1);
+        let h1 = chain.produce_block(6_000).app_hash;
+        ibc_core::ProvableStore::set(chain.ibc_mut().store_mut(), b"k", b"v").unwrap();
+        let h2 = chain.produce_block(12_000).app_hash;
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn rotation_headers_follow_in_the_light_client() {
+        let config = CounterpartyConfig {
+            num_validators: 12,
+            participation: 1.0,
+            block_interval_ms: 6_000,
+            rotation_interval_blocks: 3,
+        };
+        let mut chain = CounterpartyChain::new(config, 5);
+        let mut client = CpLightClient::new(chain.validator_set());
+        // Cross several rotations; every header (including the epoch
+        // boundaries) must verify in order.
+        for i in 1..=10 {
+            let header = chain.produce_block(i * 6_000).clone();
+            if i % 3 == 0 {
+                assert!(header.next_validators.is_some(), "block {i} rotates");
+            }
+            client.update(&header.encode()).unwrap();
+        }
+        assert_eq!(client.latest_height(), 10);
+    }
+
+    #[test]
+    fn header_lookup_by_height() {
+        let mut chain = CounterpartyChain::new(CounterpartyConfig::default(), 1);
+        chain.produce_block(6_000);
+        chain.produce_block(12_000);
+        assert_eq!(chain.header_at(1).unwrap().height, 1);
+        assert_eq!(chain.header_at(2).unwrap().height, 2);
+        assert!(chain.header_at(0).is_none());
+        assert!(chain.header_at(3).is_none());
+        assert_eq!(chain.latest_header().unwrap().height, 2);
+    }
+}

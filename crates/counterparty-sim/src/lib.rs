@@ -1,0 +1,35 @@
+//! A Picasso-like counterparty chain with native IBC support.
+//!
+//! The paper connects the guest blockchain (on Solana) to Picasso, a
+//! Cosmos chain (§IV). This crate simulates that side: a chain with
+//! instant finality, a Tendermint-style validator commit on every block,
+//! and a full IBC stack over a plain Merkle store.
+//!
+//! What matters to the reproduction is the *size* of this chain's headers:
+//! a commit carries one signature per participating validator, and the
+//! whole header must be pushed through the guest's 1232-byte host
+//! transactions — that is what makes light-client updates take ~36.5
+//! transactions (Fig. 4) with the variance of Fig. 5.
+//!
+//! # Examples
+//!
+//! ```
+//! use counterparty_sim::{CounterpartyChain, CounterpartyConfig, CpLightClient};
+//! use ibc_core::LightClient;
+//!
+//! let mut chain = CounterpartyChain::new(CounterpartyConfig::default(), 7);
+//! let mut client = CpLightClient::new(chain.validator_set());
+//! let header = chain.produce_block(6_000).clone();
+//! assert_eq!(client.update(&header.encode()).unwrap(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chain;
+mod header;
+mod light_client;
+
+pub use chain::{CounterpartyChain, CounterpartyConfig};
+pub use header::CpHeader;
+pub use light_client::CpLightClient;

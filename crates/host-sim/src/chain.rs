@@ -1,0 +1,374 @@
+//! The host chain: slot clock, fee market and block production.
+
+use serde::{Deserialize, Serialize};
+use sim_crypto::rng::SplitMix64;
+
+use crate::bank::{Bank, TxOutcome};
+use crate::event::Event;
+use crate::mempool::Mempool;
+use crate::transaction::Transaction;
+use crate::types::{HostProfile, Slot, TimeMs};
+
+/// Per-slot compute capacity (Solana's ~48M CU block limit).
+pub const SLOT_CU_CAPACITY: u64 = 48_000_000;
+
+/// Parameters of the background-traffic congestion model.
+///
+/// Congestion consumes slot capacity and raises the market floor for
+/// priority fees; it is what stretches the latency tail in Fig. 2/Fig. 4.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CongestionModel {
+    /// Mean load in the calm regime.
+    pub mean_load: f64,
+    /// Half-width of the uniform load fluctuation in the calm regime.
+    pub volatility: f64,
+    /// Per-slot probability of entering a busy burst.
+    pub busy_enter_probability: f64,
+    /// Per-slot probability of leaving a busy burst (1/mean burst length).
+    pub busy_exit_probability: f64,
+    /// Load range during a burst — high enough to exclude base-fee
+    /// transactions and raise the priority floor. Bursts are what stretch
+    /// the latency tails of Fig. 2 and Fig. 4.
+    pub busy_load: (f64, f64),
+}
+
+impl Default for CongestionModel {
+    fn default() -> Self {
+        // Calibrated so that priority-fee transactions usually land within
+        // 1–3 slots while base-fee transactions ride out multi-second busy
+        // bursts (mean burst ≈ 20 slots ≈ 9 s, ~12 % of slots busy).
+        Self {
+            mean_load: 0.50,
+            volatility: 0.18,
+            busy_enter_probability: 0.005,
+            busy_exit_probability: 0.05,
+            busy_load: (0.75, 0.96),
+        }
+    }
+}
+
+impl CongestionModel {
+    /// An always-idle network (every transaction lands next slot).
+    pub fn idle() -> Self {
+        Self {
+            mean_load: 0.0,
+            volatility: 0.0,
+            busy_enter_probability: 0.0,
+            busy_exit_probability: 1.0,
+            busy_load: (0.0, 0.0),
+        }
+    }
+
+    fn sample(&self, rng: &mut SplitMix64, busy: &mut bool) -> f64 {
+        if *busy {
+            if rng.next_f64() < self.busy_exit_probability {
+                *busy = false;
+            }
+        } else if rng.next_f64() < self.busy_enter_probability {
+            *busy = true;
+        }
+        let load = if *busy {
+            self.busy_load.0 + rng.next_f64() * (self.busy_load.1 - self.busy_load.0)
+        } else {
+            self.mean_load + (rng.next_f64() * 2.0 - 1.0) * self.volatility
+        };
+        load.clamp(0.0, 0.98)
+    }
+}
+
+/// A produced block.
+#[derive(Debug)]
+pub struct Block {
+    /// Slot number.
+    pub slot: Slot,
+    /// Wall-clock time at production (ms since genesis).
+    pub time_ms: TimeMs,
+    /// Sampled background load for this slot.
+    pub load: f64,
+    /// Executed transactions: (mempool id, outcome).
+    pub transactions: Vec<(u64, TxOutcome)>,
+    /// All events emitted in this block, in execution order.
+    pub events: Vec<Event>,
+}
+
+impl Block {
+    /// The outcome of transaction `id`, if it was included in this block.
+    pub fn outcome_of(&self, id: u64) -> Option<&TxOutcome> {
+        self.transactions.iter().find(|(tid, _)| *tid == id).map(|(_, o)| o)
+    }
+}
+
+/// The simulated host blockchain (Solana-like).
+///
+/// Off-chain actors submit transactions; the simulation driver calls
+/// [`HostChain::advance_slot`] to produce blocks.
+///
+/// # Examples
+///
+/// ```
+/// use host_sim::{HostChain, CongestionModel};
+///
+/// let mut chain = HostChain::new(CongestionModel::idle(), 42);
+/// assert_eq!(chain.slot(), 0);
+/// let block = chain.advance_slot();
+/// assert_eq!(block.slot, 1);
+/// assert!(chain.now_ms() >= 380);
+/// ```
+pub struct HostChain {
+    bank: Bank,
+    mempool: Mempool,
+    profile: HostProfile,
+    slot: Slot,
+    time_ms: TimeMs,
+    rng: SplitMix64,
+    congestion: CongestionModel,
+    busy: bool,
+    /// Recent blocks (kept for event polling by off-chain actors).
+    blocks: Vec<Block>,
+}
+
+impl HostChain {
+    /// Creates a Solana-profile chain at genesis.
+    pub fn new(congestion: CongestionModel, seed: u64) -> Self {
+        Self::with_profile(HostProfile::SOLANA, congestion, seed)
+    }
+
+    /// Creates a chain with an explicit host profile (§VI-D).
+    pub fn with_profile(profile: HostProfile, congestion: CongestionModel, seed: u64) -> Self {
+        Self {
+            bank: Bank::new(),
+            mempool: Mempool::new(),
+            profile,
+            slot: 0,
+            time_ms: 0,
+            rng: SplitMix64::new(seed),
+            busy: false,
+            congestion,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// The chain's runtime profile.
+    pub fn profile(&self) -> &HostProfile {
+        &self.profile
+    }
+
+    /// The account/program state.
+    pub fn bank(&self) -> &Bank {
+        &self.bank
+    }
+
+    /// Mutable account/program state (bootstrap, airdrops).
+    pub fn bank_mut(&mut self) -> &mut Bank {
+        &mut self.bank
+    }
+
+    /// Current slot (blocks produced so far).
+    pub fn slot(&self) -> Slot {
+        self.slot
+    }
+
+    /// Milliseconds since genesis.
+    pub fn now_ms(&self) -> TimeMs {
+        self.time_ms
+    }
+
+    /// Pending transactions not yet included.
+    pub fn mempool_len(&self) -> usize {
+        self.mempool.len()
+    }
+
+    /// Queues a transaction; returns its id for tracking inclusion.
+    pub fn submit(&mut self, tx: Transaction) -> u64 {
+        self.mempool.submit(tx, self.time_ms)
+    }
+
+    /// Queues an atomic bundle (Jito-style); returns the member ids.
+    pub fn submit_bundle(&mut self, txs: Vec<Transaction>) -> Vec<u64> {
+        self.mempool.submit_bundle(txs, self.time_ms)
+    }
+
+    /// Produces the next block: advances the clock with jitter, samples
+    /// congestion, selects transactions by fee priority and executes them.
+    pub fn advance_slot(&mut self) -> &Block {
+        self.slot += 1;
+        // Slot time with jitter (Solana: ~400–550 ms).
+        let jitter = (self.profile.slot_millis * 3 / 8).max(1);
+        self.time_ms += self.profile.slot_millis + self.rng.next_below(jitter);
+        let mut busy = self.busy;
+        let load = self.congestion.sample(&mut self.rng, &mut busy);
+        self.busy = busy;
+        let capacity =
+            ((1.0 - load) * self.profile.slot_compute_capacity as f64) as u64;
+        // Priority-fee market floor rises sharply once the network is busy
+        // (capped below the ~5 lamport/CU price that §V-A clients pay, so a
+        // well-funded priority transaction always lands within a few slots).
+        let floor = if load < 0.60 {
+            0
+        } else {
+            let pressure = (load - 0.60) / 0.38;
+            (pressure * pressure * 4_000_000.0) as u64
+        };
+        let include_base = load < 0.70;
+
+        let selected = self.mempool.drain_for_slot(capacity, floor, include_base);
+        let mut transactions = Vec::with_capacity(selected.len());
+        let mut events = Vec::new();
+        for pending in selected {
+            let outcome = self.bank.execute_transaction(&pending.tx, self.slot, self.time_ms);
+            events.extend(outcome.events.iter().cloned());
+            transactions.push((pending.id, outcome));
+        }
+        self.blocks.push(Block { slot: self.slot, time_ms: self.time_ms, load, transactions, events });
+        self.blocks.last().expect("just pushed")
+    }
+
+    /// Blocks produced since `from_slot` (exclusive), for event polling.
+    pub fn blocks_since(&self, from_slot: Slot) -> &[Block] {
+        let start = self.blocks.partition_point(|b| b.slot <= from_slot);
+        &self.blocks[start..]
+    }
+
+    /// The most recent block, if any.
+    pub fn latest_block(&self) -> Option<&Block> {
+        self.blocks.last()
+    }
+
+    /// Drops blocks older than `keep_last` to bound simulation memory.
+    pub fn prune_blocks(&mut self, keep_last: usize) {
+        if self.blocks.len() > keep_last {
+            self.blocks.drain(..self.blocks.len() - keep_last);
+        }
+    }
+}
+
+impl core::fmt::Debug for HostChain {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("HostChain")
+            .field("slot", &self.slot)
+            .field("time_ms", &self.time_ms)
+            .field("mempool", &self.mempool.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{InvokeContext, Program, ProgramError};
+    use crate::transaction::{FeePolicy, Instruction};
+    use crate::types::Pubkey;
+
+    struct Noop;
+
+    impl Program for Noop {
+        fn process_instruction(
+            &mut self,
+            _ctx: &mut InvokeContext<'_>,
+            _data: &[u8],
+        ) -> Result<(), ProgramError> {
+            Ok(())
+        }
+    }
+
+    fn chain_with_noop() -> (HostChain, Pubkey, Pubkey) {
+        let mut chain = HostChain::new(CongestionModel::idle(), 7);
+        let program_id = Pubkey::from_label("noop");
+        let payer = Pubkey::from_label("payer");
+        chain.bank_mut().register_program(program_id, Box::new(Noop));
+        chain.bank_mut().airdrop(payer, 10_000_000_000);
+        (chain, program_id, payer)
+    }
+
+    fn noop_tx(program_id: Pubkey, payer: Pubkey, policy: FeePolicy) -> Transaction {
+        let mut tx = Transaction::build(
+            payer,
+            1,
+            vec![Instruction::new(program_id, vec![], vec![])],
+            policy,
+        )
+        .unwrap();
+        tx.compute_budget = 200_000;
+        tx
+    }
+
+    #[test]
+    fn idle_chain_includes_next_slot() {
+        let (mut chain, program_id, payer) = chain_with_noop();
+        let id = chain.submit(noop_tx(program_id, payer, FeePolicy::BaseOnly));
+        let block = chain.advance_slot();
+        assert!(block.outcome_of(id).unwrap().is_ok());
+    }
+
+    #[test]
+    fn clock_advances_with_jitter_in_range() {
+        let mut chain = HostChain::new(CongestionModel::idle(), 1);
+        let mut last = 0;
+        for _ in 0..100 {
+            chain.advance_slot();
+            let delta = chain.now_ms() - last;
+            assert!((400..=550).contains(&delta), "slot time {delta}");
+            last = chain.now_ms();
+        }
+    }
+
+    #[test]
+    fn congested_chain_delays_base_fee_txs() {
+        let congestion = CongestionModel {
+            mean_load: 0.9,
+            volatility: 0.05,
+            busy_enter_probability: 0.0,
+            busy_exit_probability: 1.0,
+            busy_load: (0.9, 0.96),
+        };
+        let mut chain = HostChain::new(congestion, 3);
+        let program_id = Pubkey::from_label("noop");
+        let payer = Pubkey::from_label("payer");
+        chain.bank_mut().register_program(program_id, Box::new(Noop));
+        chain.bank_mut().airdrop(payer, 10_000_000_000);
+
+        let base_id = chain.submit(noop_tx(program_id, payer, FeePolicy::BaseOnly));
+        let bundle_ids = chain.submit_bundle(vec![noop_tx(
+            program_id,
+            payer,
+            FeePolicy::Bundle { tip_lamports: 1_000_000 },
+        )]);
+        let block = chain.advance_slot();
+        assert!(block.outcome_of(bundle_ids[0]).is_some(), "bundle lands immediately");
+        assert!(block.outcome_of(base_id).is_none(), "base-fee tx waits out congestion");
+        assert_eq!(chain.mempool_len(), 1);
+    }
+
+    #[test]
+    fn blocks_since_returns_new_blocks_only() {
+        let (mut chain, _, _) = chain_with_noop();
+        chain.advance_slot();
+        chain.advance_slot();
+        let seen = chain.slot();
+        chain.advance_slot();
+        let fresh = chain.blocks_since(seen);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].slot, seen + 1);
+    }
+
+    #[test]
+    fn prune_keeps_recent_blocks() {
+        let (mut chain, _, _) = chain_with_noop();
+        for _ in 0..10 {
+            chain.advance_slot();
+        }
+        chain.prune_blocks(3);
+        assert_eq!(chain.blocks_since(0).len(), 3);
+        assert_eq!(chain.latest_block().unwrap().slot, 10);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_timeline() {
+        let run = |seed| {
+            let mut chain = HostChain::new(CongestionModel::default(), seed);
+            (0..50).map(|_| chain.advance_slot().load).collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+}

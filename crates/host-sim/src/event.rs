@@ -1,0 +1,61 @@
+//! Events emitted by programs and observed by off-chain actors.
+
+use serde::{de::DeserializeOwned, Deserialize, Serialize};
+
+use crate::types::Pubkey;
+
+/// An event emitted during transaction execution.
+///
+/// Validators and relayers poll blocks for events (the paper's `NewBlock`
+/// and `FinalisedBlock` among others). Payloads are serde-encoded by the
+/// emitting program and decoded with [`Event::decode`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// The emitting program.
+    pub program_id: Pubkey,
+    /// Event kind, e.g. `"NewBlock"`.
+    pub name: String,
+    /// Serde-JSON-encoded payload.
+    pub payload: Vec<u8>,
+}
+
+impl Event {
+    /// Encodes `payload` into an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` fails to serialize (programs only emit
+    /// serializable types).
+    pub fn encode<T: Serialize>(program_id: Pubkey, name: &str, payload: &T) -> Self {
+        Self {
+            program_id,
+            name: name.to_string(),
+            payload: serde_json::to_vec(payload).expect("event payload serializes"),
+        }
+    }
+
+    /// Decodes the payload if the event name matches.
+    pub fn decode<T: DeserializeOwned>(&self, name: &str) -> Option<T> {
+        if self.name != name {
+            return None;
+        }
+        serde_json::from_slice(&self.payload).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Ping {
+        height: u64,
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let event = Event::encode(Pubkey::from_label("p"), "Ping", &Ping { height: 7 });
+        assert_eq!(event.decode::<Ping>("Ping"), Some(Ping { height: 7 }));
+        assert_eq!(event.decode::<Ping>("Pong"), None);
+    }
+}

@@ -1,0 +1,292 @@
+//! The pending-transaction pool and priority ordering.
+
+use crate::transaction::{FeePolicy, Transaction};
+use crate::types::TimeMs;
+
+/// A transaction waiting for inclusion.
+#[derive(Clone, Debug)]
+pub struct PendingTx {
+    /// Pool-assigned id (also the submission order).
+    pub id: u64,
+    /// The transaction.
+    pub tx: Transaction,
+    /// Submission timestamp.
+    pub submitted_ms: TimeMs,
+    /// Bundle id when part of an atomic bundle.
+    pub bundle: Option<u64>,
+}
+
+/// Priority class used for ordering within a slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Class {
+    /// Jito-style bundles, ordered by tip.
+    Bundle(u64),
+    /// Priority-fee transactions, ordered by CU price.
+    Priority(u64),
+    /// Base-fee-only transactions.
+    Base,
+}
+
+impl Class {
+    /// Scheduling key: lower sorts earlier (rank, then fee descending).
+    fn sort_key(&self) -> (u8, core::cmp::Reverse<u64>) {
+        match self {
+            Class::Bundle(tip) => (0, core::cmp::Reverse(*tip)),
+            Class::Priority(price) => (1, core::cmp::Reverse(*price)),
+            Class::Base => (2, core::cmp::Reverse(0)),
+        }
+    }
+}
+
+impl PendingTx {
+    fn class(&self) -> Class {
+        match self.tx.fee_policy {
+            FeePolicy::Bundle { tip_lamports } => Class::Bundle(tip_lamports),
+            FeePolicy::Priority { micro_lamports_per_cu } => {
+                Class::Priority(micro_lamports_per_cu)
+            }
+            FeePolicy::BaseOnly => Class::Base,
+        }
+    }
+}
+
+/// A FIFO pool with fee-based ordering on drain.
+#[derive(Debug, Default)]
+pub struct Mempool {
+    pending: Vec<PendingTx>,
+    next_id: u64,
+    next_bundle: u64,
+}
+
+impl Mempool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a transaction; returns its id.
+    pub fn submit(&mut self, tx: Transaction, now_ms: TimeMs) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push(PendingTx { id, tx, submitted_ms: now_ms, bundle: None });
+        id
+    }
+
+    /// Queues an atomic bundle; returns the ids of its transactions.
+    ///
+    /// All transactions of a bundle are scheduled together and executed
+    /// back-to-back, or not at all in that slot.
+    pub fn submit_bundle(&mut self, txs: Vec<Transaction>, now_ms: TimeMs) -> Vec<u64> {
+        let bundle = self.next_bundle;
+        self.next_bundle += 1;
+        txs.into_iter()
+            .map(|tx| {
+                let id = self.next_id;
+                self.next_id += 1;
+                self.pending.push(PendingTx { id, tx, submitted_ms: now_ms, bundle: Some(bundle) });
+                id
+            })
+            .collect()
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Selects transactions for the next slot.
+    ///
+    /// * bundles first (highest tip first), each all-or-nothing;
+    /// * then priority transactions with a CU price of at least
+    ///   `floor_micro_lamports` (highest first);
+    /// * base-fee transactions only when `include_base` (the producer has
+    ///   spare capacity);
+    /// * total compute bounded by `capacity_cu`.
+    ///
+    /// Selected transactions are removed from the pool; the rest stay.
+    pub fn drain_for_slot(
+        &mut self,
+        capacity_cu: u64,
+        floor_micro_lamports: u64,
+        include_base: bool,
+    ) -> Vec<PendingTx> {
+        // Stable order: class priority, then submission order.
+        let mut order: Vec<usize> = (0..self.pending.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (pa, pb) = (&self.pending[a], &self.pending[b]);
+            pa.class()
+                .sort_key()
+                .cmp(&pb.class().sort_key())
+                .then(pa.id.cmp(&pb.id))
+        });
+
+        let mut selected_ids = Vec::new();
+        let mut used_cu = 0u64;
+        let mut skipped_bundles: Vec<u64> = Vec::new();
+        let mut idx = 0;
+        while idx < order.len() {
+            let entry = &self.pending[order[idx]];
+            match entry.class() {
+                Class::Bundle(_) => {
+                    let bundle_id = entry.bundle.expect("bundle class has bundle id");
+                    if skipped_bundles.contains(&bundle_id) {
+                        idx += 1;
+                        continue;
+                    }
+                    // Gather the whole bundle.
+                    let members: Vec<usize> = (0..self.pending.len())
+                        .filter(|&i| self.pending[i].bundle == Some(bundle_id))
+                        .collect();
+                    let bundle_cu: u64 =
+                        members.iter().map(|&i| self.pending[i].tx.compute_budget).sum();
+                    if used_cu + bundle_cu <= capacity_cu {
+                        used_cu += bundle_cu;
+                        for i in members {
+                            selected_ids.push(self.pending[i].id);
+                        }
+                    } else {
+                        skipped_bundles.push(bundle_id);
+                    }
+                }
+                Class::Priority(price) => {
+                    if price >= floor_micro_lamports
+                        && used_cu + entry.tx.compute_budget <= capacity_cu
+                    {
+                        used_cu += entry.tx.compute_budget;
+                        selected_ids.push(entry.id);
+                    }
+                }
+                Class::Base => {
+                    if include_base && used_cu + entry.tx.compute_budget <= capacity_cu {
+                        used_cu += entry.tx.compute_budget;
+                        selected_ids.push(entry.id);
+                    }
+                }
+            }
+            idx += 1;
+        }
+
+        let mut selected: Vec<PendingTx> = Vec::with_capacity(selected_ids.len());
+        self.pending.retain(|p| {
+            if selected_ids.contains(&p.id) {
+                selected.push(p.clone());
+                false
+            } else {
+                true
+            }
+        });
+        // Execute in selection order: bundles by tip then members by id,
+        // priority by price, base by arrival.
+        selected.sort_by(|a, b| {
+            a.class()
+                .sort_key()
+                .cmp(&b.class().sort_key())
+                .then(a.bundle.cmp(&b.bundle))
+                .then(a.id.cmp(&b.id))
+        });
+        selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::Instruction;
+    use crate::types::Pubkey;
+
+    fn tx(policy: FeePolicy, budget: u64) -> Transaction {
+        let mut tx = Transaction::build(
+            Pubkey::from_label("payer"),
+            1,
+            vec![Instruction::new(Pubkey::from_label("prog"), vec![], vec![0])],
+            policy,
+        )
+        .unwrap();
+        tx.compute_budget = budget;
+        tx
+    }
+
+    #[test]
+    fn ordering_bundle_then_priority_then_base() {
+        let mut pool = Mempool::new();
+        pool.submit(tx(FeePolicy::BaseOnly, 100), 0);
+        pool.submit(tx(FeePolicy::Priority { micro_lamports_per_cu: 10 }, 100), 0);
+        pool.submit_bundle(vec![tx(FeePolicy::Bundle { tip_lamports: 5 }, 100)], 0);
+        pool.submit(tx(FeePolicy::Priority { micro_lamports_per_cu: 99 }, 100), 0);
+
+        let drained = pool.drain_for_slot(1_000, 0, true);
+        let classes: Vec<_> = drained.iter().map(|p| p.tx.fee_policy).collect();
+        assert!(matches!(classes[0], FeePolicy::Bundle { .. }));
+        assert!(
+            matches!(classes[1], FeePolicy::Priority { micro_lamports_per_cu: 99 }),
+            "higher price first"
+        );
+        assert!(matches!(classes[3], FeePolicy::BaseOnly));
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn floor_excludes_cheap_priority_txs() {
+        let mut pool = Mempool::new();
+        pool.submit(tx(FeePolicy::Priority { micro_lamports_per_cu: 10 }, 100), 0);
+        pool.submit(tx(FeePolicy::Priority { micro_lamports_per_cu: 1_000 }, 100), 0);
+        let drained = pool.drain_for_slot(1_000, 500, true);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(pool.len(), 1, "cheap tx waits");
+    }
+
+    #[test]
+    fn base_excluded_when_congested() {
+        let mut pool = Mempool::new();
+        pool.submit(tx(FeePolicy::BaseOnly, 100), 0);
+        assert!(pool.drain_for_slot(1_000, 0, false).is_empty());
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn capacity_limits_inclusion() {
+        let mut pool = Mempool::new();
+        for _ in 0..5 {
+            pool.submit(tx(FeePolicy::Priority { micro_lamports_per_cu: 10 }, 400), 0);
+        }
+        let drained = pool.drain_for_slot(1_000, 0, true);
+        assert_eq!(drained.len(), 2, "two 400-CU transactions fit in 1000 CU");
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn bundles_are_atomic() {
+        let mut pool = Mempool::new();
+        pool.submit_bundle(
+            vec![
+                tx(FeePolicy::Bundle { tip_lamports: 9 }, 600),
+                tx(FeePolicy::Bundle { tip_lamports: 9 }, 600),
+            ],
+            0,
+        );
+        // Capacity fits only one member: nothing from the bundle runs.
+        assert!(pool.drain_for_slot(1_000, 0, true).is_empty());
+        assert_eq!(pool.len(), 2);
+        // Enough capacity: both run together.
+        let drained = pool.drain_for_slot(2_000, 0, true);
+        assert_eq!(drained.len(), 2);
+    }
+
+    #[test]
+    fn higher_tip_bundle_first() {
+        let mut pool = Mempool::new();
+        pool.submit_bundle(vec![tx(FeePolicy::Bundle { tip_lamports: 1 }, 100)], 0);
+        pool.submit_bundle(vec![tx(FeePolicy::Bundle { tip_lamports: 7 }, 100)], 0);
+        let drained = pool.drain_for_slot(150, 0, true);
+        assert_eq!(drained.len(), 1);
+        assert!(matches!(
+            drained[0].tx.fee_policy,
+            FeePolicy::Bundle { tip_lamports: 7 }
+        ));
+    }
+}

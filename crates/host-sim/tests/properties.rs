@@ -1,0 +1,96 @@
+//! Property-based tests of the host-chain substrate.
+
+use host_sim::transaction::max_chunk_payload;
+use host_sim::{
+    CongestionModel, FeePolicy, HostChain, Instruction, Pubkey, Transaction,
+    LAMPORTS_PER_SIGNATURE, MAX_TRANSACTION_SIZE,
+};
+use proptest::prelude::*;
+
+fn tx_with(data_len: usize, accounts: usize, sigs: usize) -> Result<Transaction, host_sim::TransactionError> {
+    Transaction::build(
+        Pubkey::from_label("payer"),
+        sigs,
+        vec![Instruction::new(
+            Pubkey::from_label("program"),
+            (0..accounts).map(|i| Pubkey::new_unique(i as u64)).collect(),
+            vec![0u8; data_len],
+        )],
+        FeePolicy::BaseOnly,
+    )
+}
+
+proptest! {
+    /// The size model accepts exactly the payloads `max_chunk_payload`
+    /// promises, for any account count.
+    #[test]
+    fn chunk_payload_bound_is_tight(accounts in 0usize..8) {
+        let max = max_chunk_payload(accounts);
+        prop_assert!(tx_with(max, accounts, 1).is_ok());
+        prop_assert!(tx_with(max + 1, accounts, 1).is_err());
+    }
+
+    /// Serialized size is monotone in payload length, account count and
+    /// signature count, and never exceeds the limit for accepted builds.
+    #[test]
+    fn size_model_is_monotone(
+        data in 0usize..900,
+        accounts in 0usize..6,
+        sigs in 1usize..4,
+    ) {
+        if let Ok(tx) = tx_with(data, accounts, sigs) {
+            prop_assert!(tx.serialized_size() <= MAX_TRANSACTION_SIZE);
+            if let Ok(bigger) = tx_with(data + 1, accounts, sigs) {
+                prop_assert!(bigger.serialized_size() > tx.serialized_size());
+            }
+            if let Ok(more_sigs) = tx_with(data, accounts, sigs + 1) {
+                prop_assert!(more_sigs.serialized_size() > tx.serialized_size());
+            }
+        }
+    }
+
+    /// Base fees are exactly per-signature; priority and bundle fees add on
+    /// top and never reduce the total.
+    #[test]
+    fn fee_model_accounting(sigs in 1usize..5, price in 0u64..10_000_000, tip in 0u64..50_000_000) {
+        let base = tx_with(10, 1, sigs).unwrap();
+        prop_assert_eq!(base.fee_lamports(), sigs as u64 * LAMPORTS_PER_SIGNATURE);
+
+        let mut priority = base.clone();
+        priority.fee_policy = FeePolicy::Priority { micro_lamports_per_cu: price };
+        prop_assert!(priority.fee_lamports() >= base.fee_lamports());
+
+        let mut bundle = base.clone();
+        bundle.fee_policy = FeePolicy::Bundle { tip_lamports: tip };
+        prop_assert_eq!(bundle.fee_lamports(), base.fee_lamports() + tip);
+    }
+
+    /// Congestion samples stay in [0, 0.98] for arbitrary parameters, and
+    /// the chain never loses or duplicates submitted transactions.
+    #[test]
+    fn chain_conserves_transactions(seed in any::<u64>(), count in 1usize..20) {
+        let mut chain = HostChain::new(CongestionModel::default(), seed);
+        chain.bank_mut().airdrop(Pubkey::from_label("payer"), 1_000_000_000_000);
+        let mut ids = Vec::new();
+        for i in 0..count {
+            let mut tx = tx_with(10 + i, 1, 1).unwrap();
+            tx.compute_budget = 200_000;
+            ids.push(chain.submit(tx));
+        }
+        let mut included = Vec::new();
+        for _ in 0..400 {
+            let block = chain.advance_slot();
+            prop_assert!((0.0..=0.98).contains(&block.load));
+            included.extend(block.transactions.iter().map(|(id, _)| *id));
+            if included.len() == count {
+                break;
+            }
+        }
+        let mut sorted = included.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), included.len(), "no duplicates");
+        prop_assert_eq!(included.len(), count, "all transactions eventually included");
+        prop_assert_eq!(chain.mempool_len(), 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! ICS-04: channels, packets and commitments.
+
+use serde::{Deserialize, Serialize};
+use sim_crypto::{sha256, Hash, Sha256};
+
+use crate::types::{ChannelId, ConnectionId, Height, PortId, TimestampMs};
+
+/// Handshake progress of a channel end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChannelState {
+    /// `ChanOpenInit` executed.
+    Init,
+    /// `ChanOpenTry` executed.
+    TryOpen,
+    /// Open for packets.
+    Open,
+    /// Closed (by app or after an ordered-channel timeout).
+    Closed,
+}
+
+/// Packet delivery ordering of a channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Ordering {
+    /// Packets may be delivered in any order (each at most once).
+    Unordered,
+    /// Packets must be delivered in sequence order.
+    Ordered,
+}
+
+/// One side of an IBC channel (a packet stream multiplexed over a
+/// connection, identified by ⟨port, channel⟩ — §III-A).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelEnd {
+    /// Handshake state.
+    pub state: ChannelState,
+    /// Delivery ordering.
+    pub ordering: Ordering,
+    /// Counterparty port.
+    pub counterparty_port_id: PortId,
+    /// Counterparty channel id (known after Try/Ack).
+    pub counterparty_channel_id: Option<ChannelId>,
+    /// The connection this channel runs over.
+    pub connection_id: ConnectionId,
+    /// Application version string.
+    pub version: String,
+}
+
+impl ChannelEnd {
+    /// Serialized form stored in the provable store.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("channel end serializes")
+    }
+
+    /// Parses the stored form.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        serde_json::from_slice(bytes).ok()
+    }
+
+    /// Whether packets may flow.
+    pub fn is_open(&self) -> bool {
+        self.state == ChannelState::Open
+    }
+}
+
+/// When a packet expires. At least one bound must be set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timeout {
+    /// Expires when the destination chain passes this height (0 = unset).
+    pub height: Height,
+    /// Expires when the destination's time passes this (0 = unset).
+    pub timestamp_ms: TimestampMs,
+}
+
+impl Timeout {
+    /// A timeout that never triggers (for tests and control channels).
+    pub const NEVER: Timeout = Timeout { height: u64::MAX, timestamp_ms: u64::MAX };
+
+    /// A height-only timeout.
+    pub fn at_height(height: Height) -> Self {
+        Self { height, timestamp_ms: u64::MAX }
+    }
+
+    /// A timestamp-only timeout.
+    pub fn at_time(timestamp_ms: TimestampMs) -> Self {
+        Self { height: u64::MAX, timestamp_ms }
+    }
+
+    /// Whether the packet has expired given the destination chain's view.
+    pub fn has_expired(&self, dest_height: Height, dest_time_ms: TimestampMs) -> bool {
+        dest_height >= self.height || dest_time_ms >= self.timestamp_ms
+    }
+}
+
+/// An IBC packet (§II step 1).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Per-channel sequence number.
+    pub sequence: u64,
+    /// Source port.
+    pub source_port: PortId,
+    /// Source channel.
+    pub source_channel: ChannelId,
+    /// Destination port.
+    pub destination_port: PortId,
+    /// Destination channel.
+    pub destination_channel: ChannelId,
+    /// Application payload.
+    pub payload: Vec<u8>,
+    /// Expiry.
+    pub timeout: Timeout,
+}
+
+impl Packet {
+    /// The commitment stored in the source chain's provable store: a hash
+    /// over everything the destination must not be able to equivocate on.
+    pub fn commitment(&self) -> Hash {
+        let mut hasher = Sha256::new();
+        hasher.update(self.sequence.to_be_bytes());
+        hasher.update(self.source_port.as_str());
+        hasher.update([0]);
+        hasher.update(self.source_channel.as_str());
+        hasher.update([0]);
+        hasher.update(self.destination_port.as_str());
+        hasher.update([0]);
+        hasher.update(self.destination_channel.as_str());
+        hasher.update([0]);
+        hasher.update(self.timeout.height.to_be_bytes());
+        hasher.update(self.timeout.timestamp_ms.to_be_bytes());
+        hasher.update(sha256(&self.payload));
+        hasher.finalize()
+    }
+
+    /// Wire encoding (relayers carry packets verbatim).
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("packet serializes")
+    }
+
+    /// Parses the wire encoding.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        serde_json::from_slice(bytes).ok()
+    }
+}
+
+/// An application acknowledgement, committed on the destination chain.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Acknowledgement {
+    /// The application processed the packet; opaque success payload.
+    Success(Vec<u8>),
+    /// The application rejected the packet with an error string.
+    Error(String),
+}
+
+impl Acknowledgement {
+    /// Commitment hash stored under the ack path.
+    pub fn commitment(&self) -> Hash {
+        sha256(self.encode())
+    }
+
+    /// Wire encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("ack serializes")
+    }
+
+    /// Parses the wire encoding.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        serde_json::from_slice(bytes).ok()
+    }
+
+    /// Whether this is a success acknowledgement.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Self::Success(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet() -> Packet {
+        Packet {
+            sequence: 7,
+            source_port: PortId::transfer(),
+            source_channel: ChannelId::new(0),
+            destination_port: PortId::transfer(),
+            destination_channel: ChannelId::new(3),
+            payload: b"{\"amount\":5}".to_vec(),
+            timeout: Timeout::at_height(100),
+        }
+    }
+
+    #[test]
+    fn commitment_binds_every_field() {
+        let base = packet();
+        let mut variants = Vec::new();
+        let mut p = base.clone();
+        p.sequence = 8;
+        variants.push(p);
+        let mut p = base.clone();
+        p.payload = b"{\"amount\":6}".to_vec();
+        variants.push(p);
+        let mut p = base.clone();
+        p.timeout = Timeout::at_height(101);
+        variants.push(p);
+        let mut p = base.clone();
+        p.destination_channel = ChannelId::new(4);
+        variants.push(p);
+        let mut p = base.clone();
+        p.source_port = PortId::named("other");
+        variants.push(p);
+        for variant in variants {
+            assert_ne!(variant.commitment(), base.commitment());
+        }
+    }
+
+    #[test]
+    fn commitment_is_not_confusable_across_field_boundaries() {
+        // port "ab" + channel "c" must differ from port "a" + channel "bc".
+        let mut a = packet();
+        a.source_port = PortId::named("ab");
+        a.source_channel = ChannelId::named("c");
+        let mut b = packet();
+        b.source_port = PortId::named("a");
+        b.source_channel = ChannelId::named("bc");
+        assert_ne!(a.commitment(), b.commitment());
+    }
+
+    #[test]
+    fn timeout_semantics() {
+        let timeout = Timeout { height: 100, timestamp_ms: 50_000 };
+        assert!(!timeout.has_expired(99, 49_999));
+        assert!(timeout.has_expired(100, 0));
+        assert!(timeout.has_expired(0, 50_000));
+        assert!(!Timeout::NEVER.has_expired(u64::MAX - 1, u64::MAX - 1));
+    }
+
+    #[test]
+    fn packet_and_ack_round_trip() {
+        let p = packet();
+        assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
+        let ack = Acknowledgement::Success(b"ok".to_vec());
+        assert_eq!(Acknowledgement::decode(&ack.encode()).unwrap(), ack);
+        assert_ne!(
+            ack.commitment(),
+            Acknowledgement::Error("ok".into()).commitment()
+        );
+    }
+}

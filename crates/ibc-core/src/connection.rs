@@ -1,0 +1,107 @@
+//! ICS-03: connection ends and handshake state.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{ClientId, ConnectionId};
+
+/// Handshake progress of a connection end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConnectionState {
+    /// `ConnOpenInit` executed on this side.
+    Init,
+    /// `ConnOpenTry` executed on this side.
+    TryOpen,
+    /// Handshake completed.
+    Open,
+}
+
+/// One side of an IBC connection.
+///
+/// A connection pairs a local light client (tracking the counterparty) with
+/// the counterparty's client of us, after the four-step handshake
+/// (`Init → Try → Ack → Confirm`) has verified both directions.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectionEnd {
+    /// Handshake state.
+    pub state: ConnectionState,
+    /// Local client tracking the counterparty chain.
+    pub client_id: ClientId,
+    /// The counterparty's client of this chain.
+    pub counterparty_client_id: ClientId,
+    /// The counterparty's connection id (known after Try/Ack).
+    pub counterparty_connection_id: Option<ConnectionId>,
+    /// Negotiated version string.
+    pub version: String,
+}
+
+impl ConnectionEnd {
+    /// The protocol version this implementation speaks.
+    pub const DEFAULT_VERSION: &'static str = "ibc-1.0";
+
+    /// Creates an end in [`ConnectionState::Init`].
+    pub fn init(client_id: ClientId, counterparty_client_id: ClientId) -> Self {
+        Self {
+            state: ConnectionState::Init,
+            client_id,
+            counterparty_client_id,
+            counterparty_connection_id: None,
+            version: Self::DEFAULT_VERSION.to_string(),
+        }
+    }
+
+    /// Creates an end in [`ConnectionState::TryOpen`], responding to a
+    /// counterparty Init.
+    pub fn try_open(
+        client_id: ClientId,
+        counterparty_client_id: ClientId,
+        counterparty_connection_id: ConnectionId,
+    ) -> Self {
+        Self {
+            state: ConnectionState::TryOpen,
+            client_id,
+            counterparty_client_id,
+            counterparty_connection_id: Some(counterparty_connection_id),
+            version: Self::DEFAULT_VERSION.to_string(),
+        }
+    }
+
+    /// Whether packets may flow (state is Open).
+    pub fn is_open(&self) -> bool {
+        self.state == ConnectionState::Open
+    }
+
+    /// Serialized form stored in the provable store (and proven to the
+    /// counterparty during the handshake).
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("connection end serializes")
+    }
+
+    /// Parses the stored form.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        serde_json::from_slice(bytes).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let end = ConnectionEnd::try_open(
+            ClientId::new(0),
+            ClientId::new(9),
+            ConnectionId::new(4),
+        );
+        let decoded = ConnectionEnd::decode(&end.encode()).unwrap();
+        assert_eq!(decoded, end);
+        assert!(!decoded.is_open());
+    }
+
+    #[test]
+    fn init_has_no_counterparty_connection_yet() {
+        let end = ConnectionEnd::init(ClientId::new(0), ClientId::new(1));
+        assert_eq!(end.state, ConnectionState::Init);
+        assert!(end.counterparty_connection_id.is_none());
+    }
+}

@@ -1,0 +1,71 @@
+//! Events emitted by the IBC handler for off-chain observation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::channel::{Acknowledgement, Packet};
+use crate::types::{ChannelId, ClientId, ConnectionId, Height, PortId};
+
+/// An IBC-level event. Relayers drive the protocol by watching these.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IbcEvent {
+    /// A light client was created.
+    ClientCreated {
+        /// The new client's id.
+        client_id: ClientId,
+    },
+    /// A light client advanced to a new verified height.
+    ClientUpdated {
+        /// The updated client.
+        client_id: ClientId,
+        /// The newly verified height.
+        height: Height,
+    },
+    /// A client was frozen after proven misbehaviour.
+    ClientFrozen {
+        /// The frozen client.
+        client_id: ClientId,
+    },
+    /// Connection handshake progressed.
+    ConnectionStateChanged {
+        /// The connection.
+        connection_id: ConnectionId,
+        /// New state name (`Init`/`TryOpen`/`Open`).
+        state: String,
+    },
+    /// Channel handshake progressed.
+    ChannelStateChanged {
+        /// The port.
+        port_id: PortId,
+        /// The channel.
+        channel_id: ChannelId,
+        /// New state name.
+        state: String,
+    },
+    /// A packet was committed for sending (§II step 1).
+    SendPacket {
+        /// The packet.
+        packet: Packet,
+    },
+    /// A packet was received and processed (§II step 4).
+    RecvPacket {
+        /// The packet.
+        packet: Packet,
+    },
+    /// The destination wrote an acknowledgement (§II step 5).
+    WriteAcknowledgement {
+        /// The packet.
+        packet: Packet,
+        /// The acknowledgement.
+        ack: Acknowledgement,
+    },
+    /// The source processed the acknowledgement (§II step 6).
+    AcknowledgePacket {
+        /// The packet.
+        packet: Packet,
+    },
+    /// The source timed a packet out.
+    TimeoutPacket {
+        /// The packet.
+        packet: Packet,
+    },
+}

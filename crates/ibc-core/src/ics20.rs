@@ -1,0 +1,411 @@
+//! ICS-20: fungible token transfer.
+//!
+//! The canonical IBC application, used by the paper's deployment to move
+//! assets between Solana and Picasso. Implements escrow/mint voucher
+//! semantics with denomination tracing and refunds on failure or timeout.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::channel::{Acknowledgement, Packet, Timeout};
+use crate::handler::IbcHandler;
+use crate::router::Module;
+use crate::store::ProvableStore;
+use crate::types::{ChannelId, IbcError, PortId};
+
+/// The ICS-20 packet payload.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FungibleTokenPacketData {
+    /// Denomination, possibly voucher-prefixed (`port/channel/base`).
+    pub denom: String,
+    /// Amount transferred.
+    pub amount: u128,
+    /// Sender account on the source chain.
+    pub sender: String,
+    /// Receiver account on the destination chain.
+    pub receiver: String,
+    /// Free-form memo (routing hints, invoice ids — ICS-20 v2).
+    #[serde(default)]
+    pub memo: String,
+}
+
+impl FungibleTokenPacketData {
+    /// Wire encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("packet data serializes")
+    }
+
+    /// Parses the wire encoding.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        serde_json::from_slice(bytes).ok()
+    }
+}
+
+/// The escrow account name for a channel.
+fn escrow_account(channel_id: &ChannelId) -> String {
+    format!("escrow:{channel_id}")
+}
+
+/// The voucher prefix for tokens that travelled over `port/channel`.
+fn voucher_prefix(port_id: &PortId, channel_id: &ChannelId) -> String {
+    format!("{port_id}/{channel_id}/")
+}
+
+/// The ICS-20 transfer application: a minimal multi-denom ledger plus the
+/// escrow/mint rules.
+///
+/// # Examples
+///
+/// ```
+/// use ibc_core::ics20::TransferModule;
+///
+/// let mut bank = TransferModule::new();
+/// bank.mint("alice", "sol", 100);
+/// assert_eq!(bank.balance("alice", "sol"), 100);
+/// ```
+#[derive(Debug, Default)]
+pub struct TransferModule {
+    balances: HashMap<(String, String), u128>,
+}
+
+impl TransferModule {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Credits `amount` of `denom` to `account` (genesis/faucet/mint).
+    pub fn mint(&mut self, account: &str, denom: &str, amount: u128) {
+        *self
+            .balances
+            .entry((account.to_string(), denom.to_string()))
+            .or_default() += amount;
+    }
+
+    /// Burns `amount` of `denom` from `account`.
+    ///
+    /// # Errors
+    ///
+    /// [`IbcError::AppError`] when the balance is insufficient.
+    pub fn burn(&mut self, account: &str, denom: &str, amount: u128) -> Result<(), IbcError> {
+        let balance = self
+            .balances
+            .entry((account.to_string(), denom.to_string()))
+            .or_default();
+        if *balance < amount {
+            return Err(IbcError::AppError(format!(
+                "insufficient {denom} balance: {balance} < {amount}"
+            )));
+        }
+        *balance -= amount;
+        Ok(())
+    }
+
+    /// Moves `amount` of `denom` between ledger accounts.
+    ///
+    /// # Errors
+    ///
+    /// [`IbcError::AppError`] when the balance is insufficient.
+    pub fn transfer_internal(
+        &mut self,
+        from: &str,
+        to: &str,
+        denom: &str,
+        amount: u128,
+    ) -> Result<(), IbcError> {
+        self.burn(from, denom, amount)?;
+        self.mint(to, denom, amount);
+        Ok(())
+    }
+
+    /// Balance of `account` in `denom`.
+    pub fn balance(&self, account: &str, denom: &str) -> u128 {
+        self.balances
+            .get(&(account.to_string(), denom.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The book-keeping run when this chain *sends* `data` over
+    /// `(port, channel)`: burn returning vouchers, escrow native tokens.
+    fn debit_sender(
+        &mut self,
+        port_id: &PortId,
+        channel_id: &ChannelId,
+        data: &FungibleTokenPacketData,
+    ) -> Result<(), IbcError> {
+        if data.denom.starts_with(&voucher_prefix(port_id, channel_id)) {
+            // Token is returning to its origin: burn the voucher.
+            self.burn(&data.sender, &data.denom, data.amount)
+        } else {
+            // Token is native here: escrow it.
+            self.transfer_internal(
+                &data.sender,
+                &escrow_account(channel_id),
+                &data.denom,
+                data.amount,
+            )
+        }
+    }
+
+    /// Reverses [`Self::debit_sender`] after an error ack or a timeout.
+    fn refund_sender(
+        &mut self,
+        port_id: &PortId,
+        channel_id: &ChannelId,
+        data: &FungibleTokenPacketData,
+    ) -> Result<(), IbcError> {
+        if data.denom.starts_with(&voucher_prefix(port_id, channel_id)) {
+            self.mint(&data.sender, &data.denom, data.amount);
+            Ok(())
+        } else {
+            self.transfer_internal(
+                &escrow_account(channel_id),
+                &data.sender,
+                &data.denom,
+                data.amount,
+            )
+        }
+    }
+}
+
+impl Module for TransferModule {
+    fn on_recv_packet(&mut self, packet: &Packet) -> Acknowledgement {
+        let Some(data) = FungibleTokenPacketData::decode(&packet.payload) else {
+            return Acknowledgement::Error("malformed ICS-20 packet".into());
+        };
+        let incoming_prefix = voucher_prefix(&packet.source_port, &packet.source_channel);
+        let result = if let Some(base) = data.denom.strip_prefix(&incoming_prefix) {
+            // Token returning home: release from escrow.
+            self.transfer_internal(
+                &escrow_account(&packet.destination_channel),
+                &data.receiver,
+                base,
+                data.amount,
+            )
+        } else {
+            // Foreign token arriving: mint a voucher with our prefix.
+            let voucher = format!(
+                "{}{}",
+                voucher_prefix(&packet.destination_port, &packet.destination_channel),
+                data.denom
+            );
+            self.mint(&data.receiver, &voucher, data.amount);
+            Ok(())
+        };
+        match result {
+            Ok(()) => Acknowledgement::Success(b"AQ==".to_vec()),
+            Err(err) => Acknowledgement::Error(err.to_string()),
+        }
+    }
+
+    fn on_acknowledge(
+        &mut self,
+        packet: &Packet,
+        ack: &Acknowledgement,
+    ) -> Result<(), IbcError> {
+        if ack.is_success() {
+            return Ok(());
+        }
+        let data = FungibleTokenPacketData::decode(&packet.payload)
+            .ok_or_else(|| IbcError::AppError("malformed ICS-20 packet".into()))?;
+        self.refund_sender(&packet.source_port, &packet.source_channel, &data)
+    }
+
+    fn on_timeout(&mut self, packet: &Packet) -> Result<(), IbcError> {
+        let data = FungibleTokenPacketData::decode(&packet.payload)
+            .ok_or_else(|| IbcError::AppError("malformed ICS-20 packet".into()))?;
+        self.refund_sender(&packet.source_port, &packet.source_channel, &data)
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Initiates an ICS-20 transfer on `handler`: debits the sender in the
+/// transfer module's ledger, then commits the packet.
+///
+/// # Errors
+///
+/// [`IbcError::UnboundPort`] when no [`TransferModule`] is bound to
+/// `port_id`; ledger or channel errors otherwise.
+#[allow(clippy::too_many_arguments)]
+pub fn send_transfer<S: ProvableStore>(
+    handler: &mut IbcHandler<S>,
+    port_id: &PortId,
+    channel_id: &ChannelId,
+    denom: &str,
+    amount: u128,
+    sender: &str,
+    receiver: &str,
+    memo: &str,
+    timeout: Timeout,
+) -> Result<Packet, IbcError> {
+    let data = FungibleTokenPacketData {
+        denom: denom.to_string(),
+        amount,
+        sender: sender.to_string(),
+        receiver: receiver.to_string(),
+        memo: memo.to_string(),
+    };
+    {
+        let module = handler
+            .module_mut(port_id)
+            .ok_or_else(|| IbcError::UnboundPort(port_id.clone()))?;
+        let transfer = module
+            .as_any_mut()
+            .downcast_mut::<TransferModule>()
+            .ok_or_else(|| IbcError::UnboundPort(port_id.clone()))?;
+        transfer.debit_sender(port_id, channel_id, &data)?;
+    }
+    match handler.send_packet(port_id, channel_id, data.encode(), timeout) {
+        Ok(packet) => Ok(packet),
+        Err(err) => {
+            // Undo the debit if the packet could not be committed.
+            let module = handler
+                .module_mut(port_id)
+                .expect("module bound above");
+            let transfer = module
+                .as_any_mut()
+                .downcast_mut::<TransferModule>()
+                .expect("checked above");
+            transfer
+                .refund_sender(port_id, channel_id, &data)
+                .expect("refund of a just-made debit cannot fail");
+            Err(err)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ChannelId;
+
+    fn packet(payload: Vec<u8>) -> Packet {
+        Packet {
+            sequence: 1,
+            source_port: PortId::transfer(),
+            source_channel: ChannelId::new(0),
+            destination_port: PortId::transfer(),
+            destination_channel: ChannelId::new(7),
+            payload,
+            timeout: Timeout::NEVER,
+        }
+    }
+
+    #[test]
+    fn foreign_token_mints_prefixed_voucher() {
+        let mut module = TransferModule::new();
+        let data = FungibleTokenPacketData {
+            denom: "sol".into(),
+            amount: 50,
+            sender: "alice".into(),
+            receiver: "bob".into(),
+            memo: String::new(),
+        };
+        let ack = module.on_recv_packet(&packet(data.encode()));
+        assert!(ack.is_success());
+        assert_eq!(module.balance("bob", "transfer/channel-7/sol"), 50);
+    }
+
+    #[test]
+    fn returning_token_unescrows() {
+        let mut module = TransferModule::new();
+        // Channel-7's escrow holds 30 "pica" from an earlier inbound leg.
+        module.mint(&escrow_account(&ChannelId::new(7)), "pica", 30);
+        let data = FungibleTokenPacketData {
+            // Sender's chain sees it as their voucher over (transfer, channel-0).
+            denom: "transfer/channel-0/pica".into(),
+            amount: 30,
+            sender: "bob".into(),
+            receiver: "alice".into(),
+            memo: String::new(),
+        };
+        let ack = module.on_recv_packet(&packet(data.encode()));
+        assert!(ack.is_success(), "{ack:?}");
+        assert_eq!(module.balance("alice", "pica"), 30);
+        assert_eq!(module.balance(&escrow_account(&ChannelId::new(7)), "pica"), 0);
+    }
+
+    #[test]
+    fn insufficient_escrow_yields_error_ack() {
+        let mut module = TransferModule::new();
+        let data = FungibleTokenPacketData {
+            denom: "transfer/channel-0/pica".into(),
+            amount: 30,
+            sender: "bob".into(),
+            receiver: "alice".into(),
+            memo: String::new(),
+        };
+        let ack = module.on_recv_packet(&packet(data.encode()));
+        assert!(!ack.is_success());
+        assert_eq!(module.balance("alice", "pica"), 0);
+    }
+
+    #[test]
+    fn malformed_payload_yields_error_ack_not_panic() {
+        let mut module = TransferModule::new();
+        let ack = module.on_recv_packet(&packet(b"not json".to_vec()));
+        assert!(!ack.is_success());
+    }
+
+    #[test]
+    fn error_ack_refunds_escrowed_tokens() {
+        let mut module = TransferModule::new();
+        module.mint("alice", "sol", 100);
+        let data = FungibleTokenPacketData {
+            denom: "sol".into(),
+            amount: 40,
+            sender: "alice".into(),
+            receiver: "bob".into(),
+            memo: String::new(),
+        };
+        let mut outbound = packet(data.encode());
+        outbound.source_channel = ChannelId::new(0);
+        module.debit_sender(&PortId::transfer(), &ChannelId::new(0), &data).unwrap();
+        assert_eq!(module.balance("alice", "sol"), 60);
+
+        module
+            .on_acknowledge(&outbound, &Acknowledgement::Error("nope".into()))
+            .unwrap();
+        assert_eq!(module.balance("alice", "sol"), 100);
+
+        // A success ack does not refund.
+        module.debit_sender(&PortId::transfer(), &ChannelId::new(0), &data).unwrap();
+        module
+            .on_acknowledge(&outbound, &Acknowledgement::Success(b"AQ==".to_vec()))
+            .unwrap();
+        assert_eq!(module.balance("alice", "sol"), 60);
+    }
+
+    #[test]
+    fn timeout_refunds_vouchers_by_reminting() {
+        let mut module = TransferModule::new();
+        let voucher = "transfer/channel-0/pica";
+        module.mint("alice", voucher, 25);
+        let data = FungibleTokenPacketData {
+            denom: voucher.into(),
+            amount: 25,
+            sender: "alice".into(),
+            receiver: "bob".into(),
+            memo: String::new(),
+        };
+        let mut outbound = packet(data.encode());
+        outbound.source_channel = ChannelId::new(0);
+        module.debit_sender(&PortId::transfer(), &ChannelId::new(0), &data).unwrap();
+        assert_eq!(module.balance("alice", voucher), 0, "voucher burned on send");
+        module.on_timeout(&outbound).unwrap();
+        assert_eq!(module.balance("alice", voucher), 25, "voucher re-minted");
+    }
+
+    #[test]
+    fn burn_rejects_overdraw() {
+        let mut module = TransferModule::new();
+        module.mint("a", "x", 5);
+        assert!(module.burn("a", "x", 6).is_err());
+        assert_eq!(module.balance("a", "x"), 5);
+    }
+}

@@ -1,0 +1,89 @@
+//! Port router and application-module interface (ICS-05/ICS-26).
+
+use crate::channel::{Acknowledgement, Packet};
+use crate::types::ChannelId;
+use crate::types::{IbcError, PortId};
+
+/// An IBC application module bound to a port (e.g. ICS-20 transfer).
+pub trait Module {
+    /// Called when a channel on this port completes its handshake.
+    ///
+    /// # Errors
+    ///
+    /// Returning an error aborts the channel handshake step.
+    fn on_chan_open(
+        &mut self,
+        port_id: &PortId,
+        channel_id: &ChannelId,
+        version: &str,
+    ) -> Result<(), IbcError> {
+        let _ = (port_id, channel_id, version);
+        Ok(())
+    }
+
+    /// Handles an inbound packet and produces the acknowledgement.
+    ///
+    /// Application failures are reported in-band as
+    /// [`Acknowledgement::Error`], never by aborting delivery — the
+    /// receipt must still be written to prevent redelivery.
+    fn on_recv_packet(&mut self, packet: &Packet) -> Acknowledgement;
+
+    /// Handles the acknowledgement for a packet this chain sent.
+    ///
+    /// # Errors
+    ///
+    /// An error aborts acknowledgement processing (the relayer may retry).
+    fn on_acknowledge(
+        &mut self,
+        packet: &Packet,
+        ack: &Acknowledgement,
+    ) -> Result<(), IbcError>;
+
+    /// Handles a timeout for a packet this chain sent (refunds etc.).
+    ///
+    /// # Errors
+    ///
+    /// An error aborts timeout processing (the relayer may retry).
+    fn on_timeout(&mut self, packet: &Packet) -> Result<(), IbcError>;
+
+    /// Downcast support so chains can reach their concrete application
+    /// state (e.g. the ICS-20 ledger) through the handler.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// A no-op module for control channels and tests: acknowledges every packet
+/// with `Success(payload)` and records nothing.
+#[derive(Debug, Default)]
+pub struct EchoModule {
+    /// Packets received, for inspection in tests.
+    pub received: Vec<Packet>,
+    /// Packets acknowledged back to us.
+    pub acknowledged: Vec<(Packet, Acknowledgement)>,
+    /// Packets timed out.
+    pub timed_out: Vec<Packet>,
+}
+
+impl Module for EchoModule {
+    fn on_recv_packet(&mut self, packet: &Packet) -> Acknowledgement {
+        self.received.push(packet.clone());
+        Acknowledgement::Success(packet.payload.clone())
+    }
+
+    fn on_acknowledge(
+        &mut self,
+        packet: &Packet,
+        ack: &Acknowledgement,
+    ) -> Result<(), IbcError> {
+        self.acknowledged.push((packet.clone(), ack.clone()));
+        Ok(())
+    }
+
+    fn on_timeout(&mut self, packet: &Packet) -> Result<(), IbcError> {
+        self.timed_out.push(packet.clone());
+        Ok(())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

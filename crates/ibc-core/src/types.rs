@@ -1,0 +1,149 @@
+//! Identifiers, heights and protocol errors.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A block height on some chain (single-revision numbering).
+pub type Height = u64;
+
+/// A Unix-style timestamp in milliseconds.
+pub type TimestampMs = u64;
+
+macro_rules! identifier {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        pub struct $name(String);
+
+        impl $name {
+            /// Creates the identifier with the conventional prefix and a
+            /// numeric suffix, e.g. `connection-3`.
+            pub fn new(index: u64) -> Self {
+                Self(format!(concat!($prefix, "-{}"), index))
+            }
+
+            /// Wraps an arbitrary identifier string.
+            pub fn named(name: impl Into<String>) -> Self {
+                Self(name.into())
+            }
+
+            /// The identifier text.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+identifier!(
+    /// Identifies a light client instance on a chain (`07-tendermint-5`,
+    /// `guest-0`, …).
+    ClientId,
+    "client"
+);
+identifier!(
+    /// Identifies a connection end.
+    ConnectionId,
+    "connection"
+);
+identifier!(
+    /// Identifies a channel end (scoped by a [`PortId`]).
+    ChannelId,
+    "channel"
+);
+identifier!(
+    /// Identifies an application port (`transfer`, …).
+    PortId,
+    "port"
+);
+
+impl PortId {
+    /// The ICS-20 token-transfer port.
+    pub fn transfer() -> Self {
+        Self::named("transfer")
+    }
+}
+
+/// Errors surfaced by the IBC handler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IbcError {
+    /// No client registered under the id.
+    UnknownClient(ClientId),
+    /// No connection with the id.
+    UnknownConnection(ConnectionId),
+    /// No channel with the id.
+    UnknownChannel(PortId, ChannelId),
+    /// A handshake message arrived for an end in the wrong state.
+    InvalidState(String),
+    /// Light-client verification failed.
+    ClientVerification(String),
+    /// A commitment proof failed to verify.
+    InvalidProof(String),
+    /// The packet was already relayed (duplicate delivery attempt).
+    DuplicatePacket,
+    /// The packet timed out (or a timeout message was premature).
+    Timeout(String),
+    /// No module bound to the port.
+    UnboundPort(PortId),
+    /// The application module rejected the packet.
+    AppError(String),
+    /// The underlying provable store rejected the operation.
+    Store(String),
+    /// Frozen client (after misbehaviour).
+    FrozenClient(ClientId),
+}
+
+impl fmt::Display for IbcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownClient(id) => write!(f, "unknown client {id}"),
+            Self::UnknownConnection(id) => write!(f, "unknown connection {id}"),
+            Self::UnknownChannel(port, channel) => {
+                write!(f, "unknown channel {port}/{channel}")
+            }
+            Self::InvalidState(msg) => write!(f, "invalid handshake state: {msg}"),
+            Self::ClientVerification(msg) => write!(f, "client verification failed: {msg}"),
+            Self::InvalidProof(msg) => write!(f, "invalid proof: {msg}"),
+            Self::DuplicatePacket => f.write_str("packet already delivered"),
+            Self::Timeout(msg) => write!(f, "timeout: {msg}"),
+            Self::UnboundPort(port) => write!(f, "no module bound to port {port}"),
+            Self::AppError(msg) => write!(f, "application error: {msg}"),
+            Self::Store(msg) => write!(f, "store error: {msg}"),
+            Self::FrozenClient(id) => write!(f, "client {id} is frozen"),
+        }
+    }
+}
+
+impl std::error::Error for IbcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifiers_format_conventionally() {
+        assert_eq!(ClientId::new(0).as_str(), "client-0");
+        assert_eq!(ConnectionId::new(3).as_str(), "connection-3");
+        assert_eq!(ChannelId::new(12).as_str(), "channel-12");
+        assert_eq!(PortId::transfer().as_str(), "transfer");
+    }
+
+    #[test]
+    fn identifiers_compare_by_content() {
+        assert_eq!(ClientId::new(1), ClientId::named("client-1"));
+        assert_ne!(ClientId::new(1), ClientId::new(2));
+    }
+}

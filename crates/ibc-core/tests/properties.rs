@@ -1,0 +1,129 @@
+//! Property-based tests of the IBC core.
+
+use ibc_core::channel::{Acknowledgement, Packet, Timeout};
+use ibc_core::ics20::FungibleTokenPacketData;
+use ibc_core::types::{ChannelId, PortId};
+use proptest::prelude::*;
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        1u64..1_000_000,
+        0u64..50,
+        0u64..50,
+        proptest::collection::vec(any::<u8>(), 0..256),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(sequence, src, dst, payload, th, tt)| Packet {
+            sequence,
+            source_port: PortId::transfer(),
+            source_channel: ChannelId::new(src),
+            destination_port: PortId::transfer(),
+            destination_channel: ChannelId::new(dst),
+            payload,
+            timeout: Timeout { height: th, timestamp_ms: tt },
+        })
+}
+
+proptest! {
+    /// Packets survive their wire encoding.
+    #[test]
+    fn packet_round_trip(packet in arb_packet()) {
+        prop_assert_eq!(Packet::decode(&packet.encode()).unwrap(), packet);
+    }
+
+    /// Any difference in any field changes the commitment.
+    #[test]
+    fn commitment_binds_fields(a in arb_packet(), b in arb_packet()) {
+        if a != b {
+            prop_assert_ne!(a.commitment(), b.commitment());
+        } else {
+            prop_assert_eq!(a.commitment(), b.commitment());
+        }
+    }
+
+    /// Timeout expiry is monotone: once expired, later views stay expired.
+    #[test]
+    fn timeout_monotone(
+        height in 0u64..1_000,
+        time in 0u64..1_000_000,
+        dh in 0u64..1_000,
+        dt in 0u64..1_000_000,
+        ah in 0u64..100,
+        at in 0u64..100_000,
+    ) {
+        let timeout = Timeout { height, timestamp_ms: time };
+        if timeout.has_expired(dh, dt) {
+            prop_assert!(timeout.has_expired(dh + ah, dt + at));
+        }
+    }
+
+    /// Acknowledgements round-trip and success/error commitments differ.
+    #[test]
+    fn ack_round_trip(payload in proptest::collection::vec(any::<u8>(), 0..64), err in ".{0,40}") {
+        let success = Acknowledgement::Success(payload);
+        prop_assert_eq!(
+            Acknowledgement::decode(&success.encode()).unwrap(), success.clone()
+        );
+        let error = Acknowledgement::Error(err);
+        prop_assert_eq!(Acknowledgement::decode(&error.encode()).unwrap(), error.clone());
+        prop_assert_ne!(success.commitment(), error.commitment());
+    }
+
+    /// ICS-20 packet data round-trips, including memos with tricky content.
+    #[test]
+    fn ics20_data_round_trip(
+        denom in "[a-z/0-9-]{1,40}",
+        amount in any::<u128>(),
+        sender in ".{0,30}",
+        receiver in ".{0,30}",
+        memo in ".{0,100}",
+    ) {
+        let data = FungibleTokenPacketData { denom, amount, sender, receiver, memo };
+        prop_assert_eq!(FungibleTokenPacketData::decode(&data.encode()).unwrap(), data);
+    }
+}
+
+mod ics20_ledger {
+    use super::*;
+    use ibc_core::ics20::TransferModule;
+    use ibc_core::Module;
+
+    proptest! {
+        /// Total supply of a voucher denomination is conserved across any
+        /// sequence of recv packets (mint) and error acks (refund).
+        #[test]
+        fn recv_then_refund_is_identity(
+            amount in 1u128..1_000_000,
+            balance in 0u128..1_000_000,
+        ) {
+            let mut module = TransferModule::new();
+            module.mint("alice", "sol", balance + amount);
+
+            // Outbound debit (escrow), then a timeout refund.
+            let data = FungibleTokenPacketData {
+                denom: "sol".into(),
+                amount,
+                sender: "alice".into(),
+                receiver: "bob".into(),
+                memo: String::new(),
+            };
+            let packet = Packet {
+                sequence: 1,
+                source_port: PortId::transfer(),
+                source_channel: ChannelId::new(0),
+                destination_port: PortId::transfer(),
+                destination_channel: ChannelId::new(1),
+                payload: data.encode(),
+                timeout: Timeout::NEVER,
+            };
+            // Simulate the send-side debit through the public API:
+            // a send_transfer would do this; here we replicate via burn+mint.
+            module.transfer_internal("alice", "escrow:channel-0", "sol", amount).unwrap();
+            prop_assert_eq!(module.balance("alice", "sol"), balance);
+            module.on_timeout(&packet).unwrap();
+            prop_assert_eq!(module.balance("alice", "sol"), balance + amount);
+            prop_assert_eq!(module.balance("escrow:channel-0", "sol"), 0);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! One-time setup: clients, connection and channel between the guest chain
+//! and the counterparty.
+//!
+//! The handshake itself is not part of the paper's evaluation (it happens
+//! once at deployment), so this module drives it with direct contract
+//! calls — with *real* proofs and finalised guest blocks at every step —
+//! rather than through the transaction pipeline.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use counterparty_sim::{CounterpartyChain, CpLightClient};
+use guest_chain::{GuestContract, GuestError, GuestHeader, GuestLightClient};
+use ibc_core::handler::ProofData;
+use ibc_core::ics20::TransferModule;
+use ibc_core::types::{ChannelId, ClientId, ConnectionId, PortId};
+use ibc_core::{Ordering, ProvableStore};
+use sim_crypto::schnorr::Keypair;
+
+/// Everything the relayer needs to know about an established link.
+#[derive(Clone, Debug)]
+pub struct Endpoints {
+    /// Guest-side client tracking the counterparty.
+    pub cp_client_on_guest: ClientId,
+    /// Counterparty-side client tracking the guest.
+    pub guest_client_on_cp: ClientId,
+    /// Guest-side connection end.
+    pub guest_connection: ConnectionId,
+    /// Counterparty-side connection end.
+    pub cp_connection: ConnectionId,
+    /// The application port (ICS-20 transfer).
+    pub port: PortId,
+    /// Guest-side channel.
+    pub guest_channel: ChannelId,
+    /// Counterparty-side channel.
+    pub cp_channel: ChannelId,
+}
+
+/// Generates a guest block, gathers quorum signatures from `validators`,
+/// and pushes the finalised header into the counterparty's guest client.
+///
+/// Returns the finalised block.
+///
+/// # Errors
+///
+/// Propagates contract errors ([`GuestError::NothingToCommit`] when there
+/// is no state change and Δ has not elapsed).
+pub fn finalise_guest_block(
+    contract: &Rc<RefCell<GuestContract>>,
+    cp: &mut CounterpartyChain,
+    guest_client_on_cp: &ClientId,
+    validators: &[Keypair],
+    now_ms: u64,
+    host_height: u64,
+) -> Result<guest_chain::GuestBlock, GuestError> {
+    let block = contract.borrow_mut().generate_block(now_ms, host_height)?;
+    for keypair in validators {
+        let mut guard = contract.borrow_mut();
+        if !guard.current_epoch().contains(&keypair.public()) {
+            continue;
+        }
+        let finalised =
+            guard.sign(block.height, keypair.public(), keypair.sign(&block.signing_bytes()))?;
+        if finalised {
+            break;
+        }
+    }
+    let signatures = contract.borrow().signatures_at(block.height);
+    let header = GuestHeader { block: block.clone(), signatures };
+    cp.ibc_mut()
+        .update_client(guest_client_on_cp, &header.encode())
+        .map_err(GuestError::Ibc)?;
+    Ok(block)
+}
+
+fn guest_proof(
+    contract: &Rc<RefCell<GuestContract>>,
+    height: u64,
+    key: &[u8],
+) -> Result<ProofData, GuestError> {
+    let bytes = ProvableStore::prove(contract.borrow().ibc().store(), key)
+        .map_err(GuestError::Ibc)?;
+    Ok(ProofData { height, bytes })
+}
+
+fn cp_proof(cp: &CounterpartyChain, height: u64, key: &[u8]) -> Result<ProofData, GuestError> {
+    let bytes = ProvableStore::prove(cp.ibc().store(), key).map_err(GuestError::Ibc)?;
+    Ok(ProofData { height, bytes })
+}
+
+/// Establishes clients, a connection and an ICS-20 transfer channel between
+/// `contract` (the guest) and `cp`, binding a fresh [`TransferModule`] on
+/// each side.
+///
+/// `clock_ms` advances as the handshake progresses; host heights are taken
+/// from `host_height`.
+///
+/// # Errors
+///
+/// Any contract or IBC failure aborts the handshake.
+pub fn connect_chains(
+    contract: &Rc<RefCell<GuestContract>>,
+    cp: &mut CounterpartyChain,
+    validators: &[Keypair],
+    clock_ms: &mut u64,
+    host_height: &mut u64,
+) -> Result<Endpoints, GuestError> {
+    let step = |clock_ms: &mut u64, host_height: &mut u64| {
+        *clock_ms += 1_000;
+        *host_height += 2;
+    };
+
+    // Clients on both sides.
+    let cp_client_on_guest = contract
+        .borrow_mut()
+        .create_counterparty_client(Box::new(CpLightClient::new(cp.validator_set())));
+    let genesis = contract.borrow().block_at(0).expect("genesis exists");
+    let genesis_epoch = contract.borrow().current_epoch().clone();
+    let guest_client_on_cp = cp
+        .ibc_mut()
+        .create_client(Box::new(GuestLightClient::from_genesis(&genesis, genesis_epoch)));
+
+    // Transfer modules.
+    let port = PortId::transfer();
+    contract
+        .borrow_mut()
+        .bind_port(port.clone(), Box::new(TransferModule::new()));
+    cp.ibc_mut().bind_port(port.clone(), Box::new(TransferModule::new()));
+
+    // Connection handshake: Init on the guest…
+    let guest_connection = contract
+        .borrow_mut()
+        .ibc_mut()
+        .conn_open_init(cp_client_on_guest.clone(), guest_client_on_cp.clone())
+        .map_err(GuestError::Ibc)?;
+    step(clock_ms, host_height);
+    let block = finalise_guest_block(
+        contract,
+        cp,
+        &guest_client_on_cp,
+        validators,
+        *clock_ms,
+        *host_height,
+    )?;
+
+    // …Try on the counterparty…
+    let proof_init = guest_proof(
+        contract,
+        block.height,
+        &ibc_core::path::connection(&guest_connection),
+    )?;
+    let cp_connection = cp
+        .ibc_mut()
+        .conn_open_try(
+            guest_client_on_cp.clone(),
+            cp_client_on_guest.clone(),
+            guest_connection.clone(),
+            proof_init,
+            None,
+        )
+        .map_err(GuestError::Ibc)?;
+    step(clock_ms, host_height);
+    let header = cp.produce_block(*clock_ms).clone();
+    contract
+        .borrow_mut()
+        .update_counterparty_client(&cp_client_on_guest, header.encode().as_slice(), *clock_ms)?;
+
+    // …Ack on the guest…
+    let proof_try =
+        cp_proof(cp, header.height, &ibc_core::path::connection(&cp_connection))?;
+    contract
+        .borrow_mut()
+        .ibc_mut()
+        .conn_open_ack(&guest_connection, cp_connection.clone(), proof_try, None)
+        .map_err(GuestError::Ibc)?;
+    step(clock_ms, host_height);
+    let block = finalise_guest_block(
+        contract,
+        cp,
+        &guest_client_on_cp,
+        validators,
+        *clock_ms,
+        *host_height,
+    )?;
+
+    // …Confirm on the counterparty.
+    let proof_ack = guest_proof(
+        contract,
+        block.height,
+        &ibc_core::path::connection(&guest_connection),
+    )?;
+    cp.ibc_mut()
+        .conn_open_confirm(&cp_connection, proof_ack)
+        .map_err(GuestError::Ibc)?;
+
+    // Channel handshake, same dance.
+    let guest_channel = contract.borrow_mut().chan_open_init(
+        port.clone(),
+        guest_connection.clone(),
+        port.clone(),
+        Ordering::Unordered,
+        "ics20-1",
+    )?;
+    step(clock_ms, host_height);
+    let block = finalise_guest_block(
+        contract,
+        cp,
+        &guest_client_on_cp,
+        validators,
+        *clock_ms,
+        *host_height,
+    )?;
+    let proof_init = guest_proof(
+        contract,
+        block.height,
+        &ibc_core::path::channel(&port, &guest_channel),
+    )?;
+    let cp_channel = cp
+        .ibc_mut()
+        .chan_open_try(
+            port.clone(),
+            cp_connection.clone(),
+            port.clone(),
+            guest_channel.clone(),
+            Ordering::Unordered,
+            "ics20-1",
+            proof_init,
+        )
+        .map_err(GuestError::Ibc)?;
+    step(clock_ms, host_height);
+    let header = cp.produce_block(*clock_ms).clone();
+    contract
+        .borrow_mut()
+        .update_counterparty_client(&cp_client_on_guest, header.encode().as_slice(), *clock_ms)?;
+    let proof_try = cp_proof(cp, header.height, &ibc_core::path::channel(&port, &cp_channel))?;
+    contract
+        .borrow_mut()
+        .ibc_mut()
+        .chan_open_ack(&port, &guest_channel, cp_channel.clone(), proof_try)
+        .map_err(GuestError::Ibc)?;
+    step(clock_ms, host_height);
+    let block = finalise_guest_block(
+        contract,
+        cp,
+        &guest_client_on_cp,
+        validators,
+        *clock_ms,
+        *host_height,
+    )?;
+    let proof_ack = guest_proof(
+        contract,
+        block.height,
+        &ibc_core::path::channel(&port, &guest_channel),
+    )?;
+    cp.ibc_mut()
+        .chan_open_confirm(&port, &cp_channel, proof_ack)
+        .map_err(GuestError::Ibc)?;
+
+    // Clear bootstrap events so the relayer starts from a clean slate.
+    contract.borrow_mut().drain_events();
+    cp.drain_events();
+
+    Ok(Endpoints {
+        cp_client_on_guest,
+        guest_client_on_cp,
+        guest_connection,
+        cp_connection,
+        port,
+        guest_channel,
+        cp_channel,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use counterparty_sim::CounterpartyConfig;
+    use guest_chain::GuestConfig;
+
+    #[test]
+    fn full_handshake_completes() {
+        let keypairs: Vec<Keypair> = (0..4).map(Keypair::from_seed).collect();
+        let validators = keypairs.iter().map(|kp| (kp.public(), 100)).collect();
+        let contract = Rc::new(RefCell::new(GuestContract::new(
+            GuestConfig::fast(),
+            validators,
+            0,
+            0,
+        )));
+        let mut cp = CounterpartyChain::new(CounterpartyConfig::default(), 7);
+        let mut clock = 0u64;
+        let mut host_height = 0u64;
+        let endpoints =
+            connect_chains(&contract, &mut cp, &keypairs, &mut clock, &mut host_height)
+                .expect("handshake");
+
+        let guest = contract.borrow();
+        let guest_chan = guest
+            .ibc()
+            .channel(&endpoints.port, &endpoints.guest_channel)
+            .unwrap();
+        assert!(guest_chan.is_open());
+        let cp_chan = cp.ibc().channel(&endpoints.port, &endpoints.cp_channel).unwrap();
+        assert!(cp_chan.is_open());
+        assert_eq!(cp_chan.counterparty_channel_id.as_ref(), Some(&endpoints.guest_channel));
+    }
+}

@@ -1,0 +1,63 @@
+//! Measurement records for the evaluation figures.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of relayer job a record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobKind {
+    /// Updating the guest's light client of the counterparty (Figs. 4–5).
+    ClientUpdate,
+    /// Delivering an inbound packet to the guest (§V-A "receiving").
+    RecvPacket,
+    /// Delivering an acknowledgement to the guest.
+    AckPacket,
+    /// Timing out a guest-sent packet.
+    TimeoutPacket,
+    /// Producing a guest block.
+    GenerateBlock,
+}
+
+/// One completed multi-transaction job on the host chain.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// What the job did.
+    pub kind: JobKind,
+    /// When the job was scheduled (ms since genesis).
+    pub scheduled_ms: u64,
+    /// Execution time of the first host transaction.
+    pub first_tx_ms: u64,
+    /// Execution time of the last host transaction.
+    pub last_tx_ms: u64,
+    /// Host transactions used.
+    pub tx_count: usize,
+    /// Total fees paid, in lamports.
+    pub fee_lamports: u64,
+    /// In-contract signature checks performed.
+    pub sig_checks: usize,
+}
+
+impl JobRecord {
+    /// Latency between the first and last transaction (the Fig. 4 metric).
+    pub fn span_ms(&self) -> u64 {
+        self.last_tx_ms.saturating_sub(self.first_tx_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_is_last_minus_first() {
+        let record = JobRecord {
+            kind: JobKind::ClientUpdate,
+            scheduled_ms: 0,
+            first_tx_ms: 1_000,
+            last_tx_ms: 26_000,
+            tx_count: 36,
+            fee_lamports: 180_000,
+            sig_checks: 93,
+        };
+        assert_eq!(record.span_ms(), 25_000);
+    }
+}

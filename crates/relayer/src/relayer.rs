@@ -1,0 +1,637 @@
+//! The relayer event loop (Alg. 2, relayer half).
+//!
+//! The relayer polls both chains for events and forwards packets, proofs
+//! and light-client updates. Toward the counterparty it makes direct calls
+//! (that side has no relevant resource limits); toward the guest it must
+//! push everything through 1232-byte host transactions, submitted one at a
+//! time with confirmation awaits — the behaviour whose latency and cost the
+//! paper measures in Figs. 4–5 and §V-A/§V-B.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use counterparty_sim::CounterpartyChain;
+use guest_chain::{GuestContract, GuestEvent, GuestHeader, GuestInstruction, GuestOp};
+use host_sim::{FeePolicy, HostChain, HostProfile, Instruction, Pubkey, Transaction};
+use ibc_core::channel::{Acknowledgement, Packet};
+use ibc_core::handler::ProofData;
+use ibc_core::IbcEvent;
+
+use crate::bootstrap::Endpoints;
+use crate::chunking::{plan_op_for, sig_checks_per_tx_for};
+use crate::fees::FeeStrategy;
+use crate::records::{JobKind, JobRecord};
+
+/// Relayer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RelayerConfig {
+    /// How relay transactions pay for inclusion. The paper's relayer used
+    /// the default fee model (§V-B), i.e. [`FeeStrategy::Base`].
+    pub fee_strategy: FeeStrategy,
+    /// Whether the relayer also invokes `GenerateBlock` when due (Alg. 1
+    /// allows anyone to).
+    pub drive_blocks: bool,
+    /// The host chain's runtime limits, used for transaction building and
+    /// chunk planning (§VI-D).
+    pub host_profile: HostProfile,
+}
+
+impl Default for RelayerConfig {
+    fn default() -> Self {
+        Self {
+            fee_strategy: FeeStrategy::Base,
+            drive_blocks: true,
+            host_profile: HostProfile::SOLANA,
+        }
+    }
+}
+
+/// Work the relayer has noticed but not yet pushed to the guest.
+#[derive(Debug)]
+#[allow(clippy::enum_variant_names)] // "ToGuest" is the point: this is the guest-bound queue
+enum Intent {
+    DeliverToGuest { packet: Packet, seen_cp_height: u64 },
+    AckToGuest { packet: Packet, ack: Acknowledgement, seen_cp_height: u64 },
+    /// A guest-sent packet expired before delivery: prove non-receipt on
+    /// the counterparty and refund on the guest.
+    TimeoutToGuest { packet: Packet, seen_cp_height: u64 },
+}
+
+/// A multi-transaction job in flight on the host chain.
+#[derive(Debug)]
+struct ActiveJob {
+    kind: JobKind,
+    buffer: u64,
+    queue: VecDeque<GuestInstruction>,
+    in_flight: Option<(u64, GuestInstruction)>,
+    scheduled_ms: u64,
+    first_tx_ms: Option<u64>,
+    last_tx_ms: u64,
+    tx_count: usize,
+    fee_lamports: u64,
+    sig_checks: usize,
+    retries: usize,
+}
+
+/// Transient on-chain failures are retried this many times before the job
+/// is abandoned (and its staging buffer dropped).
+const MAX_JOB_RETRIES: usize = 2;
+
+/// The relayer.
+pub struct Relayer {
+    config: RelayerConfig,
+    payer: Pubkey,
+    guest_program: Pubkey,
+    guest_state_account: Pubkey,
+    endpoints: Endpoints,
+    next_buffer: u64,
+    last_host_slot: u64,
+    recent_load: f64,
+    pending_guest_packets: Vec<Packet>,
+    pending_guest_acks: Vec<(Packet, Acknowledgement)>,
+    intents: VecDeque<Intent>,
+    active: Option<ActiveJob>,
+    generate_in_flight: Option<u64>,
+    pending_cleanup: Vec<u64>,
+    records: Vec<JobRecord>,
+    failed_jobs: usize,
+}
+
+impl Relayer {
+    /// Creates a relayer for an established link.
+    pub fn new(
+        config: RelayerConfig,
+        payer: Pubkey,
+        guest_program: Pubkey,
+        endpoints: Endpoints,
+    ) -> Self {
+        Self {
+            config,
+            payer,
+            guest_program,
+            guest_state_account: Pubkey::from_label("guest-state"),
+            endpoints,
+            next_buffer: 1,
+            last_host_slot: 0,
+            recent_load: 0.0,
+            pending_guest_packets: Vec::new(),
+            pending_guest_acks: Vec::new(),
+            intents: VecDeque::new(),
+            active: None,
+            generate_in_flight: None,
+            pending_cleanup: Vec::new(),
+            records: Vec::new(),
+            failed_jobs: 0,
+        }
+    }
+
+    /// Completed job measurements (Figs. 4–5, §V-A).
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Jobs dropped after an unrecoverable on-chain failure.
+    pub fn failed_jobs(&self) -> usize {
+        self.failed_jobs
+    }
+
+    /// Packets sent by the guest still awaiting relay to the counterparty.
+    pub fn backlog(&self) -> usize {
+        self.pending_guest_packets.len() + self.intents.len()
+    }
+
+    /// The endpoints this relayer serves.
+    pub fn endpoints(&self) -> &Endpoints {
+        &self.endpoints
+    }
+
+    /// One scheduling round. Call once per host slot (or less often — the
+    /// relayer catches up on everything that happened since its last look).
+    pub fn tick(
+        &mut self,
+        host: &mut HostChain,
+        cp: &mut CounterpartyChain,
+        contract: &Rc<RefCell<GuestContract>>,
+    ) {
+        let guest_events = self.scan_host_blocks(host);
+        // Free staging buffers of abandoned jobs.
+        for buffer in std::mem::take(&mut self.pending_cleanup) {
+            self.submit_instruction(host, &GuestInstruction::DropBuffer { buffer });
+        }
+        self.process_guest_events(guest_events, cp, contract);
+        self.process_cp_events(cp);
+        if self.config.drive_blocks {
+            self.maybe_generate_block(host, contract);
+        }
+        self.activate_next_intent(host, cp, contract);
+        self.pump_active_job(host);
+    }
+
+    /// Scans blocks since the last tick: confirms in-flight transactions
+    /// and collects guest events.
+    fn scan_host_blocks(&mut self, host: &HostChain) -> Vec<GuestEvent> {
+        let mut events = Vec::new();
+        let blocks = host.blocks_since(self.last_host_slot);
+        for block in blocks {
+            self.recent_load = 0.8 * self.recent_load + 0.2 * block.load;
+            for (tx_id, outcome) in &block.transactions {
+                if self.generate_in_flight == Some(*tx_id) {
+                    self.generate_in_flight = None;
+                }
+                let Some(active) = &mut self.active else { continue };
+                let Some((in_flight_id, instruction)) = &active.in_flight else {
+                    continue;
+                };
+                if in_flight_id != tx_id {
+                    continue;
+                }
+                let failed_instruction = instruction.clone();
+                active.in_flight = None;
+                active.tx_count += 1;
+                active.fee_lamports += outcome.fee_lamports;
+                active.first_tx_ms.get_or_insert(block.time_ms);
+                active.last_tx_ms = block.time_ms;
+                if !outcome.is_ok() {
+                    if active.retries < MAX_JOB_RETRIES {
+                        // Transient failure (e.g. a compute-starved slot):
+                        // resubmit the same instruction.
+                        active.retries += 1;
+                        active.queue.push_front(failed_instruction);
+                    } else {
+                        // Unrecoverable (e.g. duplicate delivery raced by
+                        // another relayer): abandon the job and free its
+                        // staging buffer.
+                        let buffer = active.buffer;
+                        self.failed_jobs += 1;
+                        self.active = None;
+                        self.pending_cleanup.push(buffer);
+                    }
+                }
+            }
+            for event in &block.events {
+                if event.program_id != self.guest_program {
+                    continue;
+                }
+                if let Ok(guest_event) = serde_json::from_slice::<GuestEvent>(&event.payload) {
+                    events.push(guest_event);
+                }
+            }
+        }
+        self.last_host_slot = host.slot();
+        events
+    }
+
+    /// Handles guest-side events: queue outbound packets/acks, and on each
+    /// finalised block push a header plus everything provable to the
+    /// counterparty (Alg. 2, lines 4–10).
+    fn process_guest_events(
+        &mut self,
+        events: Vec<GuestEvent>,
+        cp: &mut CounterpartyChain,
+        contract: &Rc<RefCell<GuestContract>>,
+    ) {
+        for event in events {
+            match event {
+                GuestEvent::Ibc(IbcEvent::SendPacket { packet }) => {
+                    self.pending_guest_packets.push(packet);
+                }
+                GuestEvent::Ibc(IbcEvent::WriteAcknowledgement { packet, ack }) => {
+                    self.pending_guest_acks.push((packet, ack));
+                }
+                GuestEvent::FinalisedBlock { block, signatures } => {
+                    let has_work = !self.pending_guest_packets.is_empty()
+                        || !self.pending_guest_acks.is_empty();
+                    if !has_work && !block.is_last_in_epoch() {
+                        continue; // Alg. 2 line 5: nothing worth relaying.
+                    }
+                    let header = GuestHeader { block: block.clone(), signatures };
+                    if cp
+                        .ibc_mut()
+                        .update_client(&self.endpoints.guest_client_on_cp, &header.encode())
+                        .is_err()
+                    {
+                        continue; // e.g. stale relay; retry on the next block.
+                    }
+                    self.deliver_provables_to_cp(&block, cp, contract);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Forwards every pending packet/ack whose commitment is covered by the
+    /// just-verified guest block.
+    fn deliver_provables_to_cp(
+        &mut self,
+        block: &guest_chain::GuestBlock,
+        cp: &mut CounterpartyChain,
+        contract: &Rc<RefCell<GuestContract>>,
+    ) {
+        let guest = contract.borrow();
+        let store = guest.ibc().store();
+
+        let mut remaining = Vec::new();
+        for packet in self.pending_guest_packets.drain(..) {
+            let key = ibc_core::path::packet_commitment(
+                &packet.source_port,
+                &packet.source_channel,
+                packet.sequence,
+            );
+            // Only deliverable if the commitment is inside this block's
+            // state root (it may have been sent after block creation).
+            let Ok(proof) = store.prove(&key) else {
+                remaining.push(packet);
+                continue;
+            };
+            if !proof.verify_member(&block.state_root, &key, packet.commitment().as_bytes()) {
+                remaining.push(packet);
+                continue;
+            }
+            let proof_data = ProofData {
+                height: block.height,
+                bytes: ibc_core::store::encode_proof(&proof),
+            };
+            // The counterparty writes the ack; we pick it up from its
+            // events and queue an AckToGuest intent.
+            let now = cp.host_time();
+            match cp.ibc_mut().recv_packet(&packet, proof_data, now) {
+                Ok(_) => {}
+                Err(ibc_core::IbcError::Timeout(_)) => {
+                    // Expired before delivery: refund the sender via a
+                    // guest-side TimeoutPacket once non-receipt is provable.
+                    self.intents.push_back(Intent::TimeoutToGuest {
+                        packet,
+                        seen_cp_height: now.height,
+                    });
+                }
+                Err(_) => {
+                    self.failed_jobs += 1;
+                }
+            }
+        }
+        self.pending_guest_packets = remaining;
+
+        let mut remaining = Vec::new();
+        for (packet, ack) in self.pending_guest_acks.drain(..) {
+            let key = ibc_core::path::packet_ack(
+                &packet.destination_port,
+                &packet.destination_channel,
+                packet.sequence,
+            );
+            let Ok(proof) = store.prove(&key) else {
+                remaining.push((packet, ack));
+                continue;
+            };
+            if !proof.verify_member(&block.state_root, &key, ack.commitment().as_bytes()) {
+                remaining.push((packet, ack));
+                continue;
+            }
+            let proof_data = ProofData {
+                height: block.height,
+                bytes: ibc_core::store::encode_proof(&proof),
+            };
+            let _ = cp.ibc_mut().acknowledge_packet(&packet, &ack, proof_data);
+        }
+        self.pending_guest_acks = remaining;
+    }
+
+    /// Queues counterparty events as work toward the guest.
+    fn process_cp_events(&mut self, cp: &mut CounterpartyChain) {
+        let height = cp.height();
+        for event in cp.drain_events() {
+            match event {
+                IbcEvent::SendPacket { packet } => {
+                    self.intents
+                        .push_back(Intent::DeliverToGuest { packet, seen_cp_height: height });
+                }
+                IbcEvent::WriteAcknowledgement { packet, ack }
+                    // Only acks for packets the *guest* sent travel this way.
+                    if packet.source_channel == self.endpoints.guest_channel => {
+                        self.intents.push_back(Intent::AckToGuest {
+                            packet,
+                            ack,
+                            seen_cp_height: height,
+                        });
+                    }
+                _ => {}
+            }
+        }
+    }
+
+    /// Fires a `GenerateBlock` transaction when Alg. 1's conditions hold.
+    fn maybe_generate_block(
+        &mut self,
+        host: &mut HostChain,
+        contract: &Rc<RefCell<GuestContract>>,
+    ) {
+        if self.generate_in_flight.is_some() {
+            return;
+        }
+        let due = {
+            let guest = contract.borrow();
+            let head = guest.head();
+            guest.is_finalised(head.height)
+                && (guest.state_root() != head.state_root
+                    || host.now_ms().saturating_sub(head.timestamp_ms)
+                        >= guest.config().delta_ms)
+        };
+        if !due {
+            return;
+        }
+        let id = self.submit_instruction(
+            host,
+            &GuestInstruction::Inline { op: GuestOp::GenerateBlock },
+        );
+        self.generate_in_flight = Some(id);
+    }
+
+    /// Starts the next queued intent once the pipeline is free.
+    ///
+    /// Proofs are generated against the guest client's **latest verified**
+    /// consensus state, not the counterparty's newest header — chasing the
+    /// head would livelock on chains that produce blocks faster than a
+    /// chunked update completes.
+    fn activate_next_intent(
+        &mut self,
+        host: &HostChain,
+        cp: &CounterpartyChain,
+        contract: &Rc<RefCell<GuestContract>>,
+    ) {
+        if self.active.is_some() {
+            return;
+        }
+        let Some(intent) = self.intents.front() else { return };
+
+        // Every intent kind needs a counterparty header covering the event.
+        let seen_height = match intent {
+            Intent::DeliverToGuest { seen_cp_height, .. } => *seen_cp_height,
+            Intent::AckToGuest { seen_cp_height, .. } => *seen_cp_height,
+            Intent::TimeoutToGuest { seen_cp_height, .. } => *seen_cp_height,
+        };
+        if cp.height() <= seen_height {
+            return; // Wait for the counterparty to commit the state.
+        }
+
+        // What does the guest's client already trust?
+        let verified = {
+            let guard = contract.borrow();
+            let Ok(client) = guard.ibc().client(&self.endpoints.cp_client_on_guest) else {
+                return;
+            };
+            let latest = client.latest_height();
+            client.consensus_state(latest).map(|cs| (latest, cs))
+        };
+
+        // Try to serve the intent with the trusted consensus; fall back to
+        // a client update when it is stale.
+        if let Some((proof_height, consensus)) = verified {
+            if proof_height > seen_height
+                && self.try_start_packet_job(host, cp, proof_height, &consensus)
+            {
+                return;
+            }
+        }
+
+        // The client lags (or the trusted root no longer matches): update
+        // it. Validator-set rotations must be relayed *in order* — a client
+        // that skips a rotation header can never verify anything signed by
+        // the new set — so target the earliest pending rotation, if any.
+        let client_height = verified.map(|(h, _)| h).unwrap_or(0);
+        let latest = cp.latest_header().expect("cp.height() > 0 checked above");
+        let mut target = latest.clone();
+        for height in client_height + 1..target.height {
+            if let Some(candidate) = cp.header_at(height) {
+                if candidate.next_validators.is_some() {
+                    target = candidate.clone();
+                    break;
+                }
+            }
+        }
+        if target.height <= client_height {
+            return; // Nothing newer to relay yet.
+        }
+        let op = GuestOp::UpdateClient {
+            client: self.endpoints.cp_client_on_guest.clone(),
+            header: String::from_utf8(target.encode()).expect("JSON is UTF-8"),
+            num_signatures: target.signatures.len(),
+        };
+        self.start_job(host, JobKind::ClientUpdate, &op, target.signatures.len());
+    }
+
+    /// Attempts to build the front intent's packet job against the given
+    /// verified consensus. Returns `true` when a job was started (or the
+    /// intent was consumed as unrecoverable).
+    fn try_start_packet_job(
+        &mut self,
+        host: &HostChain,
+        cp: &CounterpartyChain,
+        proof_height: u64,
+        consensus: &ibc_core::client::ConsensusState,
+    ) -> bool {
+        let intent = self.intents.pop_front().expect("caller checked non-empty");
+        match intent {
+            Intent::DeliverToGuest { packet, seen_cp_height } => {
+                let key = ibc_core::path::packet_commitment(
+                    &packet.source_port,
+                    &packet.source_channel,
+                    packet.sequence,
+                );
+                let Ok(proof) = cp.ibc().store().prove(&key) else {
+                    self.failed_jobs += 1;
+                    return true;
+                };
+                if !proof.verify_member(&consensus.root, &key, packet.commitment().as_bytes())
+                {
+                    // The trusted root predates (or postdates) the
+                    // commitment; a fresher header is needed.
+                    self.intents
+                        .push_front(Intent::DeliverToGuest { packet, seen_cp_height });
+                    return false;
+                }
+                let op = GuestOp::RecvPacket { packet, proof_height, proof };
+                self.start_job(host, JobKind::RecvPacket, &op, 0);
+                true
+            }
+            Intent::AckToGuest { packet, ack, seen_cp_height } => {
+                let key = ibc_core::path::packet_ack(
+                    &packet.destination_port,
+                    &packet.destination_channel,
+                    packet.sequence,
+                );
+                let Ok(proof) = cp.ibc().store().prove(&key) else {
+                    self.failed_jobs += 1;
+                    return true;
+                };
+                if !proof.verify_member(&consensus.root, &key, ack.commitment().as_bytes()) {
+                    self.intents
+                        .push_front(Intent::AckToGuest { packet, ack, seen_cp_height });
+                    return false;
+                }
+                let op = GuestOp::AckPacket { packet, ack, proof_height, proof };
+                self.start_job(host, JobKind::AckPacket, &op, 0);
+                true
+            }
+            Intent::TimeoutToGuest { packet, seen_cp_height } => {
+                // The guest's timeout handler checks expiry against the
+                // consensus at the proof height.
+                if !packet.timeout.has_expired(proof_height, consensus.timestamp_ms) {
+                    self.intents
+                        .push_front(Intent::TimeoutToGuest { packet, seen_cp_height });
+                    return false;
+                }
+                let key = ibc_core::path::packet_receipt(
+                    &packet.destination_port,
+                    &packet.destination_channel,
+                    packet.sequence,
+                );
+                let Ok(proof) = cp.ibc().store().prove(&key) else {
+                    self.failed_jobs += 1;
+                    return true;
+                };
+                if !proof.verify_non_member(&consensus.root, &key) {
+                    // Delivered after all (raced by another relayer).
+                    self.failed_jobs += 1;
+                    return true;
+                }
+                let op = GuestOp::TimeoutPacket { packet, proof_height, proof };
+                self.start_job(host, JobKind::TimeoutPacket, &op, 0);
+                true
+            }
+        }
+    }
+
+    fn start_job(&mut self, host: &HostChain, kind: JobKind, op: &GuestOp, sig_checks: usize) {
+        let buffer = self.next_buffer;
+        self.next_buffer += 1;
+        let queue: VecDeque<GuestInstruction> =
+            plan_op_for(&self.config.host_profile, op, buffer, sig_checks)
+                .into_iter()
+                .collect();
+        debug_assert!(
+            sig_checks == 0
+                || queue.len() > sig_checks / sig_checks_per_tx_for(&self.config.host_profile)
+        );
+        self.active = Some(ActiveJob {
+            kind,
+            buffer,
+            queue,
+            in_flight: None,
+            scheduled_ms: host.now_ms(),
+            first_tx_ms: None,
+            last_tx_ms: host.now_ms(),
+            tx_count: 0,
+            fee_lamports: 0,
+            sig_checks,
+            retries: 0,
+        });
+    }
+
+    /// Submits the next transaction of the active job (one at a time, as
+    /// the deployed relayer awaited confirmations), or finishes the job.
+    fn pump_active_job(&mut self, host: &mut HostChain) {
+        let Some(active) = &mut self.active else { return };
+        if active.in_flight.is_some() {
+            return;
+        }
+        if let Some(instruction) = active.queue.pop_front() {
+            let id = {
+                let tx = self.build_tx(&instruction);
+                match tx.fee_policy {
+                    FeePolicy::Bundle { .. } => host.submit_bundle(vec![tx])[0],
+                    _ => host.submit(tx),
+                }
+            };
+            self.active
+                .as_mut()
+                .expect("active job checked above")
+                .in_flight = Some((id, instruction));
+            return;
+        }
+        // Queue drained and nothing in flight: the job is complete.
+        let done = self.active.take().expect("active job checked above");
+        self.records.push(JobRecord {
+            kind: done.kind,
+            scheduled_ms: done.scheduled_ms,
+            first_tx_ms: done.first_tx_ms.unwrap_or(done.scheduled_ms),
+            last_tx_ms: done.last_tx_ms,
+            tx_count: done.tx_count,
+            fee_lamports: done.fee_lamports,
+            sig_checks: done.sig_checks,
+        });
+    }
+
+    fn build_tx(&self, instruction: &GuestInstruction) -> Transaction {
+        let policy = self.config.fee_strategy.policy(self.recent_load);
+        Transaction::build_for(
+            &self.config.host_profile,
+            self.payer,
+            1,
+            vec![Instruction::new(
+                self.guest_program,
+                vec![self.guest_state_account],
+                instruction.encode(),
+            )],
+            policy,
+        )
+        .expect("planned instructions fit transactions")
+    }
+
+    fn submit_instruction(&mut self, host: &mut HostChain, instruction: &GuestInstruction) -> u64 {
+        let tx = self.build_tx(instruction);
+        match tx.fee_policy {
+            FeePolicy::Bundle { .. } => host.submit_bundle(vec![tx])[0],
+            _ => host.submit(tx),
+        }
+    }
+}
+
+impl core::fmt::Debug for Relayer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Relayer")
+            .field("intents", &self.intents.len())
+            .field("active", &self.active.is_some())
+            .field("records", &self.records.len())
+            .finish()
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests of the relayer's chunking planner.
+
+use guest_chain::{GuestInstruction, GuestOp};
+use host_sim::transaction::{FeePolicy, Instruction, Transaction};
+use host_sim::Pubkey;
+use ibc_core::types::ClientId;
+use proptest::prelude::*;
+use relayer::chunking::{plan_op, SIG_CHECKS_PER_TX};
+
+fn arb_update_op() -> impl Strategy<Value = (GuestOp, usize)> {
+    (0usize..30_000, 0usize..200).prop_map(|(header_len, sigs)| {
+        (
+            GuestOp::UpdateClient {
+                client: ClientId::new(0),
+                header: "h".repeat(header_len),
+                num_signatures: sigs,
+            },
+            sigs,
+        )
+    })
+}
+
+proptest! {
+    /// Every plan reassembles to exactly the encoded operation, covers all
+    /// signature checks, and ends with execution.
+    #[test]
+    fn plans_are_complete_and_ordered((op, sigs) in arb_update_op(), buffer in any::<u64>()) {
+        let plan = plan_op(&op, buffer, sigs);
+        prop_assert!(!plan.is_empty());
+
+        let mut reassembled = Vec::new();
+        let mut checks = 0usize;
+        let mut seen_exec = false;
+        let mut seen_verify = false;
+        for instruction in &plan {
+            match instruction {
+                GuestInstruction::WriteChunk { buffer: b, offset, data } => {
+                    prop_assert!(!seen_verify && !seen_exec, "chunks come first");
+                    prop_assert_eq!(*b, buffer);
+                    prop_assert_eq!(*offset, reassembled.len(), "sequential offsets");
+                    reassembled.extend_from_slice(data);
+                }
+                GuestInstruction::VerifySigs { buffer: b, count } => {
+                    prop_assert!(!seen_exec, "verification precedes execution");
+                    prop_assert_eq!(*b, buffer);
+                    prop_assert!(*count <= SIG_CHECKS_PER_TX);
+                    checks += count;
+                    seen_verify = true;
+                }
+                GuestInstruction::ExecStaged { buffer: b } => {
+                    prop_assert_eq!(*b, buffer);
+                    prop_assert!(!seen_exec, "exactly one execution");
+                    seen_exec = true;
+                }
+                GuestInstruction::Inline { .. } => {
+                    prop_assert_eq!(plan.len(), 1, "inline plans are singletons");
+                }
+                GuestInstruction::DropBuffer { .. } => {
+                    prop_assert!(false, "plans never drop buffers");
+                }
+            }
+        }
+        prop_assert_eq!(checks, sigs, "every signature gets verified");
+        if plan.len() > 1 {
+            prop_assert!(seen_exec);
+            prop_assert_eq!(reassembled, op.encode());
+        }
+    }
+
+    /// Every planned instruction fits in a host transaction.
+    #[test]
+    fn every_instruction_fits_a_transaction((op, sigs) in arb_update_op()) {
+        for instruction in plan_op(&op, 1, sigs) {
+            let result = Transaction::build(
+                Pubkey::from_label("payer"),
+                1,
+                vec![Instruction::new(
+                    Pubkey::from_label("program"),
+                    vec![Pubkey::from_label("state")],
+                    instruction.encode(),
+                )],
+                FeePolicy::BaseOnly,
+            );
+            prop_assert!(result.is_ok());
+        }
+    }
+
+    /// Instruction encoding round-trips, binary frames included.
+    #[test]
+    fn instruction_encoding_round_trip(
+        buffer in any::<u64>(),
+        offset in 0usize..100_000,
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let chunk = GuestInstruction::WriteChunk { buffer, offset, data };
+        prop_assert_eq!(GuestInstruction::decode(&chunk.encode()).unwrap(), chunk);
+        let verify = GuestInstruction::VerifySigs { buffer, count: 3 };
+        prop_assert_eq!(GuestInstruction::decode(&verify.encode()).unwrap(), verify);
+    }
+}

@@ -1,0 +1,186 @@
+//! Key paths as sequences of 4-bit nibbles.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A sequence of 4-bit nibbles (each element is `0..16`).
+///
+/// Keys are byte strings; the trie branches on nibbles, so an `n`-byte key
+/// becomes a `2n`-nibble path. The invariant that every element is below 16
+/// is maintained by construction.
+///
+/// # Examples
+///
+/// ```
+/// use sealable_trie::Nibbles;
+///
+/// let path = Nibbles::from_key(&[0xAB, 0x01]);
+/// assert_eq!(path.as_slice(), &[0xA, 0xB, 0x0, 0x1]);
+/// assert_eq!(path.to_key_bytes(), Some(vec![0xAB, 0x01]));
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Nibbles(Vec<u8>);
+
+impl Nibbles {
+    /// Creates an empty path.
+    pub fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Converts a byte key into its nibble path (high nibble first).
+    pub fn from_key(key: &[u8]) -> Self {
+        let mut out = Vec::with_capacity(key.len() * 2);
+        for byte in key {
+            out.push(byte >> 4);
+            out.push(byte & 0xf);
+        }
+        Self(out)
+    }
+
+    /// Wraps a raw nibble vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is 16 or larger.
+    pub fn from_nibbles(nibbles: Vec<u8>) -> Self {
+        assert!(nibbles.iter().all(|&n| n < 16), "nibble out of range");
+        Self(nibbles)
+    }
+
+    /// The nibbles as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Number of nibbles.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the path is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Converts back to bytes if the nibble count is even.
+    pub fn to_key_bytes(&self) -> Option<Vec<u8>> {
+        if !self.0.len().is_multiple_of(2) {
+            return None;
+        }
+        Some(
+            self.0
+                .chunks_exact(2)
+                .map(|pair| (pair[0] << 4) | pair[1])
+                .collect(),
+        )
+    }
+
+    /// Length of the longest common prefix with `other`.
+    pub fn common_prefix_len(&self, other: &[u8]) -> usize {
+        self.0
+            .iter()
+            .zip(other)
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// Returns the sub-path `[start, end)`.
+    pub fn slice(&self, start: usize, end: usize) -> Nibbles {
+        Self(self.0[start..end].to_vec())
+    }
+
+    /// Appends a single nibble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nibble >= 16`.
+    pub fn push(&mut self, nibble: u8) {
+        assert!(nibble < 16, "nibble out of range");
+        self.0.push(nibble);
+    }
+
+    /// Appends all nibbles of `other`.
+    pub fn extend_from(&mut self, other: &Nibbles) {
+        self.0.extend_from_slice(&other.0);
+    }
+
+    /// Compact serialization: length prefix + packed pairs.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + self.0.len() / 2 + 1);
+        out.extend_from_slice(&(self.0.len() as u16).to_le_bytes());
+        for pair in self.0.chunks(2) {
+            let hi = pair[0] << 4;
+            let lo = pair.get(1).copied().unwrap_or(0);
+            out.push(hi | lo);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Nibbles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Nibbles(")?;
+        for n in &self.0 {
+            write!(f, "{n:x}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl From<&[u8]> for Nibbles {
+    fn from(key: &[u8]) -> Self {
+        Self::from_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let key = [0x12u8, 0x34, 0xFF, 0x00];
+        let nibbles = Nibbles::from_key(&key);
+        assert_eq!(nibbles.len(), 8);
+        assert_eq!(nibbles.to_key_bytes().unwrap(), key);
+    }
+
+    #[test]
+    fn odd_length_has_no_key_bytes() {
+        let nibbles = Nibbles::from_nibbles(vec![1, 2, 3]);
+        assert_eq!(nibbles.to_key_bytes(), None);
+    }
+
+    #[test]
+    fn common_prefix() {
+        let a = Nibbles::from_nibbles(vec![1, 2, 3, 4]);
+        assert_eq!(a.common_prefix_len(&[1, 2, 9]), 2);
+        assert_eq!(a.common_prefix_len(&[]), 0);
+        assert_eq!(a.common_prefix_len(&[1, 2, 3, 4, 5]), 4);
+    }
+
+    #[test]
+    fn slice_and_push() {
+        let a = Nibbles::from_nibbles(vec![1, 2, 3, 4]);
+        let mut b = a.slice(1, 3);
+        assert_eq!(b.as_slice(), &[2, 3]);
+        b.push(0xf);
+        assert_eq!(b.as_slice(), &[2, 3, 0xf]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nibble out of range")]
+    fn rejects_big_nibble() {
+        Nibbles::from_nibbles(vec![16]);
+    }
+
+    #[test]
+    fn encode_distinguishes_lengths() {
+        // [1] vs [1, 0] pack to the same byte but differ in the length
+        // prefix — encodings must differ.
+        let a = Nibbles::from_nibbles(vec![1]).encode();
+        let b = Nibbles::from_nibbles(vec![1, 0]).encode();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,212 @@
+//! Trie node representation and hashing.
+
+use serde::{Deserialize, Serialize};
+use sim_crypto::{sha256, Hash, Sha256};
+
+use crate::store::Ptr;
+use crate::Nibbles;
+
+/// A stored value.
+///
+/// The node hash commits to [`Value::hash`] only, so [`Value::data`] can be
+/// dropped — *sealed* — without changing the commitment.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Value {
+    /// SHA-256 of the value bytes; always present.
+    pub hash: Hash,
+    /// The value bytes; `None` once the value has been sealed.
+    pub data: Option<Vec<u8>>,
+}
+
+impl Value {
+    /// Creates a live value from bytes.
+    pub fn new(data: Vec<u8>) -> Self {
+        Self { hash: sha256(&data), data: Some(data) }
+    }
+
+    /// Whether the bytes have been sealed away.
+    pub fn is_sealed(&self) -> bool {
+        self.data.is_none()
+    }
+
+    /// Drops the bytes, keeping only the hash.
+    pub fn seal(&mut self) {
+        self.data = None;
+    }
+}
+
+/// A reference from a parent node to a child.
+///
+/// The `hash` is the commitment (what proofs and the root are built from);
+/// the `ptr` locates the child in storage. A `ptr` whose node is missing
+/// from the store denotes a *sealed* child: the commitment survives, the
+/// data does not. Storing nodes by location rather than by content hash
+/// mirrors the paper's Solana implementation (nodes in an account, addressed
+/// by index) and ensures two identical subtrees never alias.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChildRef {
+    /// Location of the child node in the store.
+    pub ptr: Ptr,
+    /// Commitment hash of the child node.
+    pub hash: Hash,
+}
+
+/// A trie node.
+///
+/// The branch variant is much larger than the others (16 child slots);
+/// nodes are stored individually, so the imbalance is accepted in exchange
+/// for keeping branches inline-accessible.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)]
+pub enum Node {
+    /// Terminal node holding a value at the end of `path`.
+    Leaf {
+        /// Remaining nibbles of the key below the parent.
+        path: Nibbles,
+        /// The stored value.
+        value: Value,
+    },
+    /// 16-way fan-out.
+    ///
+    /// Branches never carry values: the trie length-prefixes every key, so
+    /// no key's nibble path is a proper prefix of another's and all values
+    /// terminate in leaves.
+    Branch {
+        /// Child references indexed by next nibble; `None` = no child.
+        children: [Option<ChildRef>; 16],
+    },
+    /// Path compression: a run of nibbles with a single child below.
+    Extension {
+        /// The compressed nibble run (never empty).
+        path: Nibbles,
+        /// Reference to the single child (a branch).
+        child: ChildRef,
+    },
+}
+
+impl Node {
+    /// Computes the node's commitment hash.
+    ///
+    /// Values contribute their *hash*, not their bytes, so sealing a value
+    /// leaves the node hash unchanged; children contribute their commitment
+    /// hashes (absent children contribute [`Hash::ZERO`]); storage pointers
+    /// contribute nothing.
+    pub fn hash(&self) -> Hash {
+        let mut hasher = Sha256::new();
+        match self {
+            Node::Leaf { path, value } => {
+                hasher.update([0u8]);
+                hasher.update(path.encode());
+                hasher.update(value.hash);
+            }
+            Node::Branch { children } => {
+                hasher.update([1u8]);
+                for child in children {
+                    hasher.update(child.map_or(Hash::ZERO, |c| c.hash));
+                }
+            }
+            Node::Extension { path, child } => {
+                hasher.update([2u8]);
+                hasher.update(path.encode());
+                hasher.update(child.hash);
+            }
+        }
+        hasher.finalize()
+    }
+
+    /// Approximate storage footprint in bytes, as charged by the node store.
+    ///
+    /// Mirrors what a Solana account would hold: tag + path + child hashes +
+    /// live value bytes. Sealed values no longer pay for their data.
+    pub fn storage_size(&self) -> usize {
+        match self {
+            Node::Leaf { path, value } => {
+                1 + 2 + path.len().div_ceil(2)
+                    + 32
+                    + value.data.as_ref().map_or(0, |d| d.len())
+            }
+            Node::Branch { children } => 1 + children.iter().flatten().count() * 40,
+            Node::Extension { path, .. } => 1 + 2 + path.len().div_ceil(2) + 40,
+        }
+    }
+}
+
+/// An empty branch child array (helper for construction).
+pub const EMPTY_CHILDREN: [Option<ChildRef>; 16] = [None; 16];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sealing_value_preserves_node_hash() {
+        let mut leaf = Node::Leaf {
+            path: Nibbles::from_key(b"k"),
+            value: Value::new(b"v".to_vec()),
+        };
+        let before = leaf.hash();
+        if let Node::Leaf { value, .. } = &mut leaf {
+            value.seal();
+        }
+        assert_eq!(leaf.hash(), before);
+    }
+
+    #[test]
+    fn different_values_different_hashes() {
+        let a = Node::Leaf { path: Nibbles::from_key(b"k"), value: Value::new(b"1".to_vec()) };
+        let b = Node::Leaf { path: Nibbles::from_key(b"k"), value: Value::new(b"2".to_vec()) };
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn different_paths_different_hashes() {
+        let a = Node::Leaf { path: Nibbles::from_key(b"a"), value: Value::new(b"v".to_vec()) };
+        let b = Node::Leaf { path: Nibbles::from_key(b"b"), value: Value::new(b"v".to_vec()) };
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn branch_child_position_matters() {
+        let child = ChildRef { ptr: 1, hash: sha256(b"child") };
+        let mut c1 = EMPTY_CHILDREN;
+        c1[0] = Some(child);
+        let mut c2 = EMPTY_CHILDREN;
+        c2[1] = Some(child);
+        let a = Node::Branch { children: c1 };
+        let b = Node::Branch { children: c2 };
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn ptr_does_not_affect_hash() {
+        let c1 = ChildRef { ptr: 1, hash: sha256(b"child") };
+        let c2 = ChildRef { ptr: 999, hash: sha256(b"child") };
+        let mut a = EMPTY_CHILDREN;
+        a[5] = Some(c1);
+        let mut b = EMPTY_CHILDREN;
+        b[5] = Some(c2);
+        assert_eq!(Node::Branch { children: a }.hash(), Node::Branch { children: b }.hash());
+    }
+
+    #[test]
+    fn storage_size_shrinks_when_sealed() {
+        let mut leaf = Node::Leaf {
+            path: Nibbles::from_key(b"key"),
+            value: Value::new(vec![0u8; 100]),
+        };
+        let before = leaf.storage_size();
+        if let Node::Leaf { value, .. } = &mut leaf {
+            value.seal();
+        }
+        assert!(leaf.storage_size() + 100 == before);
+    }
+
+    #[test]
+    fn node_kinds_hash_distinctly() {
+        // A leaf and an extension with identical byte content must differ.
+        let path = Nibbles::from_key(b"x");
+        let leaf = Node::Leaf { path: path.clone(), value: Value::new(b"v".to_vec()) };
+        let ext = Node::Extension { path, child: ChildRef { ptr: 0, hash: sha256(b"v") } };
+        assert_ne!(leaf.hash(), ext.hash());
+    }
+}

@@ -1,0 +1,181 @@
+//! Location-addressed node storage.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::Node;
+
+/// Location of a node within a [`NodeStore`].
+pub type Ptr = u64;
+
+/// Storage statistics used by the paper's storage-cost experiment (§V-D).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Nodes currently resident.
+    pub node_count: usize,
+    /// Bytes currently resident (sum of [`Node::storage_size`]).
+    pub byte_count: usize,
+    /// Running count of nodes reclaimed by sealing.
+    pub sealed_reclaimed: usize,
+    /// High-water mark of `byte_count`.
+    pub peak_bytes: usize,
+}
+
+/// A location-addressed store of trie nodes.
+///
+/// Nodes are addressed by [`Ptr`], not by content hash, mirroring the
+/// paper's Solana implementation (an account holding an array of nodes).
+/// A pointer whose node is missing is, by definition, *sealed*.
+/// Implementations must report how much storage live nodes occupy so
+/// experiments can account for host-chain rent.
+pub trait NodeStore {
+    /// Fetches a node, or `None` if absent (sealed or never stored).
+    fn get(&self, ptr: Ptr) -> Option<&Node>;
+    /// Stores `node` at a fresh location and returns it.
+    fn put(&mut self, node: Node) -> Ptr;
+    /// Removes the node at `ptr` (used for both rewrites and sealing;
+    /// sealing passes `reclaim = true` so stats can distinguish).
+    fn remove(&mut self, ptr: Ptr, reclaim: bool);
+    /// Replaces the node at `ptr` in place, keeping the same location.
+    ///
+    /// Used when sealing turns a live leaf into a skeleton (same commitment
+    /// hash, smaller footprint) without disturbing the parent's reference.
+    fn replace(&mut self, ptr: Ptr, node: Node);
+    /// Current statistics.
+    fn stats(&self) -> StoreStats;
+}
+
+/// The default in-memory node store.
+///
+/// # Examples
+///
+/// ```
+/// use sealable_trie::{MemStore, NodeStore};
+/// use sealable_trie::node::{Node, Value};
+/// use sealable_trie::Nibbles;
+///
+/// let mut store = MemStore::new();
+/// let node = Node::Leaf { path: Nibbles::from_key(b"k"), value: Value::new(b"v".into()) };
+/// let ptr = store.put(node.clone());
+/// assert_eq!(store.get(ptr), Some(&node));
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MemStore {
+    nodes: HashMap<Ptr, Node>,
+    next: Ptr,
+    stats: StoreStats,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Iterates over resident nodes (ptr, node).
+    pub fn iter(&self) -> impl Iterator<Item = (Ptr, &Node)> {
+        self.nodes.iter().map(|(p, n)| (*p, n))
+    }
+}
+
+impl NodeStore for MemStore {
+    fn get(&self, ptr: Ptr) -> Option<&Node> {
+        self.nodes.get(&ptr)
+    }
+
+    fn put(&mut self, node: Node) -> Ptr {
+        let ptr = self.next;
+        self.next += 1;
+        self.stats.node_count += 1;
+        self.stats.byte_count += node.storage_size();
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.byte_count);
+        self.nodes.insert(ptr, node);
+        ptr
+    }
+
+    fn remove(&mut self, ptr: Ptr, reclaim: bool) {
+        if let Some(node) = self.nodes.remove(&ptr) {
+            self.stats.node_count -= 1;
+            self.stats.byte_count -= node.storage_size();
+            if reclaim {
+                self.stats.sealed_reclaimed += 1;
+            }
+        }
+    }
+
+    fn replace(&mut self, ptr: Ptr, node: Node) {
+        let new_size = node.storage_size();
+        if let Some(slot) = self.nodes.get_mut(&ptr) {
+            self.stats.byte_count -= slot.storage_size();
+            self.stats.byte_count += new_size;
+            self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.byte_count);
+            *slot = node;
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Value;
+    use crate::Nibbles;
+
+    fn leaf(key: &[u8], value: &[u8]) -> Node {
+        Node::Leaf { path: Nibbles::from_key(key), value: Value::new(value.to_vec()) }
+    }
+
+    #[test]
+    fn put_get_remove() {
+        let mut store = MemStore::new();
+        let node = leaf(b"a", b"1");
+        let ptr = store.put(node.clone());
+        assert_eq!(store.get(ptr), Some(&node));
+        assert_eq!(store.stats().node_count, 1);
+        store.remove(ptr, false);
+        assert_eq!(store.get(ptr), None);
+        assert_eq!(store.stats().node_count, 0);
+        assert_eq!(store.stats().byte_count, 0);
+    }
+
+    #[test]
+    fn identical_nodes_get_distinct_ptrs() {
+        let mut store = MemStore::new();
+        let p1 = store.put(leaf(b"a", b"1"));
+        let p2 = store.put(leaf(b"a", b"1"));
+        assert_ne!(p1, p2);
+        assert_eq!(store.stats().node_count, 2);
+        store.remove(p1, true);
+        assert!(store.get(p1).is_none());
+        assert!(store.get(p2).is_some(), "no aliasing between identical nodes");
+    }
+
+    #[test]
+    fn reclaim_counts_sealed() {
+        let mut store = MemStore::new();
+        let ptr = store.put(leaf(b"a", b"1"));
+        store.remove(ptr, true);
+        assert_eq!(store.stats().sealed_reclaimed, 1);
+    }
+
+    #[test]
+    fn remove_of_missing_ptr_is_noop() {
+        let mut store = MemStore::new();
+        store.remove(42, true);
+        assert_eq!(store.stats(), StoreStats::default());
+    }
+
+    #[test]
+    fn peak_bytes_tracks_high_water() {
+        let mut store = MemStore::new();
+        let p1 = store.put(leaf(b"a", &[0; 100]));
+        let peak = store.stats().peak_bytes;
+        store.remove(p1, false);
+        assert_eq!(store.stats().byte_count, 0);
+        assert_eq!(store.stats().peak_bytes, peak);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests of the crypto substrate.
+
+use proptest::prelude::*;
+use sim_crypto::schnorr::{Keypair, PublicKey, Signature};
+use sim_crypto::{sha256, Hash, Sha256};
+
+proptest! {
+    /// Incremental hashing equals one-shot hashing for any split.
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let at = split.index(data.len() + 1);
+        let mut hasher = Sha256::new();
+        hasher.update(&data[..at]);
+        hasher.update(&data[at..]);
+        prop_assert_eq!(hasher.finalize(), sha256(&data));
+    }
+
+    /// Distinct inputs give distinct digests (collision would be a bug in
+    /// this input range).
+    #[test]
+    fn sha256_distinguishes_inputs(
+        a in proptest::collection::vec(any::<u8>(), 0..64),
+        b in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        if a != b {
+            prop_assert_ne!(sha256(&a), sha256(&b));
+        }
+    }
+
+    /// Hash hex round-trips.
+    #[test]
+    fn hash_hex_round_trip(bytes in any::<[u8; 32]>()) {
+        let hash = Hash::from_bytes(bytes);
+        prop_assert_eq!(Hash::from_hex(&hash.to_hex()).unwrap(), hash);
+    }
+
+    /// Signatures verify for the signing key and message, and fail for any
+    /// other message or key.
+    #[test]
+    fn schnorr_sign_verify(
+        seed in any::<u64>(),
+        other_seed in any::<u64>(),
+        message in proptest::collection::vec(any::<u8>(), 0..128),
+        other_message in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let keypair = Keypair::from_seed(seed);
+        let signature = keypair.sign(&message);
+        prop_assert!(keypair.public().verify(&message, &signature));
+        if message != other_message {
+            prop_assert!(!keypair.public().verify(&other_message, &signature));
+        }
+        if seed != other_seed {
+            let other = Keypair::from_seed(other_seed);
+            prop_assert!(!other.public().verify(&message, &signature));
+        }
+    }
+
+    /// Key and signature encodings round-trip through their wire formats.
+    #[test]
+    fn schnorr_encodings_round_trip(seed in any::<u64>(), message in any::<[u8; 16]>()) {
+        let keypair = Keypair::from_seed(seed);
+        let pk = keypair.public();
+        prop_assert_eq!(PublicKey::from_bytes(&pk.to_bytes()).unwrap(), pk);
+        let signature = keypair.sign(&message);
+        let decoded = Signature::from_bytes(&signature.to_bytes()).unwrap();
+        prop_assert_eq!(decoded, signature);
+        prop_assert!(pk.verify(&message, &decoded));
+    }
+}

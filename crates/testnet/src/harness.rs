@@ -1,0 +1,623 @@
+//! The discrete-event testnet harness.
+//!
+//! Wires together a host chain, the guest contract (as a host program),
+//! the counterparty chain, a relayer, 24 validator actors and a packet
+//! workload, then advances host slots one by one. All the paper's
+//! measurements fall out of one run.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::rc::Rc;
+
+use counterparty_sim::CounterpartyChain;
+use guest_chain::{GuestBlock, GuestContract, GuestEvent, GuestInstruction, GuestOp, GuestProgram, SignedVote};
+use host_sim::{rent, FeePolicy, HostChain, Instruction, Pubkey, Transaction};
+use ibc_core::channel::Timeout;
+use ibc_core::ics20::TransferModule;
+use relayer::{connect_chains, Endpoints, Relayer};
+use sim_crypto::rng::SplitMix64;
+use sim_crypto::schnorr::Keypair;
+
+use crate::config::TestnetConfig;
+use crate::metrics::{SendRecord, SignRecord};
+
+/// Account names used by the harness.
+const GUEST_PROGRAM: &str = "guest-program";
+const GUEST_VAULT: &str = "guest-vault";
+const DEPLOYER: &str = "deployer";
+const CLIENT_PAYER: &str = "client-payer";
+const RELAYER_PAYER: &str = "relayer-payer";
+
+/// The ledger account sending outbound transfers from the guest side.
+pub const GUEST_USER: &str = "9xQeWvG816bUx9EPjHmaT23yvVM2ZWbrrpZb9PusVFin";
+/// The ledger account sending inbound transfers from the counterparty.
+pub const CP_USER: &str = "pica1w508d6qejxtdg4y5r3zarvary0c5xw7kw508d6qejxtdg4y5r3zarvary0c5xw7k3k4mq2";
+/// The native denomination escrowed on the guest side.
+pub const GUEST_DENOM: &str = "wsol";
+/// The native denomination escrowed on the counterparty side.
+pub const CP_DENOM: &str = "pica";
+
+#[derive(Debug)]
+enum Action {
+    /// A validator's signature lands at this time.
+    Sign { validator: usize, height: u64, block_ms: u64 },
+    /// If the block is still unfinalised, every active validator signs.
+    SafetyNet { height: u64, block_ms: u64 },
+}
+
+/// A running guest-blockchain deployment.
+pub struct Testnet {
+    /// The simulated host chain (Solana-like).
+    pub host: HostChain,
+    /// The counterparty chain (Picasso-like).
+    pub cp: CounterpartyChain,
+    /// Shared handle to the guest contract.
+    pub contract: Rc<RefCell<GuestContract>>,
+    /// The relayer.
+    pub relayer: Relayer,
+    /// End-to-end send measurements (Fig. 2 / Fig. 3).
+    pub send_records: Vec<SendRecord>,
+    /// Validator signature measurements (Table I).
+    pub sign_records: Vec<SignRecord>,
+    config: TestnetConfig,
+    keypairs: Vec<Keypair>,
+    endpoints: Endpoints,
+    rng: SplitMix64,
+    schedule: BTreeMap<(u64, u64), Action>,
+    schedule_seq: u64,
+    next_outbound_ms: u64,
+    next_inbound_ms: u64,
+    next_cp_check_ms: u64,
+    last_cp_header_root: sim_crypto::Hash,
+    last_cp_header_ms: u64,
+    program_id: Pubkey,
+    client_payer: Pubkey,
+    validator_payers: Vec<Pubkey>,
+    sign_tx_inflight: HashMap<u64, (usize, u64, u64)>,
+    send_tx_inflight: HashMap<u64, bool>,
+    submitted_signs: HashMap<u64, HashSet<usize>>,
+    outbound_counter: u64,
+    fisherman_payer: Pubkey,
+    /// Off-chain vote gossip the fisherman watches (§III-C).
+    gossip: Vec<SignedVote>,
+    /// Misbehaviour reports the fisherman submitted.
+    pub fisherman_reports: usize,
+}
+
+impl Testnet {
+    /// Boots a full deployment: host accounts, guest program with the
+    /// paper's 10 MiB state account, counterparty chain, IBC handshake and
+    /// prefunded users.
+    pub fn build(mut config: TestnetConfig) -> Self {
+        // The relayer must plan against the same host limits.
+        config.relayer.host_profile = config.host_profile;
+        let mut host = HostChain::with_profile(config.host_profile, config.congestion, config.seed);
+        let program_id = Pubkey::from_label(GUEST_PROGRAM);
+        let vault = Pubkey::from_label(GUEST_VAULT);
+        let deployer = Pubkey::from_label(DEPLOYER);
+        let client_payer = Pubkey::from_label(CLIENT_PAYER);
+        let relayer_payer = Pubkey::from_label(RELAYER_PAYER);
+        // Generous balances; fees are measured, not constrained.
+        host.bank_mut().airdrop(deployer, 500 * host_sim::LAMPORTS_PER_SOL);
+        host.bank_mut().airdrop(client_payer, 500 * host_sim::LAMPORTS_PER_SOL);
+        host.bank_mut().airdrop(relayer_payer, 500 * host_sim::LAMPORTS_PER_SOL);
+        host.bank_mut().airdrop(vault, 1);
+
+        // Validator keys and their (funded) fee payers.
+        let keypairs: Vec<Keypair> = (0..config.validators.len() as u64)
+            .map(|i| Keypair::from_seed(0xA11CE + i))
+            .collect();
+        let validator_payers: Vec<Pubkey> = (0..config.validators.len())
+            .map(|i| {
+                let payer = Pubkey::from_label(&format!("validator-payer-{i}"));
+                host.bank_mut().airdrop(payer, 100 * host_sim::LAMPORTS_PER_SOL);
+                payer
+            })
+            .collect();
+
+        // Deploy the guest contract with the configured validator set.
+        let genesis_validators = keypairs
+            .iter()
+            .zip(&config.validators)
+            .map(|(kp, profile)| (kp.public(), profile.stake))
+            .collect();
+        let contract = Rc::new(RefCell::new(GuestContract::new(
+            config.guest,
+            genesis_validators,
+            0,
+            0,
+        )));
+        let program = GuestProgram::new(program_id, vault, contract.clone());
+        host.bank_mut().register_program(program_id, Box::new(program));
+        // The paper's 10 MiB state account (§V-D): rent-exempt deposit paid
+        // by the deployer.
+        host.bank_mut()
+            .allocate_account(
+                &deployer,
+                Pubkey::from_label("guest-state"),
+                program_id,
+                host_sim::MAX_ACCOUNT_SIZE,
+            )
+            .expect("deployer can fund the state account");
+        debug_assert!(rent::deposit_usd(host_sim::MAX_ACCOUNT_SIZE) > 14_000.0);
+
+        // Counterparty chain + the one-time IBC handshake.
+        let mut cp = CounterpartyChain::new(config.counterparty, config.seed ^ 0xC913);
+        let mut clock = 0u64;
+        let mut height = 0u64;
+        let endpoints = connect_chains(&contract, &mut cp, &keypairs, &mut clock, &mut height)
+            .expect("bootstrap handshake");
+
+        // Prefund transfer users on both ledgers.
+        {
+            let mut guard = contract.borrow_mut();
+            let module = guard
+                .ibc_mut()
+                .module_mut(&endpoints.port)
+                .expect("transfer module bound");
+            module
+                .as_any_mut()
+                .downcast_mut::<TransferModule>()
+                .expect("ICS-20 module")
+                .mint(GUEST_USER, GUEST_DENOM, u128::MAX / 4);
+        }
+        {
+            let module = cp
+                .ibc_mut()
+                .module_mut(&endpoints.port)
+                .expect("transfer module bound");
+            module
+                .as_any_mut()
+                .downcast_mut::<TransferModule>()
+                .expect("ICS-20 module")
+                .mint(CP_USER, CP_DENOM, u128::MAX / 4);
+        }
+
+        let fisherman_payer = Pubkey::from_label("fisherman-payer");
+        host.bank_mut().airdrop(fisherman_payer, 100 * host_sim::LAMPORTS_PER_SOL);
+        let relayer = Relayer::new(config.relayer, relayer_payer, program_id, endpoints.clone());
+        let mut rng = SplitMix64::new(config.seed ^ 0x7e57);
+        let first_out = Self::sample_exp(&mut rng, config.workload.outbound_mean_gap_ms);
+        let first_in = Self::sample_exp(&mut rng, config.workload.inbound_mean_gap_ms);
+        Self {
+            host,
+            cp,
+            contract,
+            relayer,
+            send_records: Vec::new(),
+            sign_records: Vec::new(),
+            config,
+            keypairs,
+            endpoints,
+            rng,
+            schedule: BTreeMap::new(),
+            schedule_seq: 0,
+            next_outbound_ms: first_out,
+            next_inbound_ms: first_in,
+            next_cp_check_ms: 0,
+            last_cp_header_root: sim_crypto::Hash::ZERO,
+            last_cp_header_ms: 0,
+            program_id,
+            client_payer,
+            validator_payers,
+            sign_tx_inflight: HashMap::new(),
+            send_tx_inflight: HashMap::new(),
+            submitted_signs: HashMap::new(),
+            outbound_counter: 0,
+            fisherman_payer,
+            gossip: Vec::new(),
+            fisherman_reports: 0,
+        }
+    }
+
+    /// The established link's identifiers.
+    pub fn endpoints(&self) -> &Endpoints {
+        &self.endpoints
+    }
+
+    /// Runs the simulation for `duration_ms` of simulated time.
+    pub fn run_for(&mut self, duration_ms: u64) {
+        let deadline = self.host.now_ms() + duration_ms;
+        while self.host.now_ms() < deadline {
+            self.step();
+        }
+    }
+
+    /// Advances exactly one host slot.
+    pub fn step(&mut self) {
+        // 1. Produce the next host block and observe it.
+        let (now, sign_results, send_results, guest_events) = {
+            let block = self.host.advance_slot();
+            let now = block.time_ms;
+            let mut sign_results = Vec::new();
+            let mut send_results = Vec::new();
+            for (tx_id, outcome) in &block.transactions {
+                if self.sign_tx_inflight.contains_key(tx_id) {
+                    sign_results.push((*tx_id, outcome.is_ok(), outcome.fee_lamports));
+                } else if self.send_tx_inflight.contains_key(tx_id) {
+                    let sequence = outcome.events.iter().find_map(|event| {
+                        let guest: GuestEvent = serde_json::from_slice(&event.payload).ok()?;
+                        match guest {
+                            GuestEvent::Ibc(ibc_core::IbcEvent::SendPacket { packet }) => {
+                                Some(packet.sequence)
+                            }
+                            _ => None,
+                        }
+                    });
+                    send_results.push((*tx_id, sequence, outcome.fee_lamports));
+                }
+            }
+            let mut guest_events = Vec::new();
+            for event in &block.events {
+                if event.program_id == self.program_id {
+                    if let Ok(guest_event) =
+                        serde_json::from_slice::<GuestEvent>(&event.payload)
+                    {
+                        guest_events.push(guest_event);
+                    }
+                }
+            }
+            (now, sign_results, send_results, guest_events)
+        };
+
+        // 2. Resolve tracked transactions.
+        for (tx_id, ok, fee) in sign_results {
+            let (validator, height, block_ms) =
+                self.sign_tx_inflight.remove(&tx_id).expect("tracked");
+            if ok {
+                self.sign_records.push(SignRecord {
+                    validator,
+                    height,
+                    block_ms,
+                    signed_ms: now,
+                    fee_lamports: fee,
+                });
+            }
+        }
+        for (tx_id, sequence, fee) in send_results {
+            let used_bundle = self.send_tx_inflight.remove(&tx_id).expect("tracked");
+            if let Some(sequence) = sequence {
+                self.send_records.push(SendRecord {
+                    sequence,
+                    sent_ms: now,
+                    finalised_ms: None,
+                    fee_lamports: fee,
+                    used_bundle,
+                });
+            }
+        }
+
+        // 3. React to guest events.
+        for event in guest_events {
+            match event {
+                GuestEvent::NewBlock { block } => {
+                    self.on_new_guest_block(block.height, block.timestamp_ms, now);
+                }
+                GuestEvent::FinalisedBlock { block, .. } => {
+                    for record in &mut self.send_records {
+                        if record.finalised_ms.is_none() && record.sent_ms <= block.timestamp_ms
+                        {
+                            record.finalised_ms = Some(now);
+                        }
+                    }
+                    self.submitted_signs.remove(&block.height);
+                }
+                _ => {}
+            }
+        }
+
+        // 4. Fire due scheduled actions.
+        let due: Vec<(u64, u64)> = self
+            .schedule
+            .range(..=(now, u64::MAX))
+            .map(|(k, _)| *k)
+            .collect();
+        for key in due {
+            let action = self.schedule.remove(&key).expect("just listed");
+            self.fire(action, now);
+        }
+
+        // 5. Workload arrivals.
+        if now >= self.next_outbound_ms {
+            self.submit_outbound_transfer(now);
+            let gap = Self::sample_exp(&mut self.rng, self.config.workload.outbound_mean_gap_ms);
+            self.next_outbound_ms = now + gap;
+        }
+        if now >= self.next_inbound_ms {
+            self.submit_inbound_transfer(now);
+            let gap = Self::sample_exp(&mut self.rng, self.config.workload.inbound_mean_gap_ms);
+            self.next_inbound_ms = now + gap;
+        }
+
+        // 6. Counterparty block production: commit when its state changed
+        // or once a minute to keep timestamps fresh.
+        if now >= self.next_cp_check_ms {
+            self.next_cp_check_ms = now + self.config.counterparty.block_interval_ms;
+            let root = self.cp.ibc().root();
+            if root != self.last_cp_header_root || now - self.last_cp_header_ms >= 60_000 {
+                let header = self.cp.produce_block(now);
+                self.last_cp_header_root = header.app_hash;
+                self.last_cp_header_ms = now;
+            }
+        }
+
+        // 7. The fisherman scans the gossip for votes that conflict with
+        // the canonical chain and reports them on-chain (§III-C).
+        self.run_fisherman(now);
+
+        // 8. Let the relayer catch up.
+        self.relayer.tick(&mut self.host, &mut self.cp, &self.contract);
+
+        // 9. Keep memory bounded on long runs.
+        self.host.prune_blocks(512);
+    }
+
+    fn schedule(&mut self, at_ms: u64, action: Action) {
+        let key = (at_ms, self.schedule_seq);
+        self.schedule_seq += 1;
+        self.schedule.insert(key, action);
+    }
+
+    /// On a fresh guest block: schedule each active validator's signature
+    /// per its latency profile (deferring through outages), plus the
+    /// safety-net check.
+    fn on_new_guest_block(&mut self, height: u64, block_ms: u64, now: u64) {
+        let epoch = self.contract.borrow().current_epoch().clone();
+        for (index, profile) in self.config.validators.clone().iter().enumerate() {
+            if !profile.active || !epoch.contains(&self.keypairs[index].public()) {
+                continue;
+            }
+            // Diligence models intermittent validator availability: the
+            // per-block probability of running the signer at all. Quorum
+            // normally rests on validator #1's dominant stake; the safety
+            // net below catches the rare shortfall.
+            if self.rng.next_f64() >= profile.diligence {
+                continue;
+            }
+            let latency = self.sample_lognormal(profile.latency_median_ms, profile.latency_sigma);
+            let mut fire_at = now + latency;
+            if let Some((start, end)) = profile.outage {
+                if fire_at >= start && fire_at < end {
+                    // The operator fixes the node and the backlog is signed.
+                    fire_at = end + latency;
+                }
+            }
+            self.schedule(fire_at, Action::Sign { validator: index, height, block_ms });
+        }
+        self.schedule(now + self.config.safety_net_ms, Action::SafetyNet { height, block_ms });
+
+        // A rogue validator gossips a conflicting vote for this height.
+        if let Some(rogue) = self.config.rogue {
+            if self.rng.next_f64() < rogue.equivocate_probability {
+                let keypair = &self.keypairs[rogue.validator];
+                let fork = sim_crypto::sha256([height as u8, 0xBA, 0xD0]);
+                self.gossip.push(SignedVote {
+                    height,
+                    block_hash: fork,
+                    pubkey: keypair.public(),
+                    signature: keypair.sign(&GuestBlock::signing_bytes_for(height, &fork)),
+                });
+            }
+        }
+    }
+
+    /// The fisherman: verifies each gossiped vote against the canonical
+    /// chain and submits valid conflict evidence on-chain.
+    fn run_fisherman(&mut self, _now: u64) {
+        if self.gossip.is_empty() {
+            return;
+        }
+        for vote in std::mem::take(&mut self.gossip) {
+            let conflicting = vote.verify()
+                && match self.contract.borrow().block_at(vote.height) {
+                    None => true,
+                    Some(block) => block.hash() != vote.block_hash,
+                };
+            if !conflicting {
+                continue;
+            }
+            let tx = Transaction::build_for(
+                &self.config.host_profile,
+                self.fisherman_payer,
+                1,
+                vec![Instruction::new(
+                    self.program_id,
+                    vec![Pubkey::from_label("guest-state")],
+                    GuestInstruction::Inline { op: GuestOp::ReportMisbehaviour { vote } }
+                        .encode(),
+                )],
+                FeePolicy::BaseOnly,
+            )
+            .expect("report fits a transaction");
+            self.host.submit(tx);
+            self.fisherman_reports += 1;
+        }
+    }
+
+    fn fire(&mut self, action: Action, now: u64) {
+        match action {
+            Action::Sign { validator, height, block_ms } => {
+                self.submit_sign_tx(validator, height, block_ms, now);
+            }
+            Action::SafetyNet { height, block_ms } => {
+                if self.contract.borrow().is_finalised(height) {
+                    return;
+                }
+                // Liveness backstop: every available validator signs now.
+                let profiles = self.config.validators.clone();
+                for (index, profile) in profiles.iter().enumerate() {
+                    if !profile.active {
+                        continue;
+                    }
+                    if let Some((start, end)) = profile.outage {
+                        if now >= start && now < end {
+                            continue;
+                        }
+                    }
+                    self.submit_sign_tx(index, height, block_ms, now);
+                }
+                // Re-arm in case even the backstop could not finalise
+                // (e.g. during the dominant validator's outage).
+                self.schedule(
+                    now + self.config.safety_net_ms * 4,
+                    Action::SafetyNet { height, block_ms },
+                );
+            }
+        }
+    }
+
+    fn submit_sign_tx(&mut self, validator: usize, height: u64, block_ms: u64, _now: u64) {
+        let submitted = self.submitted_signs.entry(height).or_default();
+        if !submitted.insert(validator) {
+            return;
+        }
+        let Some(block) = self.contract.borrow().block_at(height) else { return };
+        let keypair = &self.keypairs[validator];
+        let op = GuestOp::SignBlock {
+            height,
+            pubkey: keypair.public(),
+            signature: keypair.sign(&block.signing_bytes()),
+        };
+        let mut tx = Transaction::build_for(
+            &self.config.host_profile,
+            self.validator_payers[validator],
+            2, // fee payer + the native-verification signature
+            vec![Instruction::new(
+                self.program_id,
+                vec![Pubkey::from_label("guest-state")],
+                GuestInstruction::Inline { op }.encode(),
+            )],
+            self.config.validators[validator].fee_policy,
+        )
+        .expect("sign op fits a transaction");
+        tx.compute_budget = 200_000;
+        let id = self.host.submit(tx);
+        self.sign_tx_inflight.insert(id, (validator, height, block_ms));
+    }
+
+    /// A guest-side user sends tokens to the counterparty (Fig. 2 / Fig. 3
+    /// client perspective).
+    fn submit_outbound_transfer(&mut self, now: u64) {
+        self.outbound_counter += 1;
+        let use_bundle = self.rng.next_f64() < self.config.client_fees.bundle_fraction;
+        let policy = if use_bundle {
+            self.config.client_fees.bundle
+        } else {
+            self.config.client_fees.priority
+        };
+        let op = GuestOp::SendTransfer {
+            port: self.endpoints.port.clone(),
+            channel: self.endpoints.guest_channel.clone(),
+            denom: GUEST_DENOM.to_string(),
+            amount: 100 + (self.outbound_counter as u128 % 900),
+            sender: GUEST_USER.to_string(),
+            receiver: CP_USER.to_string(),
+            memo: format!("order/{:08}/routed-via=bmg-relay-1", self.outbound_counter),
+            timeout: Timeout::at_time(now + 24 * 60 * 60 * 1_000),
+        };
+        let tx = Transaction::build_for(
+            &self.config.host_profile,
+            self.client_payer,
+            1,
+            vec![Instruction::new(
+                self.program_id,
+                vec![Pubkey::from_label("guest-state")],
+                GuestInstruction::Inline { op }.encode(),
+            )],
+            policy,
+        )
+        .expect("transfer op fits a transaction");
+        let id = match policy {
+            FeePolicy::Bundle { .. } => self.host.submit_bundle(vec![tx])[0],
+            _ => self.host.submit(tx),
+        };
+        self.send_tx_inflight.insert(id, use_bundle);
+    }
+
+    /// Submits one outbound transfer with an explicit timeout — a test hook
+    /// for exercising the relayer's timeout path.
+    pub fn inject_outbound_transfer(&mut self, amount: u128, timeout_at_ms: u64) {
+        let op = GuestOp::SendTransfer {
+            port: self.endpoints.port.clone(),
+            channel: self.endpoints.guest_channel.clone(),
+            denom: GUEST_DENOM.to_string(),
+            amount,
+            sender: GUEST_USER.to_string(),
+            receiver: CP_USER.to_string(),
+            memo: String::new(),
+            timeout: Timeout::at_time(timeout_at_ms),
+        };
+        let tx = Transaction::build_for(
+            &self.config.host_profile,
+            self.client_payer,
+            1,
+            vec![Instruction::new(
+                self.program_id,
+                vec![Pubkey::from_label("guest-state")],
+                GuestInstruction::Inline { op }.encode(),
+            )],
+            FeePolicy::BaseOnly,
+        )
+        .expect("transfer op fits a transaction");
+        let id = self.host.submit(tx);
+        self.send_tx_inflight.insert(id, false);
+    }
+
+    /// A counterparty-side user sends tokens to the guest (drives the
+    /// Fig. 4 / Fig. 5 light-client updates and §V-A packet deliveries).
+    fn submit_inbound_transfer(&mut self, now: u64) {
+        let amount = 50 + (self.rng.next_below(500) as u128);
+        // A realistic memo (router metadata) sizes the packet like main-net
+        // traffic; packet size is what splits deliveries into 4–5 host
+        // transactions (§V-A). A small fraction of transfers carry longer
+        // multi-hop routes, tipping them into a fifth transaction — the
+        // paper's 1.8 % of 0.5 ¢ deliveries.
+        let mut memo =
+            format!("{{\"forward\":{{\"receiver\":\"{GUEST_USER}\",\"channel\":\"channel-17\"}}}}");
+        if self.rng.next_f64() < 0.03 {
+            let hops = 4 + self.rng.next_below(4);
+            for hop in 0..hops {
+                memo.push_str(&format!(
+                    ",next[{hop}]=transfer/channel-{}/{}",
+                    40 + hop,
+                    "cosmos1qypqxpq9qcrsszg2pvxq6rs0zqg3yyc5lzv7xu"
+                ));
+            }
+        }
+        let _ = ibc_core::ics20::send_transfer(
+            self.cp.ibc_mut(),
+            &self.endpoints.port,
+            &self.endpoints.cp_channel,
+            CP_DENOM,
+            amount,
+            CP_USER,
+            GUEST_USER,
+            &memo,
+            Timeout::at_time(now + 24 * 60 * 60 * 1_000),
+        );
+    }
+
+    fn sample_exp(rng: &mut SplitMix64, mean_ms: u64) -> u64 {
+        let u = rng.next_f64().max(1e-12);
+        (-(mean_ms as f64) * u.ln()) as u64 + 1
+    }
+
+    fn sample_lognormal(&mut self, median_ms: u64, sigma: f64) -> u64 {
+        // Box–Muller.
+        let u1 = self.rng.next_f64().max(1e-12);
+        let u2 = self.rng.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (median_ms as f64 * (sigma * z).exp()) as u64
+    }
+}
+
+impl core::fmt::Debug for Testnet {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Testnet")
+            .field("host_slot", &self.host.slot())
+            .field("guest_head", &self.contract.borrow().head_height())
+            .field("cp_height", &self.cp.height())
+            .field("sends", &self.send_records.len())
+            .finish()
+    }
+}

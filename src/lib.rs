@@ -1,0 +1,25 @@
+//! # Be My Guest — umbrella crate
+//!
+//! Re-exports the whole guest-blockchain reproduction (DSN 2025) behind one
+//! dependency. See the individual crates for details:
+//!
+//! * [`guest_chain`] — the guest blockchain itself (the paper's §III),
+//! * [`sealable_trie`] — provable storage with sealing (§III-A),
+//! * [`host_sim`] — the Solana-like host chain,
+//! * [`ibc_core`] — the IBC protocol stack,
+//! * [`counterparty_sim`] — the Picasso-like counterparty chain,
+//! * [`relayer`] — packet relaying and light-client updates (Alg. 2),
+//! * [`testnet`] — the discrete-event simulation harness,
+//! * [`sim_crypto`] — hashing and signatures.
+//!
+//! Runnable walk-throughs live in `examples/`; start with
+//! `cargo run --example quickstart`.
+
+pub use counterparty_sim;
+pub use guest_chain;
+pub use host_sim;
+pub use ibc_core;
+pub use relayer;
+pub use sealable_trie;
+pub use sim_crypto;
+pub use testnet;

@@ -1,0 +1,196 @@
+//! IBC multiplexes independent packet streams over one connection (§III-A:
+//! "Each stream, called a channel, is identified by a ⟨name, port⟩ pair").
+//! Two transfer channels between the same two chains must keep independent
+//! sequence numbers, escrows and voucher denominations.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use be_my_guest::counterparty_sim::{CounterpartyChain, CounterpartyConfig};
+use be_my_guest::guest_chain::{GuestConfig, GuestContract};
+use be_my_guest::ibc_core::channel::Timeout;
+use be_my_guest::ibc_core::handler::ProofData;
+use be_my_guest::ibc_core::ics20::TransferModule;
+use be_my_guest::ibc_core::types::ChannelId;
+use be_my_guest::ibc_core::{Ordering, ProvableStore};
+use be_my_guest::relayer::{connect_chains, finalise_guest_block};
+use be_my_guest::sim_crypto::schnorr::Keypair;
+
+#[test]
+fn two_channels_multiplex_independently() {
+    let keypairs: Vec<Keypair> = (0..4).map(Keypair::from_seed).collect();
+    let validators = keypairs.iter().map(|kp| (kp.public(), 100)).collect();
+    let contract = Rc::new(RefCell::new(GuestContract::new(
+        GuestConfig::fast(),
+        validators,
+        0,
+        0,
+    )));
+    let mut cp = CounterpartyChain::new(CounterpartyConfig::default(), 61);
+    let mut clock = 0u64;
+    let mut height = 0u64;
+    let endpoints =
+        connect_chains(&contract, &mut cp, &keypairs, &mut clock, &mut height).unwrap();
+
+    // Open a SECOND channel over the same connection, by hand.
+    let guest_chan2 = contract
+        .borrow_mut()
+        .chan_open_init(
+            endpoints.port.clone(),
+            endpoints.guest_connection.clone(),
+            endpoints.port.clone(),
+            Ordering::Unordered,
+            "ics20-1",
+        )
+        .unwrap();
+    clock += 1_000;
+    height += 2;
+    let block = finalise_guest_block(
+        &contract,
+        &mut cp,
+        &endpoints.guest_client_on_cp,
+        &keypairs,
+        clock,
+        height,
+    )
+    .unwrap();
+    let chan_key = be_my_guest::ibc_core::path::channel(&endpoints.port, &guest_chan2);
+    let proof_init = ProofData {
+        height: block.height,
+        bytes: ProvableStore::prove(contract.borrow().ibc().store(), &chan_key).unwrap(),
+    };
+    let cp_chan2 = cp
+        .ibc_mut()
+        .chan_open_try(
+            endpoints.port.clone(),
+            endpoints.cp_connection.clone(),
+            endpoints.port.clone(),
+            guest_chan2.clone(),
+            Ordering::Unordered,
+            "ics20-1",
+            proof_init,
+        )
+        .unwrap();
+    clock += 1_000;
+    let header = cp.produce_block(clock).clone();
+    contract
+        .borrow_mut()
+        .update_counterparty_client(&endpoints.cp_client_on_guest, &header.encode(), clock)
+        .unwrap();
+    let chan2_key = be_my_guest::ibc_core::path::channel(&endpoints.port, &cp_chan2);
+    let proof_try = ProofData {
+        height: header.height,
+        bytes: ProvableStore::prove(cp.ibc().store(), &chan2_key).unwrap(),
+    };
+    contract
+        .borrow_mut()
+        .ibc_mut()
+        .chan_open_ack(&endpoints.port, &guest_chan2, cp_chan2.clone(), proof_try)
+        .unwrap();
+    clock += 1_000;
+    height += 2;
+    let block = finalise_guest_block(
+        &contract,
+        &mut cp,
+        &endpoints.guest_client_on_cp,
+        &keypairs,
+        clock,
+        height,
+    )
+    .unwrap();
+    let proof_ack = ProofData {
+        height: block.height,
+        bytes: ProvableStore::prove(contract.borrow().ibc().store(), &chan_key).unwrap(),
+    };
+    cp.ibc_mut().chan_open_confirm(&endpoints.port, &cp_chan2, proof_ack).unwrap();
+    assert_ne!(guest_chan2, endpoints.guest_channel);
+    assert_eq!(guest_chan2, ChannelId::new(1));
+
+    // Fund and send over BOTH channels.
+    {
+        let mut guard = contract.borrow_mut();
+        let module = guard.ibc_mut().module_mut(&endpoints.port).unwrap();
+        module
+            .as_any_mut()
+            .downcast_mut::<TransferModule>()
+            .unwrap()
+            .mint("alice", "wsol", 1_000);
+    }
+    let fee = contract.borrow().config().send_fee_lamports;
+    let p1 = contract
+        .borrow_mut()
+        .send_transfer(
+            &endpoints.port,
+            &endpoints.guest_channel,
+            "wsol",
+            100,
+            "alice",
+            "bob",
+            "",
+            Timeout::NEVER,
+            fee,
+        )
+        .unwrap();
+    let p2 = contract
+        .borrow_mut()
+        .send_transfer(
+            &endpoints.port, &guest_chan2, "wsol", 200, "alice", "bob", "", Timeout::NEVER,
+            fee,
+        )
+        .unwrap();
+
+    // Sequences are tracked per channel: both start at 1.
+    assert_eq!(p1.sequence, 1);
+    assert_eq!(p2.sequence, 1);
+    assert_eq!(p1.source_channel, endpoints.guest_channel);
+    assert_eq!(p2.source_channel, guest_chan2);
+
+    // Escrows are per channel.
+    {
+        let mut guard = contract.borrow_mut();
+        let module = guard
+            .ibc_mut()
+            .module_mut(&endpoints.port)
+            .unwrap()
+            .as_any_mut()
+            .downcast_mut::<TransferModule>()
+            .unwrap();
+        assert_eq!(module.balance(&format!("escrow:{}", endpoints.guest_channel), "wsol"), 100);
+        assert_eq!(module.balance(&format!("escrow:{guest_chan2}"), "wsol"), 200);
+    }
+
+    // Deliver both; the vouchers carry per-channel denominations.
+    clock += 1_000;
+    height += 2;
+    let block = finalise_guest_block(
+        &contract,
+        &mut cp,
+        &endpoints.guest_client_on_cp,
+        &keypairs,
+        clock,
+        height,
+    )
+    .unwrap();
+    for packet in [&p1, &p2] {
+        let key = be_my_guest::ibc_core::path::packet_commitment(
+            &packet.source_port,
+            &packet.source_channel,
+            packet.sequence,
+        );
+        let proof = ProofData {
+            height: block.height,
+            bytes: ProvableStore::prove(contract.borrow().ibc().store(), &key).unwrap(),
+        };
+        let now = cp.host_time();
+        cp.ibc_mut().recv_packet(packet, proof, now).unwrap();
+    }
+    let module = cp
+        .ibc_mut()
+        .module_mut(&endpoints.port)
+        .unwrap()
+        .as_any_mut()
+        .downcast_mut::<TransferModule>()
+        .unwrap();
+    assert_eq!(module.balance("bob", &format!("transfer/{}/wsol", endpoints.cp_channel)), 100);
+    assert_eq!(module.balance("bob", &format!("transfer/{cp_chan2}/wsol")), 200);
+}

@@ -1,0 +1,88 @@
+//! §VI-D end-to-end: the same guest deployment running on NEAR-like and
+//! TRON-like hosts. Everything works identically at the protocol level —
+//! only the transaction counts and timings change.
+
+use be_my_guest::host_sim::HostProfile;
+use be_my_guest::relayer::JobKind;
+use be_my_guest::testnet::{Testnet, TestnetConfig};
+
+fn run_on(profile: HostProfile, seed: u64) -> Testnet {
+    run_on_with_validators(profile, seed, 12)
+}
+
+fn run_on_with_validators(profile: HostProfile, seed: u64, cp_validators: usize) -> Testnet {
+    let mut config = TestnetConfig::small(seed);
+    config.host_profile = profile;
+    config.counterparty.num_validators = cp_validators;
+    config.workload.inbound_mean_gap_ms = 60_000;
+    config.workload.outbound_mean_gap_ms = 90_000;
+    let mut net = Testnet::build(config);
+    net.run_for(15 * 60 * 1_000);
+    net
+}
+
+#[test]
+fn guest_runs_end_to_end_on_a_near_like_host() {
+    let net = run_on(HostProfile::NEAR_LIKE, 81);
+
+    // Transfers flow both ways.
+    assert!(net.send_records.iter().any(|r| r.finalised_ms.is_some()));
+    let updates: Vec<usize> = net
+        .relayer
+        .records()
+        .iter()
+        .filter(|r| r.kind == JobKind::ClientUpdate)
+        .map(|r| r.tx_count)
+        .collect();
+    assert!(!updates.is_empty());
+    // The whole light-client update fits a couple of transactions here —
+    // the §VI-D contrast with Solana's ~36.
+    let max = updates.iter().copied().max().unwrap();
+    assert!(max <= 3, "NEAR-like updates are near-atomic, got {max} txs");
+    assert_eq!(net.relayer.failed_jobs(), 0);
+}
+
+#[test]
+fn guest_runs_end_to_end_on_a_tron_like_host() {
+    let net = run_on(HostProfile::TRON_LIKE, 82);
+    assert!(net.send_records.iter().any(|r| r.finalised_ms.is_some()));
+    let updates: Vec<usize> = net
+        .relayer
+        .records()
+        .iter()
+        .filter(|r| r.kind == JobKind::ClientUpdate)
+        .map(|r| r.tx_count)
+        .collect();
+    assert!(!updates.is_empty());
+    // One chunk (1 MiB fits everything) + a few signature-verification
+    // transactions under the tighter energy budget.
+    let mean = updates.iter().sum::<usize>() as f64 / updates.len() as f64;
+    assert!(
+        mean > 1.5 && mean < 10.0,
+        "TRON-like updates sit between NEAR and Solana, got mean {mean}"
+    );
+    assert_eq!(net.relayer.failed_jobs(), 0);
+}
+
+#[test]
+fn solana_remains_the_expensive_host() {
+    // A quick three-way comparison on identical workloads.
+    let count_mean = |net: &Testnet| {
+        let v: Vec<usize> = net
+            .relayer
+            .records()
+            .iter()
+            .filter(|r| r.kind == JobKind::ClientUpdate)
+            .map(|r| r.tx_count)
+            .collect();
+        v.iter().sum::<usize>() as f64 / v.len().max(1) as f64
+    };
+    // A realistic counterparty (124 validators, ~105-signature commits).
+    let solana = count_mean(&run_on_with_validators(HostProfile::SOLANA, 83, 124));
+    let near = count_mean(&run_on_with_validators(HostProfile::NEAR_LIKE, 83, 124));
+    assert!(
+        solana > 5.0 * near,
+        "Solana updates ({solana}) dwarf NEAR-like ({near})"
+    );
+    assert!(solana > 30.0, "paper-scale Solana updates, got {solana}");
+}

@@ -1,0 +1,83 @@
+//! The full timeout path through the deployment: a transfer expires before
+//! delivery, the relayer proves non-receipt on the counterparty, and the
+//! guest refunds the escrow.
+
+use be_my_guest::ibc_core::ics20::TransferModule;
+use be_my_guest::relayer::JobKind;
+use be_my_guest::testnet::{Testnet, TestnetConfig, GUEST_DENOM, GUEST_USER};
+
+#[test]
+fn expired_transfer_is_refunded_through_the_relayer() {
+    let mut config = TestnetConfig::small(31);
+    // No background traffic; we drive one doomed transfer by hand.
+    config.workload.outbound_mean_gap_ms = u64::MAX / 4;
+    config.workload.inbound_mean_gap_ms = u64::MAX / 4;
+    let mut net = Testnet::build(config);
+
+    let port = net.endpoints().port.clone();
+    let guest_channel = net.endpoints().guest_channel.clone();
+    let balance_of = |net: &mut Testnet, account: &str| {
+        let contract = net.contract.clone();
+        let mut guard = contract.borrow_mut();
+        guard
+            .ibc_mut()
+            .module_mut(&port)
+            .unwrap()
+            .as_any_mut()
+            .downcast_mut::<TransferModule>()
+            .unwrap()
+            .balance(account, GUEST_DENOM)
+    };
+    let initial = balance_of(&mut net, GUEST_USER);
+
+    // Expires almost immediately: the guest block + counterparty clock will
+    // be far past it by the time the relayer can try to deliver.
+    let timeout_at = net.host.now_ms() + 1_500;
+    net.inject_outbound_transfer(777, timeout_at);
+
+    // Run long enough for: send → block → finalise → delivery attempt
+    // (rejected as expired) → non-receipt proof → TimeoutPacket job.
+    net.run_for(4 * 60 * 1_000);
+
+    let timeouts = net
+        .relayer
+        .records()
+        .iter()
+        .filter(|r| r.kind == JobKind::TimeoutPacket)
+        .count();
+    assert_eq!(timeouts, 1, "the relayer ran exactly one timeout job");
+
+    // Escrow refunded: sender balance restored, escrow empty.
+    assert_eq!(balance_of(&mut net, GUEST_USER), initial);
+    assert_eq!(balance_of(&mut net, &format!("escrow:{guest_channel}")), 0);
+
+    // The commitment was cleared by the timeout.
+    let key = be_my_guest::ibc_core::path::packet_commitment(
+        &net.endpoints().port,
+        &net.endpoints().guest_channel,
+        1,
+    );
+    let contract = net.contract.borrow();
+    assert!(matches!(
+        be_my_guest::ibc_core::ProvableStore::get(contract.ibc().store(), &key),
+        Ok(None)
+    ));
+}
+
+#[test]
+fn live_transfers_are_not_timed_out() {
+    let mut config = TestnetConfig::small(32);
+    config.workload.outbound_mean_gap_ms = 60_000;
+    config.workload.inbound_mean_gap_ms = u64::MAX / 4;
+    let mut net = Testnet::build(config);
+    net.run_for(10 * 60 * 1_000);
+
+    let timeouts = net
+        .relayer
+        .records()
+        .iter()
+        .filter(|r| r.kind == JobKind::TimeoutPacket)
+        .count();
+    assert_eq!(timeouts, 0, "healthy transfers never time out");
+    assert!(net.send_records.iter().any(|r| r.finalised_ms.is_some()));
+}
