@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint, format.
+#
+# The workspace vendors every external dependency under vendor/, so all
+# steps run with --offline and never touch a registry.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --offline --workspace
+
+echo "==> cargo test"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI green."

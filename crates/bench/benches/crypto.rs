@@ -24,10 +24,8 @@ fn bench_sign_verify(c: &mut Criterion) {
 
     // A counterparty commit: ~100 signatures verified by the guest.
     let keypairs: Vec<Keypair> = (0..100).map(Keypair::from_seed).collect();
-    let items: Vec<_> = keypairs
-        .iter()
-        .map(|kp| (kp.public(), message.as_slice(), kp.sign(message)))
-        .collect();
+    let items: Vec<_> =
+        keypairs.iter().map(|kp| (kp.public(), message.as_slice(), kp.sign(message))).collect();
     c.bench_function("crypto/batch_verify_100", |b| {
         b.iter(|| assert!(batch_verify(&items)));
     });

@@ -84,24 +84,29 @@ fn connected() -> (IbcHandler<Trie>, IbcHandler<Trie>, ibc_core::ChannelId) {
     let h = sync_a(&a, &mut b, &mut ha);
     let proof = ProofData {
         height: h,
-        bytes: ProvableStore::prove(a.store(), &ibc_core::path::channel(&port, &chan_a))
-            .unwrap(),
+        bytes: ProvableStore::prove(a.store(), &ibc_core::path::channel(&port, &chan_a)).unwrap(),
     };
     let chan_b = b
-        .chan_open_try(port.clone(), conn_b, port.clone(), chan_a.clone(), Ordering::Unordered, "echo-1", proof)
+        .chan_open_try(
+            port.clone(),
+            conn_b,
+            port.clone(),
+            chan_a.clone(),
+            Ordering::Unordered,
+            "echo-1",
+            proof,
+        )
         .unwrap();
     let h = sync_b(&b, &mut a, &mut hb);
     let proof = ProofData {
         height: h,
-        bytes: ProvableStore::prove(b.store(), &ibc_core::path::channel(&port, &chan_b))
-            .unwrap(),
+        bytes: ProvableStore::prove(b.store(), &ibc_core::path::channel(&port, &chan_b)).unwrap(),
     };
     a.chan_open_ack(&port, &chan_a, chan_b.clone(), proof).unwrap();
     let h = sync_a(&a, &mut b, &mut ha);
     let proof = ProofData {
         height: h,
-        bytes: ProvableStore::prove(a.store(), &ibc_core::path::channel(&port, &chan_a))
-            .unwrap(),
+        bytes: ProvableStore::prove(a.store(), &ibc_core::path::channel(&port, &chan_a)).unwrap(),
     };
     b.chan_open_confirm(&port, &chan_b, proof).unwrap();
     (a, b, chan_a)
@@ -122,9 +127,7 @@ fn bench_packet_path(c: &mut Criterion) {
             connected,
             |(mut a, mut b2, chan_a)| {
                 let port = PortId::named("echo");
-                let packet = a
-                    .send_packet(&port, &chan_a, vec![0u8; 200], Timeout::NEVER)
-                    .unwrap();
+                let packet = a.send_packet(&port, &chan_a, vec![0u8; 200], Timeout::NEVER).unwrap();
                 // Sync A's root to B at a fresh mock height.
                 let header = serde_json::to_vec(&MockHeader {
                     height: 100,

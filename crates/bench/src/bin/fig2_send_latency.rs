@@ -34,8 +34,7 @@ fn main() {
     // CDF series for plotting.
     println!();
     println!("  cdf series (seconds, cumulative fraction):");
-    for (value, fraction) in testnet::cdf(latencies).iter().step_by(latencies.len().max(20) / 20)
-    {
+    for (value, fraction) in testnet::cdf(latencies).iter().step_by(latencies.len().max(20) / 20) {
         println!("    {value:>10.2}  {fraction:.3}");
     }
 }

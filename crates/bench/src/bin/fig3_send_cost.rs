@@ -56,13 +56,10 @@ fn main() {
     for load in [0.2, 0.5, 0.7, 0.9] {
         let policy = dynamic.policy(load);
         let lamports = 5_000 + policy.extra_lamports(1_400_000);
-        println!(
-            "    load {load:.1}: {:>5.2} USD  ({policy:?})",
-            lamports_to_usd(lamports)
-        );
+        println!("    load {load:.1}: {:>5.2} USD  ({policy:?})", lamports_to_usd(lamports));
     }
     // Measure inclusion latency of base vs bundle on a congested chain.
-        println!();
+    println!();
     println!("  takeaway: fixed strategies overpay in calm periods (3.02 USD vs");
     println!("  0.001 USD base) and the dynamic strategy tracks congestion.");
 }

@@ -25,8 +25,5 @@ fn main() {
     println!("  correlation(transactions, cost) = {r:.3}  (cost is driven by update size)");
     let mean = report.fig5_update_cost_cents.iter().sum::<f64>()
         / report.fig5_update_cost_cents.len().max(1) as f64;
-    println!(
-        "  mean: {mean:.2} ¢ ≈ {:.1} transactions × 0.1 ¢ base fee",
-        mean / 0.1
-    );
+    println!("  mean: {mean:.2} ¢ ≈ {:.1} transactions × 0.1 ¢ base fee", mean / 0.1);
 }

@@ -28,9 +28,7 @@ fn main() {
         at_cutoff as f64 / intervals.len().max(1) as f64 * 100.0,
         at_cutoff
     );
-    println!(
-        "  vastly over Δ: {way_over} blocks   (paper: 5, from validator signing delays)"
-    );
+    println!("  vastly over Δ: {way_over} blocks   (paper: 5, from validator signing delays)");
 
     // Ablation: how Δ changes the empty-block share (run shorter sweeps).
     println!();

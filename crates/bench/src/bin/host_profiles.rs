@@ -22,11 +22,7 @@ fn typical_update_op(signatures: usize) -> (GuestOp, usize) {
     // in its JSON wire form (see counterparty-sim).
     let header = "h".repeat(60 + signatures * 88);
     (
-        GuestOp::UpdateClient {
-            client: ClientId::new(0),
-            header,
-            num_signatures: signatures,
-        },
+        GuestOp::UpdateClient { client: ClientId::new(0), header, num_signatures: signatures },
         signatures,
     )
 }
@@ -36,8 +32,7 @@ fn typical_recv_op() -> GuestOp {
     let mut trie = Trie::new();
     for i in 0..512u64 {
         trie.insert(
-            format!("commitments/ports/transfer/channels/channel-0/sequences/{i:020}")
-                .as_bytes(),
+            format!("commitments/ports/transfer/channels/channel-0/sequences/{i:020}").as_bytes(),
             &[7u8; 32],
         )
         .unwrap();

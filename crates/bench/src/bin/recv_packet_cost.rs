@@ -38,10 +38,7 @@ fn main() {
         }
     }
     let total = (cost_04 + cost_05 + other).max(1);
-    println!(
-        "  ≈0.4 ¢: {:>5.1} %   (paper: 98.2 %)",
-        cost_04 as f64 / total as f64 * 100.0
-    );
+    println!("  ≈0.4 ¢: {:>5.1} %   (paper: 98.2 %)", cost_04 as f64 / total as f64 * 100.0);
     println!(
         "  ≈0.5 ¢: {:>5.1} %   (paper: the remaining 1.8 %)",
         cost_05 as f64 / total as f64 * 100.0

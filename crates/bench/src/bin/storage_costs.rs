@@ -17,9 +17,7 @@ fn main() {
     println!("§V-D — storage costs");
     println!("====================");
     let deposit = rent::deposit_usd(MAX_ACCOUNT_SIZE);
-    println!(
-        "  10 MiB account rent-exemption deposit: {deposit:.0} USD   (paper: 14.6 k USD)"
-    );
+    println!("  10 MiB account rent-exemption deposit: {deposit:.0} USD   (paper: 14.6 k USD)");
     // A key-value pair in the trie costs roughly a leaf (~100 B with a
     // 32-byte value) plus its share of interior nodes.
     let mut trie = Trie::new();
@@ -49,10 +47,7 @@ fn main() {
         }
         let s = sealed.stats().byte_count;
         let u = unsealed.stats().byte_count;
-        println!(
-            "    {rounds:>8} {s:>14} {u:>14} {:>7.0}x",
-            u as f64 / s.max(1) as f64
-        );
+        println!("    {rounds:>8} {s:>14} {u:>14} {:>7.0}x", u as f64 / s.max(1) as f64);
     }
 
     // End-of-run accounting from the deployment simulation.
@@ -62,7 +57,10 @@ fn main() {
     println!("    resident trie bytes:  {:>10}", report.storage.trie_bytes);
     println!("    peak trie bytes:      {:>10}", report.storage.trie_peak_bytes);
     println!("    nodes reclaimed:      {:>10}", report.storage.sealed_reclaimed);
-    println!("    full state size:      {:>10} B  (of {} B allocated)", report.storage.state_bytes, MAX_ACCOUNT_SIZE);
+    println!(
+        "    full state size:      {:>10} B  (of {} B allocated)",
+        report.storage.state_bytes, MAX_ACCOUNT_SIZE
+    );
     println!(
         "    headroom: state is {:.2} % of the account — \"sufficient in the long term\"",
         report.storage.state_bytes as f64 / MAX_ACCOUNT_SIZE as f64 * 100.0

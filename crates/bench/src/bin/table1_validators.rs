@@ -45,11 +45,7 @@ fn main() {
         "  cost–latency correlation: {:.3}   (paper: 0.007 — paying more does not buy latency)",
         report.cost_latency_correlation
     );
-    let max_latency = report
-        .table1
-        .iter()
-        .map(|r| r.latency.max)
-        .fold(0.0f64, f64::max);
+    let max_latency = report.table1.iter().map(|r| r.latency.max).fold(0.0f64, f64::max);
     println!(
         "  longest signing delay: {max_latency:.1} s   (paper: 35 957.6 s — validator #1's outage)"
     );

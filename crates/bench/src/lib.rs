@@ -52,10 +52,8 @@ impl RunOptions {
 }
 
 fn cache_path(options: &RunOptions) -> PathBuf {
-    std::env::temp_dir().join(format!(
-        "be-my-guest-report-{}d-seed{}.json",
-        options.days, options.seed
-    ))
+    std::env::temp_dir()
+        .join(format!("be-my-guest-report-{}d-seed{}.json", options.days, options.seed))
 }
 
 /// Runs (or loads from cache) the paper-configuration deployment and
@@ -70,10 +68,7 @@ pub fn paper_report(options: &RunOptions) -> EvaluationReport {
             }
         }
     }
-    eprintln!(
-        "simulating {} days of the paper deployment (seed {})…",
-        options.days, options.seed
-    );
+    eprintln!("simulating {} days of the paper deployment (seed {})…", options.days, options.seed);
     let mut config = TestnetConfig::paper();
     config.seed = options.seed;
     let started = std::time::Instant::now();

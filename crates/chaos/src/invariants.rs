@@ -1,0 +1,366 @@
+//! Cross-chain safety invariants, audited while faults are injected.
+//!
+//! The [`InvariantSuite`] watches the guest event stream and, at every
+//! finalised guest block, audits global properties that must hold no
+//! matter which faults are active. Violations are recorded as structured
+//! [`InvariantViolation`]s naming the faults active at detection time, so
+//! a chaos run's report reads "conservation broke *while* the counterfeit
+//! mint was active" rather than a bare assertion failure.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use counterparty_sim::CounterpartyChain;
+use guest_chain::{GuestContract, GuestEvent};
+use ibc_core::channel::Timeout;
+use ibc_core::ics20::TransferModule;
+use ibc_core::{ChannelId, ClientId, IbcEvent, PortId};
+use serde::{Deserialize, Serialize};
+use sim_crypto::Hash;
+
+/// The audited properties.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InvariantKind {
+    /// Vouchers minted on one side never exceed the escrow backing them on
+    /// the other (ICS-20 conservation; equality holds in quiescence).
+    Ics20Conservation,
+    /// A guest height is finalised at most once.
+    NoDoubleFinalisation,
+    /// Light-client verified heights never move backwards, on either side.
+    LightClientMonotonic,
+    /// Active stake + pending withdrawals + cumulative slashed amounts
+    /// equal the initially bonded total.
+    StakeConservation,
+    /// No outbound packet commitment lingers unresolved long past its
+    /// timeout (the relayer must deliver, acknowledge or time it out).
+    NoOrphanedPacket,
+}
+
+impl InvariantKind {
+    /// A short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InvariantKind::Ics20Conservation => "ics20-conservation",
+            InvariantKind::NoDoubleFinalisation => "no-double-finalisation",
+            InvariantKind::LightClientMonotonic => "light-client-monotonic",
+            InvariantKind::StakeConservation => "stake-conservation",
+            InvariantKind::NoOrphanedPacket => "no-orphaned-packet",
+        }
+    }
+}
+
+/// One detected violation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InvariantViolation {
+    /// Simulated time of detection.
+    pub at_ms: u64,
+    /// The broken invariant.
+    pub invariant: InvariantKind,
+    /// Human-readable specifics (amounts, heights, sequences).
+    pub details: String,
+    /// Labels of the faults active at detection time ([`crate::Fault::label`]).
+    pub faults: Vec<String>,
+}
+
+/// Tuning knobs of the suite.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct InvariantConfig {
+    /// Grace period after a packet's timeout expires before an unresolved
+    /// commitment counts as orphaned. Covers the relayer's worst-case
+    /// timeout-proof latency (a chunked job under congestion).
+    pub orphan_slack_ms: u64,
+}
+
+impl Default for InvariantConfig {
+    fn default() -> Self {
+        Self { orphan_slack_ms: 2 * 60 * 60 * 1_000 }
+    }
+}
+
+/// Everything a [`InvariantSuite::check`] needs to see, borrowed from the
+/// harness for the duration of one audit.
+pub struct CheckContext<'a> {
+    /// Simulated time.
+    pub now_ms: u64,
+    /// Labels of currently active faults (violation attribution).
+    pub faults: &'a [String],
+    /// The guest contract.
+    pub contract: &'a GuestContract,
+    /// The counterparty chain.
+    pub cp: &'a CounterpartyChain,
+    /// The transfer port (both sides bind the same port id).
+    pub port: PortId,
+    /// The guest end of the transfer channel.
+    pub guest_channel: ChannelId,
+    /// The counterparty end of the transfer channel.
+    pub cp_channel: ChannelId,
+    /// The client tracking the guest, hosted on the counterparty.
+    pub guest_client_on_cp: ClientId,
+    /// The client tracking the counterparty, hosted on the guest.
+    pub cp_client_on_guest: ClientId,
+    /// The guest-native denomination (escrowed on the guest side).
+    pub guest_denom: &'a str,
+    /// The counterparty-native denomination (escrowed on the cp side).
+    pub cp_denom: &'a str,
+}
+
+/// State of one tracked outbound packet commitment.
+#[derive(Clone, Copy, Debug)]
+struct TrackedPacket {
+    timeout: Timeout,
+    /// When the suite first saw the timeout expired with the commitment
+    /// still unresolved.
+    expired_since_ms: Option<u64>,
+}
+
+/// The invariant checker (see module docs).
+#[derive(Debug, Default)]
+pub struct InvariantSuite {
+    config: InvariantConfig,
+    /// Finalised height → block hash.
+    finalised: BTreeMap<u64, Hash>,
+    /// Highest verified height seen per client side.
+    guest_client_height: u64,
+    cp_client_height: u64,
+    /// Outbound guest packets awaiting ack or timeout, by sequence.
+    outbound: BTreeMap<u64, TrackedPacket>,
+    /// Initially bonded stake (captured at the first audit).
+    stake_baseline: Option<u64>,
+    /// Cumulative slashed stake, from `ValidatorSlashed` events.
+    slashed_total: u64,
+    /// Dedup keys of already-reported violations, so a persistent breach
+    /// is recorded once rather than at every finalised block.
+    reported: BTreeSet<String>,
+    violations: Vec<InvariantViolation>,
+}
+
+impl InvariantSuite {
+    /// A suite with the given configuration.
+    pub fn new(config: InvariantConfig) -> Self {
+        Self { config, ..Self::default() }
+    }
+
+    /// The violations detected so far.
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
+    }
+
+    /// Feeds one guest event into the suite's bookkeeping. Call for every
+    /// event the harness drains, in order.
+    pub fn observe_guest_event(
+        &mut self,
+        now_ms: u64,
+        faults: &[String],
+        event: &GuestEvent,
+        guest_channel: &ChannelId,
+    ) {
+        match event {
+            GuestEvent::FinalisedBlock { block, .. } => {
+                let hash = block.hash();
+                if let Some(previous) = self.finalised.get(&block.height) {
+                    let conflicting = *previous != hash;
+                    self.record(
+                        now_ms,
+                        faults,
+                        InvariantKind::NoDoubleFinalisation,
+                        format!("double-final:{}", block.height),
+                        if conflicting {
+                            format!(
+                                "height {} finalised twice with conflicting hashes",
+                                block.height
+                            )
+                        } else {
+                            format!("height {} finalised twice", block.height)
+                        },
+                    );
+                } else {
+                    self.finalised.insert(block.height, hash);
+                }
+            }
+            GuestEvent::ValidatorSlashed { amount, .. } => {
+                self.slashed_total += *amount;
+            }
+            GuestEvent::Ibc(IbcEvent::SendPacket { packet })
+                if packet.source_channel == *guest_channel =>
+            {
+                self.outbound.insert(
+                    packet.sequence,
+                    TrackedPacket { timeout: packet.timeout, expired_since_ms: None },
+                );
+            }
+            GuestEvent::Ibc(IbcEvent::AcknowledgePacket { packet })
+            | GuestEvent::Ibc(IbcEvent::TimeoutPacket { packet })
+                if packet.source_channel == *guest_channel =>
+            {
+                self.outbound.remove(&packet.sequence);
+            }
+            _ => {}
+        }
+    }
+
+    /// Runs the full audit. The harness calls this at every finalised
+    /// guest block.
+    pub fn check(&mut self, ctx: &CheckContext<'_>) {
+        self.check_conservation(ctx);
+        self.check_client_monotonicity(ctx);
+        self.check_stake_conservation(ctx);
+        self.check_orphaned_packets(ctx);
+    }
+
+    fn record(
+        &mut self,
+        at_ms: u64,
+        faults: &[String],
+        invariant: InvariantKind,
+        dedup_key: String,
+        details: String,
+    ) {
+        if !self.reported.insert(dedup_key) {
+            return;
+        }
+        self.violations.push(InvariantViolation {
+            at_ms,
+            invariant,
+            details,
+            faults: faults.to_vec(),
+        });
+    }
+
+    /// Vouchers in circulation on one side must be fully backed by escrow
+    /// on the other. While transfers are in flight (escrowed but not yet
+    /// minted, or burned but not yet released) the voucher total runs
+    /// *below* the escrow, so the audit checks `vouchers ≤ escrow` — any
+    /// excess means value was created out of thin air.
+    fn check_conservation(&mut self, ctx: &CheckContext<'_>) {
+        let Some(guest_bank) = transfer_module(ctx.contract.ibc().module(&ctx.port)) else {
+            return;
+        };
+        let Some(cp_bank) = transfer_module(ctx.cp.ibc().module(&ctx.port)) else {
+            return;
+        };
+
+        // Guest-native tokens: escrowed on the guest, vouchers on the cp.
+        let outbound_voucher = format!("{}/{}/{}", ctx.port, ctx.cp_channel, ctx.guest_denom);
+        let escrowed =
+            guest_bank.balance(&format!("escrow:{}", ctx.guest_channel), ctx.guest_denom);
+        let minted = cp_bank.total_supply(&outbound_voucher);
+        if minted > escrowed {
+            self.record(
+                ctx.now_ms,
+                ctx.faults,
+                InvariantKind::Ics20Conservation,
+                format!("conservation:{}", ctx.guest_denom),
+                format!(
+                    "{minted} {outbound_voucher} vouchers on the counterparty exceed the \
+                     {escrowed} {} escrowed on the guest",
+                    ctx.guest_denom
+                ),
+            );
+        }
+
+        // Counterparty-native tokens: escrowed on the cp, vouchers on the
+        // guest.
+        let inbound_voucher = format!("{}/{}/{}", ctx.port, ctx.guest_channel, ctx.cp_denom);
+        let escrowed = cp_bank.balance(&format!("escrow:{}", ctx.cp_channel), ctx.cp_denom);
+        let minted = guest_bank.total_supply(&inbound_voucher);
+        if minted > escrowed {
+            self.record(
+                ctx.now_ms,
+                ctx.faults,
+                InvariantKind::Ics20Conservation,
+                format!("conservation:{}", ctx.cp_denom),
+                format!(
+                    "{minted} {inbound_voucher} vouchers on the guest exceed the \
+                     {escrowed} {} escrowed on the counterparty",
+                    ctx.cp_denom
+                ),
+            );
+        }
+    }
+
+    fn check_client_monotonicity(&mut self, ctx: &CheckContext<'_>) {
+        if let Ok(client) = ctx.cp.ibc().client(&ctx.guest_client_on_cp) {
+            let height = client.latest_height();
+            if height < self.guest_client_height {
+                self.record(
+                    ctx.now_ms,
+                    ctx.faults,
+                    InvariantKind::LightClientMonotonic,
+                    format!("monotonic:guest-on-cp:{height}"),
+                    format!(
+                        "guest client on counterparty regressed from {} to {height}",
+                        self.guest_client_height
+                    ),
+                );
+            }
+            self.guest_client_height = self.guest_client_height.max(height);
+        }
+        if let Ok(client) = ctx.contract.ibc().client(&ctx.cp_client_on_guest) {
+            let height = client.latest_height();
+            if height < self.cp_client_height {
+                self.record(
+                    ctx.now_ms,
+                    ctx.faults,
+                    InvariantKind::LightClientMonotonic,
+                    format!("monotonic:cp-on-guest:{height}"),
+                    format!(
+                        "counterparty client on guest regressed from {} to {height}",
+                        self.cp_client_height
+                    ),
+                );
+            }
+            self.cp_client_height = self.cp_client_height.max(height);
+        }
+    }
+
+    /// Slashing burns stake, so the bonded total only moves to pending
+    /// withdrawals or the slash counter — never appears or disappears.
+    fn check_stake_conservation(&mut self, ctx: &CheckContext<'_>) {
+        let staking = ctx.contract.staking();
+        let accounted = staking.total_stake() + staking.pending_total() + self.slashed_total;
+        let baseline = *self.stake_baseline.get_or_insert(accounted);
+        if accounted != baseline {
+            self.record(
+                ctx.now_ms,
+                ctx.faults,
+                InvariantKind::StakeConservation,
+                format!("stake:{accounted}"),
+                format!("active + pending + slashed = {accounted}, initially bonded {baseline}"),
+            );
+        }
+    }
+
+    fn check_orphaned_packets(&mut self, ctx: &CheckContext<'_>) {
+        let dest_height = ctx.cp.height();
+        let dest_time = ctx.cp.now_ms();
+        let slack = self.config.orphan_slack_ms;
+        let mut orphaned: Vec<(u64, u64)> = Vec::new();
+        for (sequence, tracked) in self.outbound.iter_mut() {
+            if !tracked.timeout.has_expired(dest_height, dest_time) {
+                continue;
+            }
+            let since = *tracked.expired_since_ms.get_or_insert(ctx.now_ms);
+            if ctx.now_ms.saturating_sub(since) > slack {
+                orphaned.push((*sequence, since));
+            }
+        }
+        for (sequence, since) in orphaned {
+            self.record(
+                ctx.now_ms,
+                ctx.faults,
+                InvariantKind::NoOrphanedPacket,
+                format!("orphan:{sequence}"),
+                format!(
+                    "outbound packet #{sequence} still committed {} ms after its timeout expired",
+                    ctx.now_ms.saturating_sub(since)
+                ),
+            );
+        }
+    }
+}
+
+/// Downcasts a bound IBC module to the ICS-20 transfer application.
+fn transfer_module<'a>(
+    module: Option<&'a (dyn ibc_core::Module + 'a)>,
+) -> Option<&'a TransferModule> {
+    module?.as_any().downcast_ref::<TransferModule>()
+}

@@ -75,10 +75,9 @@ impl core::fmt::Display for GuestError {
             Self::RateLimited { limit } => {
                 write!(f, "light-client update rate limit ({limit}/h) exceeded")
             }
-            Self::NotAbandoned { idle_ms, required_ms } => write!(
-                f,
-                "chain is not abandoned: idle {idle_ms} ms of required {required_ms} ms"
-            ),
+            Self::NotAbandoned { idle_ms, required_ms } => {
+                write!(f, "chain is not abandoned: idle {idle_ms} ms of required {required_ms} ms")
+            }
             Self::Ibc(err) => write!(f, "ibc: {err}"),
             Self::Stake(err) => write!(f, "staking: {err}"),
         }
@@ -144,10 +143,10 @@ pub struct BlockHistory {
 
 impl SelfHistory for BlockHistory {
     fn self_consensus_at(&self, height: u64) -> Option<ConsensusState> {
-        self.blocks.borrow().get(height as usize).map(|b| ConsensusState {
-            root: b.state_root,
-            timestamp_ms: b.timestamp_ms,
-        })
+        self.blocks
+            .borrow()
+            .get(height as usize)
+            .map(|b| ConsensusState { root: b.state_root, timestamp_ms: b.timestamp_ms })
     }
 }
 
@@ -339,9 +338,8 @@ impl GuestContract {
         let next_epoch = if host_height - self.epoch_start_host_height
             >= self.config.min_epoch_length_host_blocks
         {
-            let next = self
-                .staking
-                .select_validators(self.config.max_validators, self.config.min_stake);
+            let next =
+                self.staking.select_validators(self.config.max_validators, self.config.min_stake);
             // Never rotate into an empty set: that would halt the chain.
             (!next.is_empty()).then_some(next)
         } else {
@@ -380,9 +378,7 @@ impl GuestContract {
         pubkey: PublicKey,
         signature: Signature,
     ) -> Result<bool, GuestError> {
-        let block = self
-            .block_at(height)
-            .ok_or(GuestError::UnknownHeight(height))?;
+        let block = self.block_at(height).ok_or(GuestError::UnknownHeight(height))?;
         // The epoch that must sign this block is the one recorded in it;
         // only the *current* epoch's blocks are still signable (older ones
         // are final by construction).
@@ -404,18 +400,13 @@ impl GuestContract {
         if self.finalised[height as usize] {
             return Ok(false);
         }
-        let votes: u64 = signatures
-            .keys()
-            .filter_map(|pk| self.current_epoch.stake_of(pk))
-            .sum();
+        let votes: u64 = signatures.keys().filter_map(|pk| self.current_epoch.stake_of(pk)).sum();
         if votes < self.current_epoch.quorum_stake() {
             return Ok(false);
         }
         self.finalised[height as usize] = true;
-        let mut sorted: Vec<(PublicKey, Signature)> = self.signatures[height as usize]
-            .iter()
-            .map(|(pk, sig)| (*pk, *sig))
-            .collect();
+        let mut sorted: Vec<(PublicKey, Signature)> =
+            self.signatures[height as usize].iter().map(|(pk, sig)| (*pk, *sig)).collect();
         sorted.sort_by_key(|(pk, _)| *pk);
 
         // Distribute the reward pot among this block's signers, pro rata
@@ -423,12 +414,9 @@ impl GuestContract {
         // full implementation of all the incentives, Validators will
         // engage in the system").
         if self.config.reward_share_percent > 0 && self.undistributed_fees > 0 {
-            let pot =
-                self.undistributed_fees * u64::from(self.config.reward_share_percent) / 100;
-            let signer_stake: u64 = sorted
-                .iter()
-                .filter_map(|(pk, _)| self.current_epoch.stake_of(pk))
-                .sum();
+            let pot = self.undistributed_fees * u64::from(self.config.reward_share_percent) / 100;
+            let signer_stake: u64 =
+                sorted.iter().filter_map(|(pk, _)| self.current_epoch.stake_of(pk)).sum();
             let mut paid = 0;
             for (pubkey, _) in &sorted {
                 let Some(stake) = self.current_epoch.stake_of(pubkey) else { continue };
@@ -445,10 +433,7 @@ impl GuestContract {
             }
         }
 
-        self.events.push(GuestEvent::FinalisedBlock {
-            block: block.clone(),
-            signatures: sorted,
-        });
+        self.events.push(GuestEvent::FinalisedBlock { block: block.clone(), signatures: sorted });
 
         if let Some(next) = block.next_epoch {
             self.current_epoch = next;
@@ -492,9 +477,7 @@ impl GuestContract {
         fee_paid: u64,
     ) -> Result<Packet, GuestError> {
         if fee_paid < self.config.send_fee_lamports {
-            return Err(GuestError::InsufficientFee {
-                required: self.config.send_fee_lamports,
-            });
+            return Err(GuestError::InsufficientFee { required: self.config.send_fee_lamports });
         }
         self.fees_collected += fee_paid;
         self.undistributed_fees += fee_paid;
@@ -522,9 +505,7 @@ impl GuestContract {
         fee_paid: u64,
     ) -> Result<Packet, GuestError> {
         if fee_paid < self.config.send_fee_lamports {
-            return Err(GuestError::InsufficientFee {
-                required: self.config.send_fee_lamports,
-            });
+            return Err(GuestError::InsufficientFee { required: self.config.send_fee_lamports });
         }
         self.fees_collected += fee_paid;
         self.undistributed_fees += fee_paid;
@@ -628,10 +609,7 @@ impl GuestContract {
         }
         let height = self.ibc.update_client(client_id, header)?;
         if limit > 0 {
-            self.client_update_times
-                .entry(client_id.clone())
-                .or_default()
-                .push(now_ms);
+            self.client_update_times.entry(client_id.clone()).or_default().push(now_ms);
         }
         Ok(height)
     }
@@ -649,10 +627,7 @@ impl GuestContract {
         let timeout = self.config.abandonment_timeout_ms;
         let idle_ms = now_ms.saturating_sub(self.head().timestamp_ms);
         if timeout == 0 || idle_ms < timeout {
-            return Err(GuestError::NotAbandoned {
-                idle_ms,
-                required_ms: timeout,
-            });
+            return Err(GuestError::NotAbandoned { idle_ms, required_ms: timeout });
         }
         self.destroyed = true;
         Ok(self.staking.release_all())
@@ -681,9 +656,13 @@ impl GuestContract {
         ordering: Ordering,
         version: &str,
     ) -> Result<ChannelId, GuestError> {
-        Ok(self
-            .ibc
-            .chan_open_init(port_id, connection_id, counterparty_port_id, ordering, version)?)
+        Ok(self.ibc.chan_open_init(
+            port_id,
+            connection_id,
+            counterparty_port_id,
+            ordering,
+            version,
+        )?)
     }
 
     // ------------------------------------------------------------------
@@ -709,8 +688,8 @@ impl GuestContract {
         if !vote.verify() {
             return Err(GuestError::InvalidEvidence("signature does not verify".into()));
         }
-        let is_validator = self.current_epoch.contains(&vote.pubkey)
-            || self.staking.stake_of(&vote.pubkey) > 0;
+        let is_validator =
+            self.current_epoch.contains(&vote.pubkey) || self.staking.stake_of(&vote.pubkey) > 0;
         if !is_validator {
             return Err(GuestError::InvalidEvidence("not a validator".into()));
         }
@@ -719,15 +698,10 @@ impl GuestContract {
             Some(block) => block.hash() != vote.block_hash, // Cases 1 & 3.
         };
         if !misbehaved {
-            return Err(GuestError::InvalidEvidence(
-                "vote matches the canonical block".into(),
-            ));
+            return Err(GuestError::InvalidEvidence("vote matches the canonical block".into()));
         }
-        let amount = if self.config.slashing_enabled {
-            self.staking.slash(&vote.pubkey)
-        } else {
-            0
-        };
+        let amount =
+            if self.config.slashing_enabled { self.staking.slash(&vote.pubkey) } else { 0 };
         self.events.push(GuestEvent::ValidatorSlashed { pubkey: vote.pubkey, amount });
         Ok(amount)
     }
@@ -751,8 +725,7 @@ impl GuestContract {
     ///
     /// [`GuestError::Stake`] without an active stake.
     pub fn request_unstake(&mut self, pubkey: &PublicKey, now_ms: u64) -> Result<(), GuestError> {
-        self.staking
-            .request_unstake(pubkey, now_ms, self.config.stake_hold_ms)?;
+        self.staking.request_unstake(pubkey, now_ms, self.config.stake_hold_ms)?;
         Ok(())
     }
 
@@ -825,9 +798,7 @@ mod tests {
     }
 
     fn sign_block(contract: &mut GuestContract, block: &GuestBlock, kp: &Keypair) -> bool {
-        contract
-            .sign(block.height, kp.public(), kp.sign(&block.signing_bytes()))
-            .unwrap()
+        contract.sign(block.height, kp.public(), kp.sign(&block.signing_bytes())).unwrap()
     }
 
     /// Drives a block to finality with the first three validators.
@@ -860,10 +831,7 @@ mod tests {
     fn generate_requires_finalised_head() {
         let (mut contract, keypairs) = contract();
         let b1 = contract.generate_block(10_000, 10).unwrap();
-        assert_eq!(
-            contract.generate_block(20_000, 20),
-            Err(GuestError::HeadNotFinalised)
-        );
+        assert_eq!(contract.generate_block(20_000, 20), Err(GuestError::HeadNotFinalised));
         finalise(&mut contract, &b1, &keypairs);
         assert!(contract.generate_block(20_000, 20).is_ok());
     }
@@ -959,9 +927,7 @@ mod tests {
         // > 2/3 of 1400.
         let b2 = contract.generate_block(25_000, 200).unwrap();
         assert_eq!(b2.epoch_id, contract.current_epoch().id());
-        assert!(contract
-            .sign(b2.height, whale.public(), whale.sign(&b2.signing_bytes()))
-            .unwrap());
+        assert!(contract.sign(b2.height, whale.public(), whale.sign(&b2.signing_bytes())).unwrap());
     }
 
     #[test]
@@ -969,13 +935,7 @@ mod tests {
         let (mut contract, _) = contract();
         // No channel yet: we exercise only the fee gate here.
         let err = contract
-            .send_packet(
-                &PortId::transfer(),
-                &ChannelId::new(0),
-                b"p".to_vec(),
-                Timeout::NEVER,
-                10,
-            )
+            .send_packet(&PortId::transfer(), &ChannelId::new(0), b"p".to_vec(), Timeout::NEVER, 10)
             .unwrap_err();
         assert_eq!(err, GuestError::InsufficientFee { required: 50_000 });
         assert_eq!(contract.fees_collected(), 0);
@@ -1026,10 +986,7 @@ mod tests {
             pubkey: honest.public(),
             signature: honest.sign(&block.signing_bytes()),
         };
-        assert!(matches!(
-            contract.report_misbehaviour(&vote),
-            Err(GuestError::InvalidEvidence(_))
-        ));
+        assert!(matches!(contract.report_misbehaviour(&vote), Err(GuestError::InvalidEvidence(_))));
         assert_eq!(contract.staking().stake_of(&honest.public()), 100);
     }
 
@@ -1073,9 +1030,8 @@ mod tests {
         let mut config = GuestConfig::fast();
         config.max_client_updates_per_hour = 3;
         let mut contract = GuestContract::new(config, validators, 0, 0);
-        let client = contract.create_counterparty_client(Box::new(
-            ibc_core::client::MockClient::new(),
-        ));
+        let client =
+            contract.create_counterparty_client(Box::new(ibc_core::client::MockClient::new()));
         let header = |height: u64| {
             serde_json::to_vec(&ibc_core::client::MockHeader {
                 height,
@@ -1085,9 +1041,7 @@ mod tests {
             .unwrap()
         };
         for height in 1..=3 {
-            contract
-                .update_counterparty_client(&client, &header(height), height * 1_000)
-                .unwrap();
+            contract.update_counterparty_client(&client, &header(height), height * 1_000).unwrap();
         }
         // Fourth update inside the hour is rejected…
         assert_eq!(
@@ -1095,9 +1049,7 @@ mod tests {
             Err(GuestError::RateLimited { limit: 3 })
         );
         // …but allowed once the window slides past the first update.
-        contract
-            .update_counterparty_client(&client, &header(4), 3_601_001)
-            .unwrap();
+        contract.update_counterparty_client(&client, &header(4), 3_601_001).unwrap();
     }
 
     #[test]
@@ -1106,10 +1058,7 @@ mod tests {
         // One validator has a pending withdrawal — it must be released too.
         contract.request_unstake(&keypairs[3].public(), 0).unwrap();
         // Fast config: 5-minute abandonment timeout; genesis at t=0.
-        assert!(matches!(
-            contract.self_destruct(100_000),
-            Err(GuestError::NotAbandoned { .. })
-        ));
+        assert!(matches!(contract.self_destruct(100_000), Err(GuestError::NotAbandoned { .. })));
         let released = contract.self_destruct(301_000).unwrap();
         assert!(contract.is_destroyed());
         assert_eq!(released.len(), 4, "all four stakes released");

@@ -88,10 +88,7 @@ impl Epoch {
 
     /// The stake of `pubkey`, or `None` if not a validator this epoch.
     pub fn stake_of(&self, pubkey: &PublicKey) -> Option<u64> {
-        self.validators
-            .iter()
-            .find(|v| v.pubkey == *pubkey)
-            .map(|v| v.stake)
+        self.validators.iter().find(|v| v.pubkey == *pubkey).map(|v| v.stake)
     }
 
     /// Whether `pubkey` is in the validator set.

@@ -256,10 +256,7 @@ mod tests {
     fn setup() -> (Vec<Keypair>, Epoch, GuestBlock, GuestLightClient) {
         let keypairs: Vec<Keypair> = (0..4).map(Keypair::from_seed).collect();
         let epoch = Epoch::new(
-            keypairs
-                .iter()
-                .map(|kp| Validator { pubkey: kp.public(), stake: 100 })
-                .collect(),
+            keypairs.iter().map(|kp| Validator { pubkey: kp.public(), stake: 100 }).collect(),
         );
         let genesis = GuestBlock::genesis(&epoch, sha256(b"genesis-root"), 0, 0);
         let client = GuestLightClient::from_genesis(&genesis, epoch.clone());
@@ -282,10 +279,7 @@ mod tests {
         let signing = block.signing_bytes();
         GuestHeader {
             block,
-            signatures: keypairs
-                .iter()
-                .map(|kp| (kp.public(), kp.sign(&signing)))
-                .collect(),
+            signatures: keypairs.iter().map(|kp| (kp.public(), kp.sign(&signing))).collect(),
         }
     }
 
@@ -345,10 +339,8 @@ mod tests {
     fn epoch_rotation_followed() {
         let (keypairs, epoch, genesis, mut client) = setup();
         let new_validator = Keypair::from_seed(7);
-        let next_epoch = Epoch::new(vec![Validator {
-            pubkey: new_validator.public(),
-            stake: 1_000,
-        }]);
+        let next_epoch =
+            Epoch::new(vec![Validator { pubkey: new_validator.public(), stake: 1_000 }]);
         let mut boundary = make_block(&genesis, &epoch, b"r1", 1_000);
         boundary.next_epoch = Some(next_epoch.clone());
         client.update(&sign_header(boundary.clone(), &keypairs[..3]).encode()).unwrap();
@@ -369,9 +361,7 @@ mod tests {
             epoch_id: epoch.id(),
             next_epoch: None,
         };
-        assert!(client
-            .update(&sign_header(stale_epoch_block, &keypairs).encode())
-            .is_err());
+        assert!(client.update(&sign_header(stale_epoch_block, &keypairs).encode()).is_err());
     }
 
     #[test]

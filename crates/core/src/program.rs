@@ -268,9 +268,7 @@ impl GuestInstruction {
             }
             other => {
                 let mut out = vec![1u8];
-                out.extend_from_slice(
-                    &serde_json::to_vec(other).expect("instruction serializes"),
-                );
+                out.extend_from_slice(&serde_json::to_vec(other).expect("instruction serializes"));
                 out
             }
         }
@@ -366,8 +364,7 @@ impl GuestProgram {
                 ctx.transfer(&ctx.payer.clone(), &self.vault, fee)?;
                 contract
                     .send_transfer(
-                        &port, &channel, &denom, amount, &sender, &receiver, &memo, timeout,
-                        fee,
+                        &port, &channel, &denom, amount, &sender, &receiver, &memo, timeout, fee,
                     )
                     .map_err(|e| Self::reject(e.to_string()))?;
             }
@@ -404,11 +401,7 @@ impl GuestProgram {
                 ctx.alloc(packet.payload.len() + proof.encoded_len())?;
                 let bytes = ibc_core::store::encode_proof(&proof);
                 contract
-                    .receive_packet(
-                        &packet,
-                        ProofData { height: proof_height, bytes },
-                        ctx.now_ms,
-                    )
+                    .receive_packet(&packet, ProofData { height: proof_height, bytes }, ctx.now_ms)
                     .map_err(|e| Self::reject(e.to_string()))?;
             }
             GuestOp::AckPacket { packet, ack, proof_height, proof } => {
@@ -416,11 +409,7 @@ impl GuestProgram {
                 ctx.consume(costs::TRIE_NODE_OP * 20)?;
                 let bytes = ibc_core::store::encode_proof(&proof);
                 contract
-                    .acknowledge_packet(
-                        &packet,
-                        &ack,
-                        ProofData { height: proof_height, bytes },
-                    )
+                    .acknowledge_packet(&packet, &ack, ProofData { height: proof_height, bytes })
                     .map_err(|e| Self::reject(e.to_string()))?;
             }
             GuestOp::TimeoutPacket { packet, proof_height, proof } => {
@@ -434,9 +423,7 @@ impl GuestProgram {
             GuestOp::Stake { pubkey, amount } => {
                 ctx.consume(5_000)?;
                 ctx.transfer(&ctx.payer.clone(), &self.vault, amount)?;
-                contract
-                    .stake(pubkey, amount)
-                    .map_err(|e| Self::reject(e.to_string()))?;
+                contract.stake(pubkey, amount).map_err(|e| Self::reject(e.to_string()))?;
             }
             GuestOp::RequestUnstake { pubkey } => {
                 ctx.consume(5_000)?;
@@ -454,22 +441,18 @@ impl GuestProgram {
             GuestOp::ReportMisbehaviour { vote } => {
                 // One in-contract signature check to validate the evidence.
                 ctx.consume(costs::SIGNATURE_VERIFY)?;
-                contract
-                    .report_misbehaviour(&vote)
-                    .map_err(|e| Self::reject(e.to_string()))?;
+                contract.report_misbehaviour(&vote).map_err(|e| Self::reject(e.to_string()))?;
             }
             GuestOp::ClaimRewards { pubkey } => {
                 ctx.consume(5_000)?;
-                let amount = contract
-                    .claim_rewards(&pubkey)
-                    .map_err(|e| Self::reject(e.to_string()))?;
+                let amount =
+                    contract.claim_rewards(&pubkey).map_err(|e| Self::reject(e.to_string()))?;
                 ctx.transfer(&self.vault, &ctx.payer.clone(), amount)?;
             }
             GuestOp::SelfDestruct => {
                 ctx.consume(10_000)?;
-                let released = contract
-                    .self_destruct(ctx.now_ms)
-                    .map_err(|e| Self::reject(e.to_string()))?;
+                let released =
+                    contract.self_destruct(ctx.now_ms).map_err(|e| Self::reject(e.to_string()))?;
                 let total: u64 = released.iter().map(|(_, amount)| amount).sum();
                 // Funds leave the vault; per-validator payout accounts are
                 // modelled as a single release to the payer (the caller
@@ -501,10 +484,7 @@ impl GuestProgram {
                 let bytes = ibc_core::store::encode_proof(&proof);
                 contract
                     .ibc_mut()
-                    .conn_open_confirm(
-                        &connection,
-                        ProofData { height: proof_height, bytes },
-                    )
+                    .conn_open_confirm(&connection, ProofData { height: proof_height, bytes })
                     .map_err(|e| Self::reject(e.to_string()))?;
             }
             GuestOp::ChanOpenInit { port, connection, counterparty_port, ordering, version } => {
@@ -679,7 +659,8 @@ mod tests {
         for _ in 0..30 {
             fixture.chain.advance_slot();
         }
-        let outcome = submit(&mut fixture, &GuestInstruction::Inline { op: GuestOp::GenerateBlock });
+        let outcome =
+            submit(&mut fixture, &GuestInstruction::Inline { op: GuestOp::GenerateBlock });
         assert!(outcome.is_ok(), "{:?}", outcome.result);
         assert!(outcome.events.iter().any(|e| e.name == "NewBlock"));
 
@@ -743,10 +724,8 @@ mod tests {
     #[test]
     fn staged_update_requires_verified_signatures() {
         let mut fixture = setup();
-        let client_id = fixture
-            .contract
-            .borrow_mut()
-            .create_counterparty_client(Box::new(MockClient::new()));
+        let client_id =
+            fixture.contract.borrow_mut().create_counterparty_client(Box::new(MockClient::new()));
         let header = serde_json::to_string(&MockHeader {
             height: 5,
             root: sim_crypto::sha256(b"root"),
@@ -771,8 +750,7 @@ mod tests {
         assert!(matches!(outcome.result, Err(ProgramError::Rejected(_))));
 
         // 8 signatures at 320k CU each cannot fit one transaction…
-        let outcome =
-            submit(&mut fixture, &GuestInstruction::VerifySigs { buffer: 1, count: 8 });
+        let outcome = submit(&mut fixture, &GuestInstruction::VerifySigs { buffer: 1, count: 8 });
         assert!(matches!(outcome.result, Err(ProgramError::ComputeBudget(_))));
 
         // …so they are burned 4 at a time, then the update applies.

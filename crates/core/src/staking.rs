@@ -136,9 +136,7 @@ impl StakingPool {
             .ok_or(StakeError::NothingPending)?;
         let withdrawal = self.pending[position];
         if now_ms < withdrawal.available_at_ms {
-            return Err(StakeError::StillHeld {
-                available_at_ms: withdrawal.available_at_ms,
-            });
+            return Err(StakeError::StillHeld { available_at_ms: withdrawal.available_at_ms });
         }
         self.pending.remove(position);
         Ok(withdrawal.amount)
@@ -169,11 +167,16 @@ impl StakingPool {
         self.stakes.values().sum()
     }
 
+    /// Total stake locked in pending withdrawals (still slashable, so a
+    /// stake-conservation audit counts it alongside [`Self::total_stake`]).
+    pub fn pending_total(&self) -> u64 {
+        self.pending.iter().map(|w| w.amount).sum()
+    }
+
     /// Releases every active stake and pending withdrawal (the §VI-A
     /// self-destruction path), emptying the pool.
     pub fn release_all(&mut self) -> Vec<(PublicKey, u64)> {
-        let mut released: Vec<(PublicKey, u64)> =
-            self.stakes.drain().collect();
+        let mut released: Vec<(PublicKey, u64)> = self.stakes.drain().collect();
         for withdrawal in self.pending.drain(..) {
             released.push((withdrawal.pubkey, withdrawal.amount));
         }
@@ -217,10 +220,7 @@ mod tests {
     #[test]
     fn minimum_enforced() {
         let mut pool = StakingPool::new();
-        assert_eq!(
-            pool.stake(key(1), 10, 50),
-            Err(StakeError::BelowMinimum { minimum: 50 })
-        );
+        assert_eq!(pool.stake(key(1), 10, 50), Err(StakeError::BelowMinimum { minimum: 50 }));
         assert_eq!(pool.stake_of(&key(1)), 0);
     }
 

@@ -8,11 +8,7 @@ use sim_crypto::schnorr::Keypair;
 
 fn contract_with_stakes(stakes: &[u64]) -> (GuestContract, Vec<Keypair>) {
     let keypairs: Vec<Keypair> = (0..stakes.len() as u64).map(Keypair::from_seed).collect();
-    let genesis = keypairs
-        .iter()
-        .zip(stakes)
-        .map(|(kp, stake)| (kp.public(), *stake))
-        .collect();
+    let genesis = keypairs.iter().zip(stakes).map(|(kp, stake)| (kp.public(), *stake)).collect();
     let mut config = GuestConfig::fast();
     config.max_validators = stakes.len().max(1);
     (GuestContract::new(config, genesis, 0, 0), keypairs)

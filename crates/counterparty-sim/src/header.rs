@@ -80,10 +80,7 @@ impl CpHeader {
     /// chunking, so it intentionally models the binary encoding a real
     /// deployment would use, not the JSON test encoding.
     pub fn wire_size(&self) -> usize {
-        let rotation = self
-            .next_validators
-            .as_ref()
-            .map_or(0, |set| set.len() * 40);
+        let rotation = self.next_validators.as_ref().map_or(0, |set| set.len() * 40);
         8 + 32 + 8 + 4 + rotation + self.signatures.len() * 96
     }
 }

@@ -216,12 +216,9 @@ mod tests {
     #[test]
     fn tampered_rotation_rejected() {
         let (keypairs, mut client) = setup(4);
-        let honest_next: Vec<_> = (10..14u64)
-            .map(|s| (Keypair::from_seed(s).public(), 10))
-            .collect();
-        let attacker: Vec<_> = (90..94u64)
-            .map(|s| (Keypair::from_seed(s).public(), 10))
-            .collect();
+        let honest_next: Vec<_> =
+            (10..14u64).map(|s| (Keypair::from_seed(s).public(), 10)).collect();
+        let attacker: Vec<_> = (90..94u64).map(|s| (Keypair::from_seed(s).public(), 10)).collect();
         // Signatures cover the honest set; the header carries the
         // attacker's — must fail verification.
         let app_hash = sha256(b"rot");

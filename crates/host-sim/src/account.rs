@@ -102,10 +102,9 @@ impl core::fmt::Display for AccountError {
             Self::TooLarge(size) => {
                 write!(f, "account size {size} exceeds maximum {MAX_ACCOUNT_SIZE}")
             }
-            Self::NotRentExempt { required, available } => write!(
-                f,
-                "not rent exempt: requires {required} lamports, has {available}"
-            ),
+            Self::NotRentExempt { required, available } => {
+                write!(f, "not rent exempt: requires {required} lamports, has {available}")
+            }
             Self::InsufficientFunds => f.write_str("insufficient funds"),
             Self::Unknown(key) => write!(f, "unknown account {key}"),
         }

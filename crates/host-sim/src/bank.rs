@@ -53,10 +53,7 @@ impl Bank {
     /// Creates `key` out of thin air with `lamports` (test/bootstrap
     /// faucet).
     pub fn airdrop(&mut self, key: Pubkey, lamports: u64) {
-        self.accounts
-            .entry(key)
-            .or_insert_with(|| Account::wallet(0))
-            .lamports += lamports;
+        self.accounts.entry(key).or_insert_with(|| Account::wallet(0)).lamports += lamports;
     }
 
     /// Registers an executable program under `program_id`.
@@ -89,19 +86,15 @@ impl Bank {
         let current = self.accounts.get(&key).map_or(0, |a| a.lamports);
         let delta = required.saturating_sub(current);
         {
-            let payer_account = self
-                .accounts
-                .get_mut(payer)
-                .ok_or(AccountError::Unknown(*payer))?;
+            let payer_account =
+                self.accounts.get_mut(payer).ok_or(AccountError::Unknown(*payer))?;
             if payer_account.lamports < delta {
                 return Err(AccountError::InsufficientFunds);
             }
             payer_account.lamports -= delta;
         }
-        let account = self
-            .accounts
-            .entry(key)
-            .or_insert_with(|| Account::data_account(owner, 0, 0));
+        let account =
+            self.accounts.entry(key).or_insert_with(|| Account::data_account(owner, 0, 0));
         account.owner = owner;
         account.data_len = data_len;
         account.lamports += delta;
@@ -129,10 +122,7 @@ impl Bank {
         if new_len == 0 && account.lamports == 0 {
             self.accounts.remove(key);
         }
-        self.accounts
-            .entry(*recipient)
-            .or_insert_with(|| Account::wallet(0))
-            .lamports += refund;
+        self.accounts.entry(*recipient).or_insert_with(|| Account::wallet(0)).lamports += refund;
         Ok(refund)
     }
 
@@ -162,7 +152,12 @@ impl Bank {
     /// Solana). Instructions run in order; the first failure aborts the
     /// rest. Programs follow a check-then-commit discipline, so an aborted
     /// instruction has made no state changes (see `DESIGN.md`).
-    pub fn execute_transaction(&mut self, tx: &Transaction, slot: Slot, now_ms: TimeMs) -> TxOutcome {
+    pub fn execute_transaction(
+        &mut self,
+        tx: &Transaction,
+        slot: Slot,
+        now_ms: TimeMs,
+    ) -> TxOutcome {
         let fee = tx.fee_lamports();
         let payer_balance = self.balance(&tx.payer);
         if payer_balance < fee {
@@ -174,10 +169,7 @@ impl Bank {
                 logs: vec!["fee payment failed".into()],
             };
         }
-        self.accounts
-            .get_mut(&tx.payer)
-            .expect("payer checked above")
-            .lamports -= fee;
+        self.accounts.get_mut(&tx.payer).expect("payer checked above").lamports -= fee;
         self.fee_sink_lamports += fee;
 
         let mut compute = ComputeMeter::new(tx.compute_budget);
@@ -189,8 +181,7 @@ impl Bank {
         for instruction in &tx.instructions {
             // Dispatch overhead + data deserialization cost.
             if let Err(err) = compute.consume(
-                costs::INSTRUCTION_BASE
-                    + costs::DATA_PER_BYTE * instruction.data.len() as u64,
+                costs::INSTRUCTION_BASE + costs::DATA_PER_BYTE * instruction.data.len() as u64,
             ) {
                 result = Err(ProgramError::ComputeBudget(err));
                 break;
@@ -231,13 +222,7 @@ impl Bank {
         if result.is_err() {
             events.clear();
         }
-        TxOutcome {
-            result,
-            fee_lamports: fee,
-            compute_units: compute.used(),
-            events,
-            logs,
-        }
+        TxOutcome { result, fee_lamports: fee, compute_units: compute.used(), events, logs }
     }
 }
 

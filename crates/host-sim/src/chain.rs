@@ -76,6 +76,26 @@ impl CongestionModel {
     }
 }
 
+/// An externally injected disturbance of block production, used by fault
+/// drills (the `chaos` crate) to model congestion storms and
+/// inclusion-failure bursts.
+///
+/// The default value is inert: block production with a default disturbance
+/// is bit-for-bit identical to one without.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Disturbance {
+    /// Overrides the sampled background load while set (a congestion
+    /// storm). The congestion model is still sampled — so the main RNG
+    /// stream stays aligned with an undisturbed run — and its result is
+    /// then replaced.
+    pub forced_load: Option<f64>,
+    /// Per-transaction probability that a selected transaction fails to
+    /// make it into the block and is silently returned to the mempool (an
+    /// inclusion-failure burst). Sampled from a dedicated RNG so that a
+    /// zero probability leaves the run untouched.
+    pub inclusion_failure_probability: f64,
+}
+
 /// A produced block.
 #[derive(Debug)]
 pub struct Block {
@@ -123,6 +143,10 @@ pub struct HostChain {
     rng: SplitMix64,
     congestion: CongestionModel,
     busy: bool,
+    disturbance: Disturbance,
+    /// Dedicated RNG for disturbance sampling, so fault injection never
+    /// perturbs the main simulation stream.
+    chaos_rng: SplitMix64,
     /// Recent blocks (kept for event polling by off-chain actors).
     blocks: Vec<Block>,
 }
@@ -144,8 +168,21 @@ impl HostChain {
             rng: SplitMix64::new(seed),
             busy: false,
             congestion,
+            disturbance: Disturbance::default(),
+            chaos_rng: SplitMix64::new(seed ^ 0xD157_0000_0000_0001),
             blocks: Vec::new(),
         }
+    }
+
+    /// Installs (or, with the default value, clears) a production
+    /// disturbance. Takes effect from the next slot.
+    pub fn set_disturbance(&mut self, disturbance: Disturbance) {
+        self.disturbance = disturbance;
+    }
+
+    /// The currently installed disturbance.
+    pub fn disturbance(&self) -> Disturbance {
+        self.disturbance
     }
 
     /// The chain's runtime profile.
@@ -198,8 +235,13 @@ impl HostChain {
         let mut busy = self.busy;
         let load = self.congestion.sample(&mut self.rng, &mut busy);
         self.busy = busy;
-        let capacity =
-            ((1.0 - load) * self.profile.slot_compute_capacity as f64) as u64;
+        // A forced load replaces the sample *after* drawing it, keeping the
+        // main RNG stream aligned with an undisturbed run.
+        let load = match self.disturbance.forced_load {
+            Some(forced) => forced.clamp(0.0, 0.98),
+            None => load,
+        };
+        let capacity = ((1.0 - load) * self.profile.slot_compute_capacity as f64) as u64;
         // Priority-fee market floor rises sharply once the network is busy
         // (capped below the ~5 lamport/CU price that §V-A clients pay, so a
         // well-funded priority transaction always lands within a few slots).
@@ -215,11 +257,25 @@ impl HostChain {
         let mut transactions = Vec::with_capacity(selected.len());
         let mut events = Vec::new();
         for pending in selected {
+            if self.disturbance.inclusion_failure_probability > 0.0
+                && self.chaos_rng.next_f64() < self.disturbance.inclusion_failure_probability
+            {
+                // The transaction misses the block (leader drop, expired
+                // blockhash) and waits for a later slot.
+                self.mempool.requeue(pending);
+                continue;
+            }
             let outcome = self.bank.execute_transaction(&pending.tx, self.slot, self.time_ms);
             events.extend(outcome.events.iter().cloned());
             transactions.push((pending.id, outcome));
         }
-        self.blocks.push(Block { slot: self.slot, time_ms: self.time_ms, load, transactions, events });
+        self.blocks.push(Block {
+            slot: self.slot,
+            time_ms: self.time_ms,
+            load,
+            transactions,
+            events,
+        });
         self.blocks.last().expect("just pushed")
     }
 

@@ -69,7 +69,7 @@ pub mod types;
 
 pub use account::{rent, Account, AccountError};
 pub use bank::{Bank, TxOutcome};
-pub use chain::{Block, CongestionModel, HostChain, SLOT_CU_CAPACITY};
+pub use chain::{Block, CongestionModel, Disturbance, HostChain, SLOT_CU_CAPACITY};
 pub use event::Event;
 pub use program::{InvokeContext, Program, ProgramError};
 pub use transaction::{FeePolicy, Instruction, Transaction, TransactionError};

@@ -42,9 +42,7 @@ impl PendingTx {
     fn class(&self) -> Class {
         match self.tx.fee_policy {
             FeePolicy::Bundle { tip_lamports } => Class::Bundle(tip_lamports),
-            FeePolicy::Priority { micro_lamports_per_cu } => {
-                Class::Priority(micro_lamports_per_cu)
-            }
+            FeePolicy::Priority { micro_lamports_per_cu } => Class::Priority(micro_lamports_per_cu),
             FeePolicy::BaseOnly => Class::Base,
         }
     }
@@ -89,6 +87,13 @@ impl Mempool {
             .collect()
     }
 
+    /// Returns a previously drained transaction to the pool, keeping its id
+    /// (and thus its submission-order priority within its fee class). Used
+    /// when block production drops a selected transaction.
+    pub fn requeue(&mut self, tx: PendingTx) {
+        self.pending.push(tx);
+    }
+
     /// Number of pending transactions.
     pub fn len(&self) -> usize {
         self.pending.len()
@@ -119,10 +124,7 @@ impl Mempool {
         let mut order: Vec<usize> = (0..self.pending.len()).collect();
         order.sort_by(|&a, &b| {
             let (pa, pb) = (&self.pending[a], &self.pending[b]);
-            pa.class()
-                .sort_key()
-                .cmp(&pb.class().sort_key())
-                .then(pa.id.cmp(&pb.id))
+            pa.class().sort_key().cmp(&pb.class().sort_key()).then(pa.id.cmp(&pb.id))
         });
 
         let mut selected_ids = Vec::new();
@@ -284,9 +286,6 @@ mod tests {
         pool.submit_bundle(vec![tx(FeePolicy::Bundle { tip_lamports: 7 }, 100)], 0);
         let drained = pool.drain_for_slot(150, 0, true);
         assert_eq!(drained.len(), 1);
-        assert!(matches!(
-            drained[0].tx.fee_policy,
-            FeePolicy::Bundle { tip_lamports: 7 }
-        ));
+        assert!(matches!(drained[0].tx.fee_policy, FeePolicy::Bundle { tip_lamports: 7 }));
     }
 }

@@ -132,17 +132,13 @@ impl<'a> InvokeContext<'a> {
             return Err(ProgramError::MissingAccount(*to));
         }
         {
-            let source =
-                self.accounts.get_mut(from).ok_or(ProgramError::MissingAccount(*from))?;
+            let source = self.accounts.get_mut(from).ok_or(ProgramError::MissingAccount(*from))?;
             if source.lamports < amount {
                 return Err(ProgramError::InsufficientFunds);
             }
             source.lamports -= amount;
         }
-        self.accounts
-            .get_mut(to)
-            .expect("destination checked above")
-            .lamports += amount;
+        self.accounts.get_mut(to).expect("destination checked above").lamports += amount;
         Ok(())
     }
 }
@@ -176,8 +172,8 @@ pub trait Program {
 mod tests {
     use super::*;
 
-    fn context_parts() -> (HashMap<Pubkey, Account>, ComputeMeter, HeapMeter, Vec<Event>, Vec<String>)
-    {
+    fn context_parts(
+    ) -> (HashMap<Pubkey, Account>, ComputeMeter, HeapMeter, Vec<Event>, Vec<String>) {
         let mut accounts = HashMap::new();
         accounts.insert(Pubkey::from_label("alice"), Account::wallet(1_000));
         accounts.insert(Pubkey::from_label("bob"), Account::wallet(0));
@@ -216,10 +212,7 @@ mod tests {
         with_ctx(|ctx| {
             let alice = Pubkey::from_label("alice");
             let bob = Pubkey::from_label("bob");
-            assert_eq!(
-                ctx.transfer(&alice, &bob, 2_000),
-                Err(ProgramError::InsufficientFunds)
-            );
+            assert_eq!(ctx.transfer(&alice, &bob, 2_000), Err(ProgramError::InsufficientFunds));
             assert_eq!(ctx.account(&alice).unwrap().lamports, 1_000);
         });
     }
@@ -241,14 +234,8 @@ mod tests {
     fn metering_propagates_as_program_errors() {
         with_ctx(|ctx| {
             assert!(ctx.consume(5_000).is_ok());
-            assert!(matches!(
-                ctx.consume(6_000),
-                Err(ProgramError::ComputeBudget(_))
-            ));
-            assert!(matches!(
-                ctx.alloc(40 * 1024),
-                Err(ProgramError::Heap(_))
-            ));
+            assert!(matches!(ctx.consume(6_000), Err(ProgramError::ComputeBudget(_))));
+            assert!(matches!(ctx.alloc(40 * 1024), Err(ProgramError::Heap(_))));
         });
     }
 }

@@ -2,9 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::types::{
-    lamports_to_usd, HostProfile, Pubkey, MAX_TRANSACTION_SIZE,
-};
+use crate::types::{lamports_to_usd, HostProfile, Pubkey, MAX_TRANSACTION_SIZE};
 
 /// How a transaction buys priority (§V-A, §VI-B).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -231,13 +229,9 @@ mod tests {
 
     #[test]
     fn small_transaction_fits() {
-        let tx = Transaction::build(
-            Pubkey::from_label("payer"),
-            1,
-            vec![ix(100)],
-            FeePolicy::BaseOnly,
-        )
-        .unwrap();
+        let tx =
+            Transaction::build(Pubkey::from_label("payer"), 1, vec![ix(100)], FeePolicy::BaseOnly)
+                .unwrap();
         assert!(tx.serialized_size() <= MAX_TRANSACTION_SIZE);
     }
 
@@ -283,20 +277,11 @@ mod tests {
 
     #[test]
     fn base_fee_is_per_signature() {
-        let one = Transaction::build(
-            Pubkey::from_label("p"),
-            1,
-            vec![ix(1)],
-            FeePolicy::BaseOnly,
-        )
-        .unwrap();
-        let three = Transaction::build(
-            Pubkey::from_label("p"),
-            3,
-            vec![ix(1)],
-            FeePolicy::BaseOnly,
-        )
-        .unwrap();
+        let one = Transaction::build(Pubkey::from_label("p"), 1, vec![ix(1)], FeePolicy::BaseOnly)
+            .unwrap();
+        let three =
+            Transaction::build(Pubkey::from_label("p"), 3, vec![ix(1)], FeePolicy::BaseOnly)
+                .unwrap();
         assert_eq!(one.fee_lamports(), LAMPORTS_PER_SIGNATURE);
         assert_eq!(three.fee_lamports(), 3 * LAMPORTS_PER_SIGNATURE);
     }
@@ -335,7 +320,13 @@ mod tests {
         use crate::types::HostProfile;
         // A 100 KiB payload: impossible on Solana, fine on a NEAR-like host.
         let big = ix(100 * 1024);
-        assert!(Transaction::build(Pubkey::from_label("p"), 1, vec![big.clone()], FeePolicy::BaseOnly).is_err());
+        assert!(Transaction::build(
+            Pubkey::from_label("p"),
+            1,
+            vec![big.clone()],
+            FeePolicy::BaseOnly
+        )
+        .is_err());
         let tx = Transaction::build_for(
             &HostProfile::NEAR_LIKE,
             Pubkey::from_label("p"),

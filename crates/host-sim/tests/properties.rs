@@ -7,7 +7,11 @@ use host_sim::{
 };
 use proptest::prelude::*;
 
-fn tx_with(data_len: usize, accounts: usize, sigs: usize) -> Result<Transaction, host_sim::TransactionError> {
+fn tx_with(
+    data_len: usize,
+    accounts: usize,
+    sigs: usize,
+) -> Result<Transaction, host_sim::TransactionError> {
     Transaction::build(
         Pubkey::from_label("payer"),
         sigs,

@@ -239,9 +239,6 @@ mod tests {
         assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
         let ack = Acknowledgement::Success(b"ok".to_vec());
         assert_eq!(Acknowledgement::decode(&ack.encode()).unwrap(), ack);
-        assert_ne!(
-            ack.commitment(),
-            Acknowledgement::Error("ok".into()).commitment()
-        );
+        assert_ne!(ack.commitment(), Acknowledgement::Error("ok".into()).commitment());
     }
 }

@@ -88,11 +88,7 @@ mod tests {
 
     #[test]
     fn encode_decode_round_trip() {
-        let end = ConnectionEnd::try_open(
-            ClientId::new(0),
-            ClientId::new(9),
-            ConnectionId::new(4),
-        );
+        let end = ConnectionEnd::try_open(ClientId::new(0), ClientId::new(9), ConnectionId::new(4));
         let decoded = ConnectionEnd::decode(&end.encode()).unwrap();
         assert_eq!(decoded, end);
         assert!(!decoded.is_open());

@@ -16,9 +16,7 @@ use crate::events::IbcEvent;
 use crate::path;
 use crate::router::Module;
 use crate::store::ProvableStore;
-use crate::types::{
-    ChannelId, ClientId, ConnectionId, Height, IbcError, PortId, TimestampMs,
-};
+use crate::types::{ChannelId, ClientId, ConnectionId, Height, IbcError, PortId, TimestampMs};
 
 /// A proof plus the counterparty height it was taken at.
 #[derive(Clone, Debug)]
@@ -188,19 +186,15 @@ impl<S: ProvableStore> IbcHandler<S> {
             return Err(IbcError::FrozenClient(client_id.clone()));
         }
         let height = client.update(header)?;
-        let consensus = client
-            .consensus_state(height)
-            .expect("update stores the consensus state it verified");
+        let consensus =
+            client.consensus_state(height).expect("update stores the consensus state it verified");
         self.store.set(
             &path::consensus_state(client_id, height),
             &serde_json::to_vec(&consensus).expect("consensus state serializes"),
         )?;
         // Bound provable-store growth: drop the oldest consensus states
         // beyond the configured history window.
-        let heights = self
-            .stored_consensus_heights
-            .entry(client_id.clone())
-            .or_default();
+        let heights = self.stored_consensus_heights.entry(client_id.clone()).or_default();
         heights.push(height);
         if self.config.consensus_history > 0 {
             while heights.len() > self.config.consensus_history {
@@ -208,8 +202,7 @@ impl<S: ProvableStore> IbcHandler<S> {
                 self.store.delete(&path::consensus_state(client_id, old))?;
             }
         }
-        self.events
-            .push(IbcEvent::ClientUpdated { client_id: client_id.clone(), height });
+        self.events.push(IbcEvent::ClientUpdated { client_id: client_id.clone(), height });
         Ok(height)
     }
 
@@ -312,10 +305,7 @@ impl<S: ProvableStore> IbcHandler<S> {
         proof_init: ProofData,
         self_consensus: Option<SelfConsensusProof>,
     ) -> Result<ConnectionId, IbcError> {
-        let expected = ConnectionEnd::init(
-            counterparty_client_id.clone(),
-            client_id.clone(),
-        );
+        let expected = ConnectionEnd::init(counterparty_client_id.clone(), client_id.clone());
         self.verify_membership(
             &client_id,
             &proof_init,
@@ -326,11 +316,8 @@ impl<S: ProvableStore> IbcHandler<S> {
 
         let connection_id = ConnectionId::new(self.next_connection);
         self.next_connection += 1;
-        let end = ConnectionEnd::try_open(
-            client_id,
-            counterparty_client_id,
-            counterparty_connection_id,
-        );
+        let end =
+            ConnectionEnd::try_open(client_id, counterparty_client_id, counterparty_connection_id);
         self.put_connection(&connection_id, &end)?;
         Ok(connection_id)
     }
@@ -395,10 +382,8 @@ impl<S: ProvableStore> IbcHandler<S> {
                 end.state
             )));
         }
-        let counterparty_connection_id = end
-            .counterparty_connection_id
-            .clone()
-            .expect("TryOpen implies counterparty id");
+        let counterparty_connection_id =
+            end.counterparty_connection_id.clone().expect("TryOpen implies counterparty id");
         let expected = ConnectionEnd {
             state: ConnectionState::Open,
             client_id: end.counterparty_client_id.clone(),
@@ -463,6 +448,15 @@ impl<S: ProvableStore> IbcHandler<S> {
     pub fn module_mut(&mut self, port_id: &PortId) -> Option<&mut (dyn Module + '_)> {
         match self.modules.get_mut(port_id) {
             Some(module) => Some(module.as_mut()),
+            None => None,
+        }
+    }
+
+    /// Read-only access to the module bound to `port_id` (invariant
+    /// checkers, reporting).
+    pub fn module(&self, port_id: &PortId) -> Option<&(dyn Module + '_)> {
+        match self.modules.get(port_id) {
+            Some(module) => Some(module.as_ref()),
             None => None,
         }
     }
@@ -655,10 +649,8 @@ impl<S: ProvableStore> IbcHandler<S> {
             )));
         }
         let connection = self.open_connection(&end.connection_id)?;
-        let counterparty_channel_id = end
-            .counterparty_channel_id
-            .clone()
-            .expect("TryOpen implies counterparty id");
+        let counterparty_channel_id =
+            end.counterparty_channel_id.clone().expect("TryOpen implies counterparty id");
         let expected = ChannelEnd {
             state: ChannelState::Open,
             ordering: end.ordering,
@@ -725,10 +717,8 @@ impl<S: ProvableStore> IbcHandler<S> {
             )));
         }
         let connection = self.open_connection(&end.connection_id)?;
-        let counterparty_channel_id = end
-            .counterparty_channel_id
-            .clone()
-            .expect("open channel has counterparty id");
+        let counterparty_channel_id =
+            end.counterparty_channel_id.clone().expect("open channel has counterparty id");
         let expected = ChannelEnd {
             state: ChannelState::Closed,
             ordering: end.ordering,
@@ -756,10 +746,8 @@ impl<S: ProvableStore> IbcHandler<S> {
         channel_id: &ChannelId,
         version: &str,
     ) -> Result<(), IbcError> {
-        let module = self
-            .modules
-            .get_mut(port_id)
-            .ok_or_else(|| IbcError::UnboundPort(port_id.clone()))?;
+        let module =
+            self.modules.get_mut(port_id).ok_or_else(|| IbcError::UnboundPort(port_id.clone()))?;
         module.on_chan_open(port_id, channel_id, version)
     }
 
@@ -768,10 +756,8 @@ impl<S: ProvableStore> IbcHandler<S> {
     // ------------------------------------------------------------------
 
     fn init_sequences(&mut self, port_id: &PortId, channel_id: &ChannelId) -> Result<(), IbcError> {
-        self.store
-            .set(&path::next_sequence_send(port_id, channel_id), &1u64.to_be_bytes())?;
-        self.store
-            .set(&path::next_sequence_recv(port_id, channel_id), &1u64.to_be_bytes())?;
+        self.store.set(&path::next_sequence_send(port_id, channel_id), &1u64.to_be_bytes())?;
+        self.store.set(&path::next_sequence_recv(port_id, channel_id), &1u64.to_be_bytes())?;
         Ok(())
     }
 
@@ -818,10 +804,8 @@ impl<S: ProvableStore> IbcHandler<S> {
             return Err(IbcError::InvalidState("channel not open".into()));
         }
         let sequence = self.next_sequence_send(port_id, channel_id)?;
-        self.store.set(
-            &path::next_sequence_send(port_id, channel_id),
-            &(sequence + 1).to_be_bytes(),
-        )?;
+        self.store
+            .set(&path::next_sequence_send(port_id, channel_id), &(sequence + 1).to_be_bytes())?;
         let packet = Packet {
             sequence,
             source_port: port_id.clone(),
@@ -875,11 +859,7 @@ impl<S: ProvableStore> IbcHandler<S> {
         self.verify_membership(
             &connection.client_id,
             &proof,
-            &path::packet_commitment(
-                &packet.source_port,
-                &packet.source_channel,
-                packet.sequence,
-            ),
+            &path::packet_commitment(&packet.source_port, &packet.source_channel, packet.sequence),
             packet.commitment().as_bytes(),
         )?;
 
@@ -906,10 +886,7 @@ impl<S: ProvableStore> IbcHandler<S> {
                 )));
             }
             self.store.set(
-                &path::next_sequence_recv(
-                    &packet.destination_port,
-                    &packet.destination_channel,
-                ),
+                &path::next_sequence_recv(&packet.destination_port, &packet.destination_channel),
                 &(expected + 1).to_be_bytes(),
             )?;
         }
@@ -935,10 +912,8 @@ impl<S: ProvableStore> IbcHandler<S> {
             ack.commitment().as_bytes(),
         )?;
         self.events.push(IbcEvent::RecvPacket { packet: packet.clone() });
-        self.events.push(IbcEvent::WriteAcknowledgement {
-            packet: packet.clone(),
-            ack: ack.clone(),
-        });
+        self.events
+            .push(IbcEvent::WriteAcknowledgement { packet: packet.clone(), ack: ack.clone() });
         Ok(ack)
     }
 
@@ -956,15 +931,9 @@ impl<S: ProvableStore> IbcHandler<S> {
         proof: ProofData,
     ) -> Result<(), IbcError> {
         let end = self.channel(&packet.source_port, &packet.source_channel)?;
-        let commitment_key = path::packet_commitment(
-            &packet.source_port,
-            &packet.source_channel,
-            packet.sequence,
-        );
-        let stored = self
-            .store
-            .get(&commitment_key)?
-            .ok_or(IbcError::DuplicatePacket)?;
+        let commitment_key =
+            path::packet_commitment(&packet.source_port, &packet.source_channel, packet.sequence);
+        let stored = self.store.get(&commitment_key)?.ok_or(IbcError::DuplicatePacket)?;
         if stored != packet.commitment().as_bytes() {
             return Err(IbcError::InvalidProof("commitment mismatch".into()));
         }
@@ -1009,15 +978,9 @@ impl<S: ProvableStore> IbcHandler<S> {
                 "timeout on ordered channels is not supported".into(),
             ));
         }
-        let commitment_key = path::packet_commitment(
-            &packet.source_port,
-            &packet.source_channel,
-            packet.sequence,
-        );
-        let stored = self
-            .store
-            .get(&commitment_key)?
-            .ok_or(IbcError::DuplicatePacket)?;
+        let commitment_key =
+            path::packet_commitment(&packet.source_port, &packet.source_channel, packet.sequence);
+        let stored = self.store.get(&commitment_key)?.ok_or(IbcError::DuplicatePacket)?;
         if stored != packet.commitment().as_bytes() {
             return Err(IbcError::InvalidProof("commitment mismatch".into()));
         }
@@ -1029,13 +992,8 @@ impl<S: ProvableStore> IbcHandler<S> {
                 proof_unreceived.height
             ))
         })?;
-        if !packet
-            .timeout
-            .has_expired(proof_unreceived.height, consensus.timestamp_ms)
-        {
-            return Err(IbcError::Timeout(
-                "packet has not expired at the proven height".into(),
-            ));
+        if !packet.timeout.has_expired(proof_unreceived.height, consensus.timestamp_ms) {
+            return Err(IbcError::Timeout("packet has not expired at the proven height".into()));
         }
         client.verify_non_membership(
             proof_unreceived.height,

@@ -77,10 +77,7 @@ impl TransferModule {
 
     /// Credits `amount` of `denom` to `account` (genesis/faucet/mint).
     pub fn mint(&mut self, account: &str, denom: &str, amount: u128) {
-        *self
-            .balances
-            .entry((account.to_string(), denom.to_string()))
-            .or_default() += amount;
+        *self.balances.entry((account.to_string(), denom.to_string())).or_default() += amount;
     }
 
     /// Burns `amount` of `denom` from `account`.
@@ -89,10 +86,7 @@ impl TransferModule {
     ///
     /// [`IbcError::AppError`] when the balance is insufficient.
     pub fn burn(&mut self, account: &str, denom: &str, amount: u128) -> Result<(), IbcError> {
-        let balance = self
-            .balances
-            .entry((account.to_string(), denom.to_string()))
-            .or_default();
+        let balance = self.balances.entry((account.to_string(), denom.to_string())).or_default();
         if *balance < amount {
             return Err(IbcError::AppError(format!(
                 "insufficient {denom} balance: {balance} < {amount}"
@@ -121,10 +115,14 @@ impl TransferModule {
 
     /// Balance of `account` in `denom`.
     pub fn balance(&self, account: &str, denom: &str) -> u128 {
-        self.balances
-            .get(&(account.to_string(), denom.to_string()))
-            .copied()
-            .unwrap_or(0)
+        self.balances.get(&(account.to_string(), denom.to_string())).copied().unwrap_or(0)
+    }
+
+    /// Total amount of `denom` across every ledger account (escrows
+    /// included) — the supply an invariant checker audits against the
+    /// remote escrow backing it.
+    pub fn total_supply(&self, denom: &str) -> u128 {
+        self.balances.iter().filter(|((_, d), _)| d == denom).map(|(_, amount)| *amount).sum()
     }
 
     /// The book-keeping run when this chain *sends* `data` over
@@ -200,11 +198,7 @@ impl Module for TransferModule {
         }
     }
 
-    fn on_acknowledge(
-        &mut self,
-        packet: &Packet,
-        ack: &Acknowledgement,
-    ) -> Result<(), IbcError> {
+    fn on_acknowledge(&mut self, packet: &Packet, ack: &Acknowledgement) -> Result<(), IbcError> {
         if ack.is_success() {
             return Ok(());
         }
@@ -220,6 +214,10 @@ impl Module for TransferModule {
     }
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
         self
     }
 }
@@ -251,9 +249,8 @@ pub fn send_transfer<S: ProvableStore>(
         memo: memo.to_string(),
     };
     {
-        let module = handler
-            .module_mut(port_id)
-            .ok_or_else(|| IbcError::UnboundPort(port_id.clone()))?;
+        let module =
+            handler.module_mut(port_id).ok_or_else(|| IbcError::UnboundPort(port_id.clone()))?;
         let transfer = module
             .as_any_mut()
             .downcast_mut::<TransferModule>()
@@ -264,13 +261,9 @@ pub fn send_transfer<S: ProvableStore>(
         Ok(packet) => Ok(packet),
         Err(err) => {
             // Undo the debit if the packet could not be committed.
-            let module = handler
-                .module_mut(port_id)
-                .expect("module bound above");
-            let transfer = module
-                .as_any_mut()
-                .downcast_mut::<TransferModule>()
-                .expect("checked above");
+            let module = handler.module_mut(port_id).expect("module bound above");
+            let transfer =
+                module.as_any_mut().downcast_mut::<TransferModule>().expect("checked above");
             transfer
                 .refund_sender(port_id, channel_id, &data)
                 .expect("refund of a just-made debit cannot fail");
@@ -368,16 +361,12 @@ mod tests {
         module.debit_sender(&PortId::transfer(), &ChannelId::new(0), &data).unwrap();
         assert_eq!(module.balance("alice", "sol"), 60);
 
-        module
-            .on_acknowledge(&outbound, &Acknowledgement::Error("nope".into()))
-            .unwrap();
+        module.on_acknowledge(&outbound, &Acknowledgement::Error("nope".into())).unwrap();
         assert_eq!(module.balance("alice", "sol"), 100);
 
         // A success ack does not refund.
         module.debit_sender(&PortId::transfer(), &ChannelId::new(0), &data).unwrap();
-        module
-            .on_acknowledge(&outbound, &Acknowledgement::Success(b"AQ==".to_vec()))
-            .unwrap();
+        module.on_acknowledge(&outbound, &Acknowledgement::Success(b"AQ==".to_vec())).unwrap();
         assert_eq!(module.balance("alice", "sol"), 60);
     }
 

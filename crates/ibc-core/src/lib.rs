@@ -69,7 +69,9 @@ pub use channel::{Acknowledgement, ChannelEnd, ChannelState, Ordering, Packet, T
 pub use client::{ConsensusState, LightClient};
 pub use connection::{ConnectionEnd, ConnectionState};
 pub use events::IbcEvent;
-pub use handler::{HandlerConfig, HostTime, IbcHandler, ProofData, SelfConsensusProof, SelfHistory};
+pub use handler::{
+    HandlerConfig, HostTime, IbcHandler, ProofData, SelfConsensusProof, SelfHistory,
+};
 pub use router::Module;
 pub use store::ProvableStore;
 pub use types::{ChannelId, ClientId, ConnectionId, Height, IbcError, PortId, TimestampMs};

@@ -46,8 +46,7 @@ pub fn packet_commitment(port_id: &PortId, channel_id: &ChannelId, sequence: u64
 
 /// Path of a packet receipt (proves delivery; sealed after writing).
 pub fn packet_receipt(port_id: &PortId, channel_id: &ChannelId, sequence: u64) -> Vec<u8> {
-    format!("receipts/ports/{port_id}/channels/{channel_id}/sequences/{sequence:020}")
-        .into_bytes()
+    format!("receipts/ports/{port_id}/channels/{channel_id}/sequences/{sequence:020}").into_bytes()
 }
 
 /// Path of a packet acknowledgement commitment.

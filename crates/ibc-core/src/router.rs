@@ -33,11 +33,7 @@ pub trait Module {
     /// # Errors
     ///
     /// An error aborts acknowledgement processing (the relayer may retry).
-    fn on_acknowledge(
-        &mut self,
-        packet: &Packet,
-        ack: &Acknowledgement,
-    ) -> Result<(), IbcError>;
+    fn on_acknowledge(&mut self, packet: &Packet, ack: &Acknowledgement) -> Result<(), IbcError>;
 
     /// Handles a timeout for a packet this chain sent (refunds etc.).
     ///
@@ -49,6 +45,9 @@ pub trait Module {
     /// Downcast support so chains can reach their concrete application
     /// state (e.g. the ICS-20 ledger) through the handler.
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Read-only downcast support (invariant checkers, reporting).
+    fn as_any(&self) -> &dyn std::any::Any;
 }
 
 /// A no-op module for control channels and tests: acknowledges every packet
@@ -69,11 +68,7 @@ impl Module for EchoModule {
         Acknowledgement::Success(packet.payload.clone())
     }
 
-    fn on_acknowledge(
-        &mut self,
-        packet: &Packet,
-        ack: &Acknowledgement,
-    ) -> Result<(), IbcError> {
+    fn on_acknowledge(&mut self, packet: &Packet, ack: &Acknowledgement) -> Result<(), IbcError> {
         self.acknowledged.push((packet.clone(), ack.clone()));
         Ok(())
     }
@@ -84,6 +79,10 @@ impl Module for EchoModule {
     }
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
         self
     }
 }

@@ -150,10 +150,8 @@ fn connection_and_channel_handshake_complete() {
 #[test]
 fn handshake_with_forged_proof_fails() {
     let mut net = Net::new();
-    let conn_a = net
-        .a
-        .conn_open_init(net.client_of_b_on_a.clone(), net.client_of_a_on_b.clone())
-        .unwrap();
+    let conn_a =
+        net.a.conn_open_init(net.client_of_b_on_a.clone(), net.client_of_a_on_b.clone()).unwrap();
     let h = net.sync_a_to_b();
     // Claiming a connection id that A never created: the (valid) proof for
     // the real path cannot vouch for the forged one.
@@ -190,21 +188,15 @@ fn handshake_with_forged_proof_fails() {
 fn packet_roundtrip_with_ack() {
     let (mut net, port, chan_a, _chan_b) = echo_net();
 
-    let packet = net
-        .a
-        .send_packet(&port, &chan_a, b"hello ibc".to_vec(), Timeout::NEVER)
-        .unwrap();
+    let packet = net.a.send_packet(&port, &chan_a, b"hello ibc".to_vec(), Timeout::NEVER).unwrap();
     assert_eq!(packet.sequence, 1);
 
     // Relay A → B.
     let h = net.sync_a_to_b();
-    let commitment_key =
-        ibc_core::path::packet_commitment(&port, &chan_a, packet.sequence);
+    let commitment_key = ibc_core::path::packet_commitment(&port, &chan_a, packet.sequence);
     let proof = net.proof_a(h, &commitment_key);
-    let ack = net
-        .b
-        .recv_packet(&packet, proof, HostTime { height: 1, timestamp_ms: 1_000 })
-        .unwrap();
+    let ack =
+        net.b.recv_packet(&packet, proof, HostTime { height: 1, timestamp_ms: 1_000 }).unwrap();
     assert!(ack.is_success());
 
     // Relay the ack B → A.
@@ -220,10 +212,7 @@ fn packet_roundtrip_with_ack() {
     // The commitment is cleared: double-acking fails.
     let h2 = net.sync_b_to_a();
     let ack_proof2 = net.proof_b(h2, &ack_key);
-    assert_eq!(
-        net.a.acknowledge_packet(&packet, &ack, ack_proof2),
-        Err(IbcError::DuplicatePacket)
-    );
+    assert_eq!(net.a.acknowledge_packet(&packet, &ack, ack_proof2), Err(IbcError::DuplicatePacket));
 
     // Events were emitted on both sides.
     let events_a = net.a.drain_events();
@@ -237,10 +226,7 @@ fn packet_roundtrip_with_ack() {
 #[test]
 fn duplicate_delivery_rejected_via_sealed_receipt() {
     let (mut net, port, chan_a, _) = echo_net();
-    let packet = net
-        .a
-        .send_packet(&port, &chan_a, b"once only".to_vec(), Timeout::NEVER)
-        .unwrap();
+    let packet = net.a.send_packet(&port, &chan_a, b"once only".to_vec(), Timeout::NEVER).unwrap();
     let h = net.sync_a_to_b();
     let key = ibc_core::path::packet_commitment(&port, &chan_a, packet.sequence);
     let now = HostTime { height: 1, timestamp_ms: 1_000 };
@@ -256,40 +242,29 @@ fn duplicate_delivery_rejected_via_sealed_receipt() {
 #[test]
 fn forged_packet_rejected() {
     let (mut net, port, chan_a, _) = echo_net();
-    let packet = net
-        .a
-        .send_packet(&port, &chan_a, b"real".to_vec(), Timeout::NEVER)
-        .unwrap();
+    let packet = net.a.send_packet(&port, &chan_a, b"real".to_vec(), Timeout::NEVER).unwrap();
     let h = net.sync_a_to_b();
     let key = ibc_core::path::packet_commitment(&port, &chan_a, packet.sequence);
     let proof = net.proof_a(h, &key);
     let mut forged = packet.clone();
     forged.payload = b"forged".to_vec();
-    let err = net
-        .b
-        .recv_packet(&forged, proof, HostTime { height: 1, timestamp_ms: 1_000 })
-        .unwrap_err();
+    let err =
+        net.b.recv_packet(&forged, proof, HostTime { height: 1, timestamp_ms: 1_000 }).unwrap_err();
     assert!(matches!(err, IbcError::InvalidProof(_)));
 }
 
 #[test]
 fn expired_packet_rejected_on_recv_and_timed_out_at_source() {
     let (mut net, port, chan_a, _) = echo_net();
-    let packet = net
-        .a
-        .send_packet(&port, &chan_a, b"slow".to_vec(), Timeout::at_time(5_000))
-        .unwrap();
+    let packet =
+        net.a.send_packet(&port, &chan_a, b"slow".to_vec(), Timeout::at_time(5_000)).unwrap();
     let h = net.sync_a_to_b();
     let key = ibc_core::path::packet_commitment(&port, &chan_a, packet.sequence);
 
     // Destination clock has passed the timeout: delivery is refused.
     let err = net
         .b
-        .recv_packet(
-            &packet,
-            net.proof_a(h, &key),
-            HostTime { height: 10, timestamp_ms: 6_000 },
-        )
+        .recv_packet(&packet, net.proof_a(h, &key), HostTime { height: 10, timestamp_ms: 6_000 })
         .unwrap_err();
     assert!(matches!(err, IbcError::Timeout(_)));
 
@@ -370,7 +345,15 @@ fn ics20_token_round_trip() {
 
     // A → B: alice sends 250 sol to bob.
     let packet = ics20::send_transfer(
-        &mut net.a, &port, &chan_a, "sol", 250, "alice", "bob", "", Timeout::NEVER,
+        &mut net.a,
+        &port,
+        &chan_a,
+        "sol",
+        250,
+        "alice",
+        "bob",
+        "",
+        Timeout::NEVER,
     )
     .unwrap();
     let h = net.sync_a_to_b();
@@ -383,19 +366,22 @@ fn ics20_token_round_trip() {
 
     let voucher = format!("transfer/{chan_b}/sol");
     {
-        let bank_b = net
-            .b
-            .module_mut(&port)
-            .unwrap()
-            .as_any_mut()
-            .downcast_mut::<TransferModule>()
-            .unwrap();
+        let bank_b =
+            net.b.module_mut(&port).unwrap().as_any_mut().downcast_mut::<TransferModule>().unwrap();
         assert_eq!(bank_b.balance("bob", &voucher), 250);
     }
 
     // B → A: bob returns 100 back to alice.
     let back = ics20::send_transfer(
-        &mut net.b, &port, &chan_b, &voucher, 100, "bob", "alice", "", Timeout::NEVER,
+        &mut net.b,
+        &port,
+        &chan_b,
+        &voucher,
+        100,
+        "bob",
+        "alice",
+        "",
+        Timeout::NEVER,
     )
     .unwrap();
     let h = net.sync_b_to_a();
@@ -406,13 +392,8 @@ fn ics20_token_round_trip() {
         .unwrap();
     assert!(ack.is_success(), "{ack:?}");
 
-    let bank_a = net
-        .a
-        .module_mut(&port)
-        .unwrap()
-        .as_any_mut()
-        .downcast_mut::<TransferModule>()
-        .unwrap();
+    let bank_a =
+        net.a.module_mut(&port).unwrap().as_any_mut().downcast_mut::<TransferModule>().unwrap();
     // 1000 − 250 sent + 100 returned.
     assert_eq!(bank_a.balance("alice", "sol"), 850);
     assert_eq!(bank_a.balance(&format!("escrow:{chan_a}"), "sol"), 150);
@@ -430,18 +411,21 @@ fn ics20_timeout_refunds_sender() {
     let (chan_a, _chan_b) = net.open_channel(&conn_a, &conn_b, &port, Ordering::Unordered);
 
     let packet = ics20::send_transfer(
-        &mut net.a, &port, &chan_a, "sol", 200, "alice", "bob", "", Timeout::at_time(2_000),
+        &mut net.a,
+        &port,
+        &chan_a,
+        "sol",
+        200,
+        "alice",
+        "bob",
+        "",
+        Timeout::at_time(2_000),
     )
     .unwrap();
     // Funds are escrowed while in flight.
     {
-        let bank = net
-            .a
-            .module_mut(&port)
-            .unwrap()
-            .as_any_mut()
-            .downcast_mut::<TransferModule>()
-            .unwrap();
+        let bank =
+            net.a.module_mut(&port).unwrap().as_any_mut().downcast_mut::<TransferModule>().unwrap();
         assert_eq!(bank.balance("alice", "sol"), 300);
     }
 
@@ -457,13 +441,8 @@ fn ics20_timeout_refunds_sender() {
     let proof = net.proof_b(3, &receipt_key);
     net.a.timeout_packet(&packet, proof).unwrap();
 
-    let bank = net
-        .a
-        .module_mut(&port)
-        .unwrap()
-        .as_any_mut()
-        .downcast_mut::<TransferModule>()
-        .unwrap();
+    let bank =
+        net.a.module_mut(&port).unwrap().as_any_mut().downcast_mut::<TransferModule>().unwrap();
     assert_eq!(bank.balance("alice", "sol"), 500, "escrow refunded");
 }
 
@@ -503,10 +482,10 @@ mod self_validation {
             .unwrap();
         let h = net.sync_a_to_b();
         // Record what A's consensus actually was at that height.
-        history.states.borrow_mut().insert(
-            h,
-            ConsensusState { root: net.a.root(), timestamp_ms: h * 1_000 },
-        );
+        history
+            .states
+            .borrow_mut()
+            .insert(h, ConsensusState { root: net.a.root(), timestamp_ms: h * 1_000 });
         let proof_init = net.proof_a(h, &ibc_core::path::connection(&conn_a));
         let conn_b = net
             .b
@@ -522,8 +501,7 @@ mod self_validation {
         // B's update_client recorded A's consensus state in B's provable
         // store; prove it back to A.
         let hb = net.sync_b_to_a();
-        let consensus_key =
-            ibc_core::path::consensus_state(&net.client_of_a_on_b, h);
+        let consensus_key = ibc_core::path::consensus_state(&net.client_of_a_on_b, h);
         let consensus = history.states.borrow()[&h];
         let honest = SelfConsensusProof {
             self_height: h,
@@ -531,9 +509,7 @@ mod self_validation {
             proof: net.proof_b(hb, &consensus_key),
         };
         let proof_try = net.proof_b(hb, &ibc_core::path::connection(&conn_b));
-        net.a
-            .conn_open_ack(&conn_a, conn_b.clone(), proof_try, Some(honest))
-            .unwrap();
+        net.a.conn_open_ack(&conn_a, conn_b.clone(), proof_try, Some(honest)).unwrap();
         assert!(net.a.connection(&conn_a).unwrap().is_open());
 
         // A fork claim — a consensus state that differs from A's history —
@@ -546,10 +522,10 @@ mod self_validation {
             .conn_open_init(net2.client_of_b_on_a.clone(), net2.client_of_a_on_b.clone())
             .unwrap();
         let h2 = net2.sync_a_to_b();
-        history2.states.borrow_mut().insert(
-            h2,
-            ConsensusState { root: net2.a.root(), timestamp_ms: h2 * 1_000 },
-        );
+        history2
+            .states
+            .borrow_mut()
+            .insert(h2, ConsensusState { root: net2.a.root(), timestamp_ms: h2 * 1_000 });
         let proof_init2 = net2.proof_a(h2, &ibc_core::path::connection(&conn_a2));
         let conn_b2 = net2
             .b
@@ -563,23 +539,18 @@ mod self_validation {
             .unwrap();
         let hb2 = net2.sync_b_to_a();
         // Claim the consensus B stored but at a height A never had.
-        let stored = net2
-            .b
-            .client(&net2.client_of_a_on_b)
-            .unwrap()
-            .consensus_state(h2)
-            .unwrap();
+        let stored = net2.b.client(&net2.client_of_a_on_b).unwrap().consensus_state(h2).unwrap();
         let forged = SelfConsensusProof {
             self_height: h2 + 77, // A has no record of this height
             consensus: stored,
             proof: net2.proof_b(hb2, &ibc_core::path::consensus_state(&net2.client_of_a_on_b, h2)),
         };
         let proof_try2 = net2.proof_b(hb2, &ibc_core::path::connection(&conn_b2));
-        let err = net2
-            .a
-            .conn_open_ack(&conn_a2, conn_b2, proof_try2, Some(forged))
-            .unwrap_err();
-        assert!(matches!(err, IbcError::InvalidProof(_) | IbcError::ClientVerification(_)), "{err:?}");
+        let err = net2.a.conn_open_ack(&conn_a2, conn_b2, proof_try2, Some(forged)).unwrap_err();
+        assert!(
+            matches!(err, IbcError::InvalidProof(_) | IbcError::ClientVerification(_)),
+            "{err:?}"
+        );
     }
 }
 
@@ -588,22 +559,13 @@ fn channel_close_handshake_and_post_close_rejections() {
     let (mut net, port, chan_a, chan_b) = echo_net();
 
     // A packet committed before the close can still be received…
-    let packet = net
-        .a
-        .send_packet(&port, &chan_a, b"in flight".to_vec(), Timeout::NEVER)
-        .unwrap();
+    let packet = net.a.send_packet(&port, &chan_a, b"in flight".to_vec(), Timeout::NEVER).unwrap();
 
     // A closes its end.
     net.a.chan_close_init(&port, &chan_a).unwrap();
-    assert_eq!(
-        net.a.channel(&port, &chan_a).unwrap().state,
-        ibc_core::ChannelState::Closed
-    );
+    assert_eq!(net.a.channel(&port, &chan_a).unwrap().state, ibc_core::ChannelState::Closed);
     // Sends on a closed channel fail.
-    let err = net
-        .a
-        .send_packet(&port, &chan_a, b"too late".to_vec(), Timeout::NEVER)
-        .unwrap_err();
+    let err = net.a.send_packet(&port, &chan_a, b"too late".to_vec(), Timeout::NEVER).unwrap_err();
     assert!(matches!(err, IbcError::InvalidState(_)));
     // Closing twice fails.
     assert!(net.a.chan_close_init(&port, &chan_a).is_err());
@@ -615,18 +577,13 @@ fn channel_close_handshake_and_post_close_rejections() {
     // …and succeeds with one.
     let proof = net.proof_a(h, &ibc_core::path::channel(&port, &chan_a));
     net.b.chan_close_confirm(&port, &chan_b, proof).unwrap();
-    assert_eq!(
-        net.b.channel(&port, &chan_b).unwrap().state,
-        ibc_core::ChannelState::Closed
-    );
+    assert_eq!(net.b.channel(&port, &chan_b).unwrap().state, ibc_core::ChannelState::Closed);
 
     // The in-flight packet is refused after the close (B's end is closed).
     let key = ibc_core::path::packet_commitment(&port, &chan_a, packet.sequence);
     let proof = net.proof_a(h, &key);
-    let err = net
-        .b
-        .recv_packet(&packet, proof, HostTime { height: 1, timestamp_ms: 1 })
-        .unwrap_err();
+    let err =
+        net.b.recv_packet(&packet, proof, HostTime { height: 1, timestamp_ms: 1 }).unwrap_err();
     assert!(matches!(err, IbcError::InvalidState(_)));
 }
 
@@ -643,10 +600,7 @@ mod state_machine_errors {
         let conn_b = net.b.channel(&port, &chan_b).unwrap().connection_id.clone();
         let h = net.sync_b_to_a();
         let proof = net.proof_b(h, &ibc_core::path::connection(&conn_b));
-        let err = net
-            .a
-            .conn_open_ack(&conn_a, conn_b.clone(), proof, None)
-            .unwrap_err();
+        let err = net.a.conn_open_ack(&conn_a, conn_b.clone(), proof, None).unwrap_err();
         assert!(matches!(err, IbcError::InvalidState(_)), "{err:?}");
         let h = net.sync_a_to_b();
         let proof = net.proof_a(h, &ibc_core::path::connection(&conn_a));
@@ -656,10 +610,7 @@ mod state_machine_errors {
         // Channel already Open: Ack and Confirm are stale too.
         let h = net.sync_b_to_a();
         let proof = net.proof_b(h, &ibc_core::path::channel(&port, &chan_b));
-        let err = net
-            .a
-            .chan_open_ack(&port, &chan_a, chan_b.clone(), proof)
-            .unwrap_err();
+        let err = net.a.chan_open_ack(&port, &chan_a, chan_b.clone(), proof).unwrap_err();
         assert!(matches!(err, IbcError::InvalidState(_)), "{err:?}");
         let h = net.sync_a_to_b();
         let proof = net.proof_a(h, &ibc_core::path::channel(&port, &chan_a));
@@ -706,13 +657,7 @@ mod state_machine_errors {
         // Unbound port.
         let err = net
             .a
-            .chan_open_init(
-                PortId::named("nobody-home"),
-                conn_a,
-                port,
-                Ordering::Unordered,
-                "v1",
-            )
+            .chan_open_init(PortId::named("nobody-home"), conn_a, port, Ordering::Unordered, "v1")
             .unwrap_err();
         assert!(matches!(err, IbcError::UnboundPort(_)), "{err:?}");
     }
@@ -722,10 +667,8 @@ mod state_machine_errors {
     #[test]
     fn acks_with_wrong_commitment_rejected() {
         let (mut net, port, chan_a, _) = echo_net();
-        let packet = net
-            .a
-            .send_packet(&port, &chan_a, b"payload".to_vec(), Timeout::NEVER)
-            .unwrap();
+        let packet =
+            net.a.send_packet(&port, &chan_a, b"payload".to_vec(), Timeout::NEVER).unwrap();
         let h = net.sync_a_to_b();
         let key = ibc_core::path::packet_commitment(&port, &chan_a, packet.sequence);
         let now = HostTime { height: 1, timestamp_ms: 1 };
@@ -741,10 +684,7 @@ mod state_machine_errors {
             &packet.destination_channel,
             packet.sequence,
         );
-        let err = net
-            .a
-            .acknowledge_packet(&tampered, &ack, net.proof_b(h, &ack_key))
-            .unwrap_err();
+        let err = net.a.acknowledge_packet(&tampered, &ack, net.proof_b(h, &ack_key)).unwrap_err();
         assert!(matches!(err, IbcError::InvalidProof(_)), "{err:?}");
     }
 }

@@ -67,9 +67,7 @@ pub fn finalise_guest_block(
     }
     let signatures = contract.borrow().signatures_at(block.height);
     let header = GuestHeader { block: block.clone(), signatures };
-    cp.ibc_mut()
-        .update_client(guest_client_on_cp, &header.encode())
-        .map_err(GuestError::Ibc)?;
+    cp.ibc_mut().update_client(guest_client_on_cp, &header.encode()).map_err(GuestError::Ibc)?;
     Ok(block)
 }
 
@@ -78,8 +76,8 @@ fn guest_proof(
     height: u64,
     key: &[u8],
 ) -> Result<ProofData, GuestError> {
-    let bytes = ProvableStore::prove(contract.borrow().ibc().store(), key)
-        .map_err(GuestError::Ibc)?;
+    let bytes =
+        ProvableStore::prove(contract.borrow().ibc().store(), key).map_err(GuestError::Ibc)?;
     Ok(ProofData { height, bytes })
 }
 
@@ -122,9 +120,7 @@ pub fn connect_chains(
 
     // Transfer modules.
     let port = PortId::transfer();
-    contract
-        .borrow_mut()
-        .bind_port(port.clone(), Box::new(TransferModule::new()));
+    contract.borrow_mut().bind_port(port.clone(), Box::new(TransferModule::new()));
     cp.ibc_mut().bind_port(port.clone(), Box::new(TransferModule::new()));
 
     // Connection handshake: Init on the guest…
@@ -144,11 +140,8 @@ pub fn connect_chains(
     )?;
 
     // …Try on the counterparty…
-    let proof_init = guest_proof(
-        contract,
-        block.height,
-        &ibc_core::path::connection(&guest_connection),
-    )?;
+    let proof_init =
+        guest_proof(contract, block.height, &ibc_core::path::connection(&guest_connection))?;
     let cp_connection = cp
         .ibc_mut()
         .conn_open_try(
@@ -161,13 +154,14 @@ pub fn connect_chains(
         .map_err(GuestError::Ibc)?;
     step(clock_ms, host_height);
     let header = cp.produce_block(*clock_ms).clone();
-    contract
-        .borrow_mut()
-        .update_counterparty_client(&cp_client_on_guest, header.encode().as_slice(), *clock_ms)?;
+    contract.borrow_mut().update_counterparty_client(
+        &cp_client_on_guest,
+        header.encode().as_slice(),
+        *clock_ms,
+    )?;
 
     // …Ack on the guest…
-    let proof_try =
-        cp_proof(cp, header.height, &ibc_core::path::connection(&cp_connection))?;
+    let proof_try = cp_proof(cp, header.height, &ibc_core::path::connection(&cp_connection))?;
     contract
         .borrow_mut()
         .ibc_mut()
@@ -184,14 +178,9 @@ pub fn connect_chains(
     )?;
 
     // …Confirm on the counterparty.
-    let proof_ack = guest_proof(
-        contract,
-        block.height,
-        &ibc_core::path::connection(&guest_connection),
-    )?;
-    cp.ibc_mut()
-        .conn_open_confirm(&cp_connection, proof_ack)
-        .map_err(GuestError::Ibc)?;
+    let proof_ack =
+        guest_proof(contract, block.height, &ibc_core::path::connection(&guest_connection))?;
+    cp.ibc_mut().conn_open_confirm(&cp_connection, proof_ack).map_err(GuestError::Ibc)?;
 
     // Channel handshake, same dance.
     let guest_channel = contract.borrow_mut().chan_open_init(
@@ -210,11 +199,8 @@ pub fn connect_chains(
         *clock_ms,
         *host_height,
     )?;
-    let proof_init = guest_proof(
-        contract,
-        block.height,
-        &ibc_core::path::channel(&port, &guest_channel),
-    )?;
+    let proof_init =
+        guest_proof(contract, block.height, &ibc_core::path::channel(&port, &guest_channel))?;
     let cp_channel = cp
         .ibc_mut()
         .chan_open_try(
@@ -229,9 +215,11 @@ pub fn connect_chains(
         .map_err(GuestError::Ibc)?;
     step(clock_ms, host_height);
     let header = cp.produce_block(*clock_ms).clone();
-    contract
-        .borrow_mut()
-        .update_counterparty_client(&cp_client_on_guest, header.encode().as_slice(), *clock_ms)?;
+    contract.borrow_mut().update_counterparty_client(
+        &cp_client_on_guest,
+        header.encode().as_slice(),
+        *clock_ms,
+    )?;
     let proof_try = cp_proof(cp, header.height, &ibc_core::path::channel(&port, &cp_channel))?;
     contract
         .borrow_mut()
@@ -247,14 +235,9 @@ pub fn connect_chains(
         *clock_ms,
         *host_height,
     )?;
-    let proof_ack = guest_proof(
-        contract,
-        block.height,
-        &ibc_core::path::channel(&port, &guest_channel),
-    )?;
-    cp.ibc_mut()
-        .chan_open_confirm(&port, &cp_channel, proof_ack)
-        .map_err(GuestError::Ibc)?;
+    let proof_ack =
+        guest_proof(contract, block.height, &ibc_core::path::channel(&port, &guest_channel))?;
+    cp.ibc_mut().chan_open_confirm(&port, &cp_channel, proof_ack).map_err(GuestError::Ibc)?;
 
     // Clear bootstrap events so the relayer starts from a clean slate.
     contract.borrow_mut().drain_events();
@@ -281,24 +264,16 @@ mod tests {
     fn full_handshake_completes() {
         let keypairs: Vec<Keypair> = (0..4).map(Keypair::from_seed).collect();
         let validators = keypairs.iter().map(|kp| (kp.public(), 100)).collect();
-        let contract = Rc::new(RefCell::new(GuestContract::new(
-            GuestConfig::fast(),
-            validators,
-            0,
-            0,
-        )));
+        let contract =
+            Rc::new(RefCell::new(GuestContract::new(GuestConfig::fast(), validators, 0, 0)));
         let mut cp = CounterpartyChain::new(CounterpartyConfig::default(), 7);
         let mut clock = 0u64;
         let mut host_height = 0u64;
-        let endpoints =
-            connect_chains(&contract, &mut cp, &keypairs, &mut clock, &mut host_height)
-                .expect("handshake");
+        let endpoints = connect_chains(&contract, &mut cp, &keypairs, &mut clock, &mut host_height)
+            .expect("handshake");
 
         let guest = contract.borrow();
-        let guest_chan = guest
-            .ibc()
-            .channel(&endpoints.port, &endpoints.guest_channel)
-            .unwrap();
+        let guest_chan = guest.ibc().channel(&endpoints.port, &endpoints.guest_channel).unwrap();
         assert!(guest_chan.is_open());
         let cp_chan = cp.ibc().channel(&endpoints.port, &endpoints.cp_channel).unwrap();
         assert!(cp_chan.is_open());

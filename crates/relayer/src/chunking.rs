@@ -85,11 +85,7 @@ pub fn transaction_count(op: &GuestOp, num_sig_checks: usize) -> usize {
 }
 
 /// [`transaction_count`] under an arbitrary host profile.
-pub fn transaction_count_for(
-    profile: &HostProfile,
-    op: &GuestOp,
-    num_sig_checks: usize,
-) -> usize {
+pub fn transaction_count_for(profile: &HostProfile, op: &GuestOp, num_sig_checks: usize) -> usize {
     plan_op_for(profile, op, 0, num_sig_checks).len()
 }
 
@@ -119,22 +115,15 @@ mod tests {
         // A ~9 KiB header with 93 signatures — a typical counterparty
         // commit — should need roughly the paper's 36.5 transactions.
         let plan = plan_op(&update_op(9_000, 93), 7, 93);
-        let chunks = plan
-            .iter()
-            .filter(|i| matches!(i, GuestInstruction::WriteChunk { .. }))
-            .count();
-        let verifies = plan
-            .iter()
-            .filter(|i| matches!(i, GuestInstruction::VerifySigs { .. }))
-            .count();
+        let chunks =
+            plan.iter().filter(|i| matches!(i, GuestInstruction::WriteChunk { .. })).count();
+        let verifies =
+            plan.iter().filter(|i| matches!(i, GuestInstruction::VerifySigs { .. })).count();
         assert_eq!(verifies, 24, "93 checks in batches of 4");
         assert!(chunks >= 8, "9 KiB at ~1 KiB per chunk");
         assert!(matches!(plan.last(), Some(GuestInstruction::ExecStaged { .. })));
         let total = plan.len();
-        assert!(
-            (30..=42).contains(&total),
-            "expected ≈36.5 transactions, planned {total}"
-        );
+        assert!((30..=42).contains(&total), "expected ≈36.5 transactions, planned {total}");
     }
 
     #[test]

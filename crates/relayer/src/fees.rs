@@ -62,8 +62,7 @@ impl FeeStrategy {
                 if recent_load > threshold {
                     // Scale the price with how far past the threshold the
                     // network is, up to the configured ceiling.
-                    let pressure =
-                        ((recent_load - threshold) / (1.0 - threshold)).clamp(0.0, 1.0);
+                    let pressure = ((recent_load - threshold) / (1.0 - threshold)).clamp(0.0, 1.0);
                     let price = (high_micro_lamports_per_cu as f64 * pressure.max(0.2)) as u64;
                     FeePolicy::Priority { micro_lamports_per_cu: price.max(1) }
                 } else {

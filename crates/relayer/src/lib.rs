@@ -37,10 +37,10 @@
 pub mod bootstrap;
 pub mod chunking;
 pub mod fees;
-mod relayer;
 pub mod records;
+mod relayer;
 
 pub use bootstrap::{connect_chains, finalise_guest_block, Endpoints};
 pub use fees::FeeStrategy;
 pub use records::{JobKind, JobRecord};
-pub use relayer::{Relayer, RelayerConfig};
+pub use relayer::{ChunkFaults, Relayer, RelayerConfig, RESUBMIT_AFTER_SLOTS};

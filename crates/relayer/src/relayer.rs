@@ -17,6 +17,7 @@ use host_sim::{FeePolicy, HostChain, HostProfile, Instruction, Pubkey, Transacti
 use ibc_core::channel::{Acknowledgement, Packet};
 use ibc_core::handler::ProofData;
 use ibc_core::IbcEvent;
+use sim_crypto::rng::SplitMix64;
 
 use crate::bootstrap::Endpoints;
 use crate::chunking::{plan_op_for, sig_checks_per_tx_for};
@@ -47,15 +48,63 @@ impl Default for RelayerConfig {
     }
 }
 
+/// Deterministic chunk-submission fault injection (fault drills; the
+/// `chaos` crate drives this).
+///
+/// Each probability is sampled — from a dedicated RNG, so an inert value
+/// leaves the run untouched — when the relayer submits a transaction of a
+/// chunked job:
+///
+/// * **drop**: the submission is lost in transit (never reaches the
+///   mempool); the relayer re-submits after [`RESUBMIT_AFTER_SLOTS`].
+/// * **duplicate**: the transaction is submitted twice (an at-least-once
+///   RPC retry); the guest contract must tolerate the replay.
+/// * **reorder**: the next two planned instructions swap submission order.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ChunkFaults {
+    /// Per-submission probability of losing the transaction.
+    pub drop_probability: f64,
+    /// Per-submission probability of submitting it twice.
+    pub duplicate_probability: f64,
+    /// Per-submission probability of swapping the next two instructions.
+    pub reorder_probability: f64,
+    /// Seed of the dedicated fault RNG (used once, on first installation).
+    pub seed: u64,
+}
+
+impl ChunkFaults {
+    fn is_inert(&self) -> bool {
+        self.drop_probability <= 0.0
+            && self.duplicate_probability <= 0.0
+            && self.reorder_probability <= 0.0
+    }
+}
+
+/// How long the relayer waits for an unconfirmed job transaction before
+/// assuming the submission was lost and re-submitting it. Only armed while
+/// chunk faults are installed; an unfaulted relayer never needs it because
+/// the simulated mempool never loses transactions.
+pub const RESUBMIT_AFTER_SLOTS: u64 = 64;
+
 /// Work the relayer has noticed but not yet pushed to the guest.
 #[derive(Debug)]
 #[allow(clippy::enum_variant_names)] // "ToGuest" is the point: this is the guest-bound queue
 enum Intent {
-    DeliverToGuest { packet: Packet, seen_cp_height: u64 },
-    AckToGuest { packet: Packet, ack: Acknowledgement, seen_cp_height: u64 },
+    DeliverToGuest {
+        packet: Packet,
+        seen_cp_height: u64,
+    },
+    AckToGuest {
+        packet: Packet,
+        ack: Acknowledgement,
+        seen_cp_height: u64,
+    },
     /// A guest-sent packet expired before delivery: prove non-receipt on
     /// the counterparty and refund on the guest.
-    TimeoutToGuest { packet: Packet, seen_cp_height: u64 },
+    TimeoutToGuest {
+        packet: Packet,
+        seen_cp_height: u64,
+    },
 }
 
 /// A multi-transaction job in flight on the host chain.
@@ -65,6 +114,8 @@ struct ActiveJob {
     buffer: u64,
     queue: VecDeque<GuestInstruction>,
     in_flight: Option<(u64, GuestInstruction)>,
+    /// Host slot of the in-flight submission (lost-submission detection).
+    submitted_slot: u64,
     scheduled_ms: u64,
     first_tx_ms: Option<u64>,
     last_tx_ms: u64,
@@ -96,6 +147,11 @@ pub struct Relayer {
     pending_cleanup: Vec<u64>,
     records: Vec<JobRecord>,
     failed_jobs: usize,
+    chunk_faults: Option<ChunkFaults>,
+    chunk_rng: Option<SplitMix64>,
+    next_lost_id: u64,
+    lost_submissions: usize,
+    resubmissions: usize,
 }
 
 impl Relayer {
@@ -123,7 +179,38 @@ impl Relayer {
             pending_cleanup: Vec::new(),
             records: Vec::new(),
             failed_jobs: 0,
+            chunk_faults: None,
+            chunk_rng: None,
+            next_lost_id: u64::MAX,
+            lost_submissions: 0,
+            resubmissions: 0,
         }
+    }
+
+    /// Installs (or removes, with `None` or an all-zero value) chunk-level
+    /// fault injection. The dedicated fault RNG is seeded on the first
+    /// installation and survives later probability changes, so a fault
+    /// window driven slot-by-slot samples one coherent stream.
+    pub fn set_chunk_faults(&mut self, faults: Option<ChunkFaults>) {
+        match faults {
+            Some(faults) if !faults.is_inert() => {
+                if self.chunk_rng.is_none() {
+                    self.chunk_rng = Some(SplitMix64::new(faults.seed ^ 0xC4A0_5000_0000_0002));
+                }
+                self.chunk_faults = Some(faults);
+            }
+            _ => self.chunk_faults = None,
+        }
+    }
+
+    /// Job submissions lost to injected drop faults.
+    pub fn lost_submissions(&self) -> usize {
+        self.lost_submissions
+    }
+
+    /// Job transactions re-submitted after a presumed-lost submission.
+    pub fn resubmissions(&self) -> usize {
+        self.resubmissions
     }
 
     /// Completed job measurements (Figs. 4–5, §V-A).
@@ -155,6 +242,11 @@ impl Relayer {
         contract: &Rc<RefCell<GuestContract>>,
     ) {
         let guest_events = self.scan_host_blocks(host);
+        // Only armed once chunk faults have ever been installed, so an
+        // unfaulted run is bit-identical with or without the machinery.
+        if self.chunk_rng.is_some() {
+            self.resubmit_lost_submission(host);
+        }
         // Free staging buffers of abandoned jobs.
         for buffer in std::mem::take(&mut self.pending_cleanup) {
             self.submit_instruction(host, &GuestInstruction::DropBuffer { buffer });
@@ -288,10 +380,8 @@ impl Relayer {
                 remaining.push(packet);
                 continue;
             }
-            let proof_data = ProofData {
-                height: block.height,
-                bytes: ibc_core::store::encode_proof(&proof),
-            };
+            let proof_data =
+                ProofData { height: block.height, bytes: ibc_core::store::encode_proof(&proof) };
             // The counterparty writes the ack; we pick it up from its
             // events and queue an AckToGuest intent.
             let now = cp.host_time();
@@ -300,10 +390,8 @@ impl Relayer {
                 Err(ibc_core::IbcError::Timeout(_)) => {
                     // Expired before delivery: refund the sender via a
                     // guest-side TimeoutPacket once non-receipt is provable.
-                    self.intents.push_back(Intent::TimeoutToGuest {
-                        packet,
-                        seen_cp_height: now.height,
-                    });
+                    self.intents
+                        .push_back(Intent::TimeoutToGuest { packet, seen_cp_height: now.height });
                 }
                 Err(_) => {
                     self.failed_jobs += 1;
@@ -327,10 +415,8 @@ impl Relayer {
                 remaining.push((packet, ack));
                 continue;
             }
-            let proof_data = ProofData {
-                height: block.height,
-                bytes: ibc_core::store::encode_proof(&proof),
-            };
+            let proof_data =
+                ProofData { height: block.height, bytes: ibc_core::store::encode_proof(&proof) };
             let _ = cp.ibc_mut().acknowledge_packet(&packet, &ack, proof_data);
         }
         self.pending_guest_acks = remaining;
@@ -373,16 +459,13 @@ impl Relayer {
             let head = guest.head();
             guest.is_finalised(head.height)
                 && (guest.state_root() != head.state_root
-                    || host.now_ms().saturating_sub(head.timestamp_ms)
-                        >= guest.config().delta_ms)
+                    || host.now_ms().saturating_sub(head.timestamp_ms) >= guest.config().delta_ms)
         };
         if !due {
             return;
         }
-        let id = self.submit_instruction(
-            host,
-            &GuestInstruction::Inline { op: GuestOp::GenerateBlock },
-        );
+        let id =
+            self.submit_instruction(host, &GuestInstruction::Inline { op: GuestOp::GenerateBlock });
         self.generate_in_flight = Some(id);
     }
 
@@ -481,12 +564,10 @@ impl Relayer {
                     self.failed_jobs += 1;
                     return true;
                 };
-                if !proof.verify_member(&consensus.root, &key, packet.commitment().as_bytes())
-                {
+                if !proof.verify_member(&consensus.root, &key, packet.commitment().as_bytes()) {
                     // The trusted root predates (or postdates) the
                     // commitment; a fresher header is needed.
-                    self.intents
-                        .push_front(Intent::DeliverToGuest { packet, seen_cp_height });
+                    self.intents.push_front(Intent::DeliverToGuest { packet, seen_cp_height });
                     return false;
                 }
                 let op = GuestOp::RecvPacket { packet, proof_height, proof };
@@ -504,8 +585,7 @@ impl Relayer {
                     return true;
                 };
                 if !proof.verify_member(&consensus.root, &key, ack.commitment().as_bytes()) {
-                    self.intents
-                        .push_front(Intent::AckToGuest { packet, ack, seen_cp_height });
+                    self.intents.push_front(Intent::AckToGuest { packet, ack, seen_cp_height });
                     return false;
                 }
                 let op = GuestOp::AckPacket { packet, ack, proof_height, proof };
@@ -516,8 +596,7 @@ impl Relayer {
                 // The guest's timeout handler checks expiry against the
                 // consensus at the proof height.
                 if !packet.timeout.has_expired(proof_height, consensus.timestamp_ms) {
-                    self.intents
-                        .push_front(Intent::TimeoutToGuest { packet, seen_cp_height });
+                    self.intents.push_front(Intent::TimeoutToGuest { packet, seen_cp_height });
                     return false;
                 }
                 let key = ibc_core::path::packet_receipt(
@@ -545,9 +624,7 @@ impl Relayer {
         let buffer = self.next_buffer;
         self.next_buffer += 1;
         let queue: VecDeque<GuestInstruction> =
-            plan_op_for(&self.config.host_profile, op, buffer, sig_checks)
-                .into_iter()
-                .collect();
+            plan_op_for(&self.config.host_profile, op, buffer, sig_checks).into_iter().collect();
         debug_assert!(
             sig_checks == 0
                 || queue.len() > sig_checks / sig_checks_per_tx_for(&self.config.host_profile)
@@ -557,6 +634,7 @@ impl Relayer {
             buffer,
             queue,
             in_flight: None,
+            submitted_slot: host.slot(),
             scheduled_ms: host.now_ms(),
             first_tx_ms: None,
             last_tx_ms: host.now_ms(),
@@ -570,11 +648,41 @@ impl Relayer {
     /// Submits the next transaction of the active job (one at a time, as
     /// the deployed relayer awaited confirmations), or finishes the job.
     fn pump_active_job(&mut self, host: &mut HostChain) {
+        let current_slot = host.slot();
         let Some(active) = &mut self.active else { return };
         if active.in_flight.is_some() {
             return;
         }
+        if let (Some(faults), Some(rng)) = (&self.chunk_faults, &mut self.chunk_rng) {
+            if faults.reorder_probability > 0.0
+                && active.queue.len() >= 2
+                && rng.next_f64() < faults.reorder_probability
+            {
+                active.queue.swap(0, 1);
+            }
+        }
         if let Some(instruction) = active.queue.pop_front() {
+            if let (Some(faults), Some(rng)) = (&self.chunk_faults, &mut self.chunk_rng) {
+                if faults.drop_probability > 0.0 && rng.next_f64() < faults.drop_probability {
+                    // Lost in transit: park it under a sentinel id no real
+                    // transaction ever gets, so confirmation never arrives
+                    // and the timeout path re-submits it.
+                    let id = self.next_lost_id;
+                    self.next_lost_id -= 1;
+                    self.lost_submissions += 1;
+                    let active = self.active.as_mut().expect("active job checked above");
+                    active.in_flight = Some((id, instruction));
+                    active.submitted_slot = current_slot;
+                    return;
+                }
+            }
+            let duplicate = match (&self.chunk_faults, &mut self.chunk_rng) {
+                (Some(faults), Some(rng)) => {
+                    faults.duplicate_probability > 0.0
+                        && rng.next_f64() < faults.duplicate_probability
+                }
+                _ => false,
+            };
             let id = {
                 let tx = self.build_tx(&instruction);
                 match tx.fee_policy {
@@ -582,10 +690,14 @@ impl Relayer {
                     _ => host.submit(tx),
                 }
             };
-            self.active
-                .as_mut()
-                .expect("active job checked above")
-                .in_flight = Some((id, instruction));
+            if duplicate {
+                // An at-least-once RPC retry: the same transaction lands
+                // twice; the relayer only tracks the first copy.
+                self.submit_instruction(host, &instruction);
+            }
+            let active = self.active.as_mut().expect("active job checked above");
+            active.in_flight = Some((id, instruction));
+            active.submitted_slot = current_slot;
             return;
         }
         // Queue drained and nothing in flight: the job is complete.
@@ -599,6 +711,24 @@ impl Relayer {
             fee_lamports: done.fee_lamports,
             sig_checks: done.sig_checks,
         });
+    }
+
+    /// Re-queues the in-flight instruction when its confirmation is overdue
+    /// — a dropped submission never confirms, so this is how the relayer
+    /// recovers from injected chunk loss (it also fires for a transaction
+    /// stuck in a congested mempool, where the duplicate is harmless: the
+    /// guest contract tolerates replays).
+    fn resubmit_lost_submission(&mut self, host: &HostChain) {
+        let now_slot = host.slot();
+        let Some(active) = &mut self.active else { return };
+        if active.in_flight.is_none()
+            || now_slot.saturating_sub(active.submitted_slot) <= RESUBMIT_AFTER_SLOTS
+        {
+            return;
+        }
+        let (_, instruction) = active.in_flight.take().expect("checked above");
+        active.queue.push_front(instruction);
+        self.resubmissions += 1;
     }
 
     fn build_tx(&self, instruction: &GuestInstruction) -> Transaction {

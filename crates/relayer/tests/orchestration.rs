@@ -7,7 +7,9 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use counterparty_sim::{CounterpartyChain, CounterpartyConfig};
-use guest_chain::{GuestConfig, GuestContract, GuestEvent, GuestInstruction, GuestOp, GuestProgram};
+use guest_chain::{
+    GuestConfig, GuestContract, GuestEvent, GuestInstruction, GuestOp, GuestProgram,
+};
 use host_sim::{CongestionModel, FeePolicy, HostChain, Instruction, Pubkey, Transaction};
 use ibc_core::channel::Timeout;
 use relayer::{connect_chains, JobKind, Relayer, RelayerConfig};
@@ -35,12 +37,8 @@ impl World {
 
         let keypairs: Vec<Keypair> = (0..3).map(Keypair::from_seed).collect();
         let validators = keypairs.iter().map(|kp| (kp.public(), 100)).collect();
-        let contract = Rc::new(RefCell::new(GuestContract::new(
-            GuestConfig::fast(),
-            validators,
-            0,
-            0,
-        )));
+        let contract =
+            Rc::new(RefCell::new(GuestContract::new(GuestConfig::fast(), validators, 0, 0)));
         let program =
             GuestProgram::new(program_id, Pubkey::from_label("guest-vault"), contract.clone());
         host.bank_mut().register_program(program_id, Box::new(program));
@@ -147,12 +145,7 @@ fn relayer_moves_an_outbound_transfer_and_its_ack() {
 
     // The counterparty received the packet (the relayer pushed the header
     // and the proof), and the ack travelled back through staged host txs.
-    let acks = world
-        .relayer
-        .records()
-        .iter()
-        .filter(|r| r.kind == JobKind::AckPacket)
-        .count();
+    let acks = world.relayer.records().iter().filter(|r| r.kind == JobKind::AckPacket).count();
     assert_eq!(acks, 1, "exactly one ack job completed");
     assert_eq!(world.relayer.failed_jobs(), 0);
     assert_eq!(world.relayer.backlog(), 0, "no stranded work");
@@ -164,10 +157,7 @@ fn relayer_moves_an_outbound_transfer_and_its_ack() {
         1,
     );
     let contract = world.contract.borrow();
-    assert!(matches!(
-        ibc_core::ProvableStore::get(contract.ibc().store(), &key),
-        Ok(None)
-    ));
+    assert!(matches!(ibc_core::ProvableStore::get(contract.ibc().store(), &key), Ok(None)));
 }
 
 #[test]

@@ -68,21 +68,12 @@ impl Nibbles {
         if !self.0.len().is_multiple_of(2) {
             return None;
         }
-        Some(
-            self.0
-                .chunks_exact(2)
-                .map(|pair| (pair[0] << 4) | pair[1])
-                .collect(),
-        )
+        Some(self.0.chunks_exact(2).map(|pair| (pair[0] << 4) | pair[1]).collect())
     }
 
     /// Length of the longest common prefix with `other`.
     pub fn common_prefix_len(&self, other: &[u8]) -> usize {
-        self.0
-            .iter()
-            .zip(other)
-            .take_while(|(a, b)| a == b)
-            .count()
+        self.0.iter().zip(other).take_while(|(a, b)| a == b).count()
     }
 
     /// Returns the sub-path `[start, end)`.

@@ -121,9 +121,7 @@ impl Node {
     pub fn storage_size(&self) -> usize {
         match self {
             Node::Leaf { path, value } => {
-                1 + 2 + path.len().div_ceil(2)
-                    + 32
-                    + value.data.as_ref().map_or(0, |d| d.len())
+                1 + 2 + path.len().div_ceil(2) + 32 + value.data.as_ref().map_or(0, |d| d.len())
             }
             Node::Branch { children } => 1 + children.iter().flatten().count() * 40,
             Node::Extension { path, .. } => 1 + 2 + path.len().div_ceil(2) + 40,
@@ -140,10 +138,8 @@ mod tests {
 
     #[test]
     fn sealing_value_preserves_node_hash() {
-        let mut leaf = Node::Leaf {
-            path: Nibbles::from_key(b"k"),
-            value: Value::new(b"v".to_vec()),
-        };
+        let mut leaf =
+            Node::Leaf { path: Nibbles::from_key(b"k"), value: Value::new(b"v".to_vec()) };
         let before = leaf.hash();
         if let Node::Leaf { value, .. } = &mut leaf {
             value.seal();
@@ -190,10 +186,8 @@ mod tests {
 
     #[test]
     fn storage_size_shrinks_when_sealed() {
-        let mut leaf = Node::Leaf {
-            path: Nibbles::from_key(b"key"),
-            value: Value::new(vec![0u8; 100]),
-        };
+        let mut leaf =
+            Node::Leaf { path: Nibbles::from_key(b"key"), value: Value::new(vec![0u8; 100]) };
         let before = leaf.storage_size();
         if let Node::Leaf { value, .. } = &mut leaf {
             value.seal();

@@ -43,9 +43,7 @@ impl ProofNode {
     /// bytes reduced to hashes).
     pub fn from_node(node: &Node) -> Self {
         match node {
-            Node::Leaf { path, value } => {
-                Self::Leaf { path: path.clone(), value_hash: value.hash }
-            }
+            Node::Leaf { path, value } => Self::Leaf { path: path.clone(), value_hash: value.hash },
             Node::Branch { children } => {
                 let mut hashes = [None; 16];
                 for (slot, child) in children.iter().enumerate() {
@@ -205,10 +203,7 @@ impl Proof {
                             remaining = &remaining[1..];
                         }
                         None => {
-                            return Self::finish(
-                                VerifyOutcome::NonMember,
-                                nodes.next().is_some(),
-                            );
+                            return Self::finish(VerifyOutcome::NonMember, nodes.next().is_some());
                         }
                     }
                 }
@@ -219,10 +214,7 @@ impl Proof {
                         expected = *child;
                         remaining = &remaining[ext_path.len()..];
                     } else {
-                        return Self::finish(
-                            VerifyOutcome::NonMember,
-                            nodes.next().is_some(),
-                        );
+                        return Self::finish(VerifyOutcome::NonMember, nodes.next().is_some());
                     }
                 }
             }
@@ -260,18 +252,14 @@ mod tests {
     fn sample_trie() -> Trie {
         let mut trie = Trie::new();
         for i in 0..64u32 {
-            trie.insert(format!("key/{i:02}").as_bytes(), format!("val-{i}").as_bytes())
-                .unwrap();
+            trie.insert(format!("key/{i:02}").as_bytes(), format!("val-{i}").as_bytes()).unwrap();
         }
         trie
     }
 
     #[test]
     fn proof_node_hash_matches_node_hash() {
-        let node = Node::Leaf {
-            path: Nibbles::from_key(b"abc"),
-            value: Value::new(b"v".to_vec()),
-        };
+        let node = Node::Leaf { path: Nibbles::from_key(b"abc"), value: Value::new(b"v".to_vec()) };
         assert_eq!(ProofNode::from_node(&node).hash(), node.hash());
 
         let branch = Node::Branch {

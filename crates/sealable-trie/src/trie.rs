@@ -187,8 +187,7 @@ impl<S: NodeStore> Trie<S> {
                 let old_slot = leaf_path.as_slice()[cp] as usize;
                 let old_rest = leaf_path.slice(cp + 1, leaf_path.len());
                 let old_is_sealed_at_max_depth = leaf_value.is_sealed() && old_rest.is_empty();
-                let old_ref =
-                    self.put_node(Node::Leaf { path: old_rest, value: leaf_value });
+                let old_ref = self.put_node(Node::Leaf { path: old_rest, value: leaf_value });
                 if old_is_sealed_at_max_depth {
                     // A sealed skeleton that ends up at maximal depth can
                     // never be split again — reclaim it now, keeping only
@@ -201,10 +200,8 @@ impl<S: NodeStore> Trie<S> {
                 children[new_slot] = Some(self.put_node(Node::Leaf { path: new_rest, value }));
                 let mut subtree = self.put_node(Node::Branch { children });
                 if cp > 0 {
-                    subtree = self.put_node(Node::Extension {
-                        path: leaf_path.slice(0, cp),
-                        child: subtree,
-                    });
+                    subtree = self
+                        .put_node(Node::Extension { path: leaf_path.slice(0, cp), child: subtree });
                 }
                 self.store.remove(current.ptr, false);
                 Ok((subtree, true))
@@ -224,8 +221,7 @@ impl<S: NodeStore> Trie<S> {
                 if cp == ext_path.len() {
                     let (new_child, inserted_new) =
                         self.insert_at(Some(child), &path[cp..], value)?;
-                    let new =
-                        self.put_node(Node::Extension { path: ext_path, child: new_child });
+                    let new = self.put_node(Node::Extension { path: ext_path, child: new_child });
                     self.store.remove(current.ptr, false);
                     return Ok((new, inserted_new));
                 }
@@ -244,10 +240,8 @@ impl<S: NodeStore> Trie<S> {
                 children[new_slot] = Some(self.put_node(Node::Leaf { path: new_rest, value }));
                 let mut subtree = self.put_node(Node::Branch { children });
                 if cp > 0 {
-                    subtree = self.put_node(Node::Extension {
-                        path: ext_path.slice(0, cp),
-                        child: subtree,
-                    });
+                    subtree = self
+                        .put_node(Node::Extension { path: ext_path.slice(0, cp), child: subtree });
                 }
                 self.store.remove(current.ptr, false);
                 Ok((subtree, true))
@@ -372,17 +366,16 @@ impl<S: NodeStore> Trie<S> {
                 let live: Vec<usize> = (0..16).filter(|i| children[*i].is_some()).collect();
                 let replacement = match live.as_slice() {
                     [] => None,
-                    [only] => Some(
-                        self.collapse_branch(*only as u8, children[*only].expect("live slot")),
-                    ),
+                    [only] => {
+                        Some(self.collapse_branch(*only as u8, children[*only].expect("live slot")))
+                    }
                     _ => Some(self.put_node(Node::Branch { children })),
                 };
                 self.store.remove(current.ptr, false);
                 Ok((replacement, removed))
             }
             Node::Extension { path: ext_path, child } => {
-                if path.len() < ext_path.len() || &path[..ext_path.len()] != ext_path.as_slice()
-                {
+                if path.len() < ext_path.len() || &path[..ext_path.len()] != ext_path.as_slice() {
                     return Ok((Some(current), None));
                 }
                 let (new_child, removed) = self.remove_at(child, &path[ext_path.len()..])?;
@@ -541,9 +534,9 @@ impl<S: NodeStore> Trie<S> {
                     // Only a branch with all 16 slots occupied can never be
                     // needed again once every child is reclaimed: no new
                     // slot can appear and no child can be split.
-                    Node::Branch { children } => children.iter().all(|child| {
-                        child.is_some_and(|c| self.store.get(c.ptr).is_none())
-                    }),
+                    Node::Branch { children } => children
+                        .iter()
+                        .all(|child| child.is_some_and(|c| self.store.get(c.ptr).is_none())),
                     // Extensions stay: a future key may diverge inside their
                     // compressed path, which requires reading it.
                     Node::Extension { .. } => false,
@@ -556,8 +549,7 @@ impl<S: NodeStore> Trie<S> {
             }
         } else {
             value.seal();
-            self.store
-                .replace(leaf_ref.ptr, Node::Leaf { path: leaf_path, value });
+            self.store.replace(leaf_ref.ptr, Node::Leaf { path: leaf_path, value });
         }
 
         self.live_entries -= 1;
@@ -751,10 +743,7 @@ mod tests {
         assert_eq!(trie.len(), 500);
         for i in 0u32..500 {
             let key = format!("key/{i:04}");
-            assert_eq!(
-                trie.get(key.as_bytes()).unwrap().unwrap(),
-                format!("value-{i}").as_bytes()
-            );
+            assert_eq!(trie.get(key.as_bytes()).unwrap().unwrap(), format!("value-{i}").as_bytes());
         }
         assert_eq!(trie.get(b"key/0500").unwrap(), None);
     }
@@ -869,8 +858,7 @@ mod tests {
         for _round in 0..10u32 {
             let first = seq;
             for _ in 0..256 {
-                trie.insert(&seq.to_be_bytes(), b"32-byte-commitment-placeholder!")
-                    .unwrap();
+                trie.insert(&seq.to_be_bytes(), b"32-byte-commitment-placeholder!").unwrap();
                 seq += 1;
             }
             peak_live = peak_live.max(trie.stats().byte_count);
@@ -926,10 +914,7 @@ mod tests {
         trie.seal(b"b").unwrap();
         let mut entries = trie.entries();
         entries.sort();
-        assert_eq!(
-            entries,
-            vec![(b"a".to_vec(), b"1".to_vec()), (b"c".to_vec(), b"3".to_vec())]
-        );
+        assert_eq!(entries, vec![(b"a".to_vec(), b"1".to_vec()), (b"c".to_vec(), b"3".to_vec())]);
     }
 
     #[test]
@@ -1079,10 +1064,7 @@ mod tests {
                 }
                 let ea = encode_key(a);
                 let eb = encode_key(b);
-                assert!(
-                    !eb.starts_with(&ea),
-                    "{a:?} encoding is a prefix of {b:?} encoding"
-                );
+                assert!(!eb.starts_with(&ea), "{a:?} encoding is a prefix of {b:?} encoding");
             }
         }
     }

@@ -90,8 +90,10 @@ impl Hash {
         }
         let mut out = [0u8; HASH_LEN];
         for (i, pair) in bytes.chunks_exact(2).enumerate() {
-            let hi = (pair[0] as char).to_digit(16).ok_or(ParseHashError::BadDigit(pair[0] as char))?;
-            let lo = (pair[1] as char).to_digit(16).ok_or(ParseHashError::BadDigit(pair[1] as char))?;
+            let hi =
+                (pair[0] as char).to_digit(16).ok_or(ParseHashError::BadDigit(pair[0] as char))?;
+            let lo =
+                (pair[1] as char).to_digit(16).ok_or(ParseHashError::BadDigit(pair[1] as char))?;
             out[i] = ((hi << 4) | lo) as u8;
         }
         Ok(Self(out))

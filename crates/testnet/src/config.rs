@@ -1,6 +1,7 @@
 //! Testnet configuration, including the validator profiles calibrated to
 //! the paper's Table I.
 
+use chaos::{ChaosPlan, Fault, InvariantConfig};
 use guest_chain::GuestConfig;
 use host_sim::{CongestionModel, FeePolicy, HostProfile};
 use relayer::RelayerConfig;
@@ -52,8 +53,8 @@ impl ValidatorProfile {
 /// (2 base signatures = 0.2 ¢, remainder in priority fees over a 200 k CU
 /// budget), reproducing Table I's cost column.
 pub fn sign_fee_for_cents(cents: f64) -> FeePolicy {
-    let total_lamports = (cents / 100.0 / host_sim::USD_PER_SOL
-        * host_sim::LAMPORTS_PER_SOL as f64) as u64;
+    let total_lamports =
+        (cents / 100.0 / host_sim::USD_PER_SOL * host_sim::LAMPORTS_PER_SOL as f64) as u64;
     let base = 2 * host_sim::LAMPORTS_PER_SIGNATURE;
     let extra = total_lamports.saturating_sub(base);
     if extra == 0 {
@@ -68,7 +69,8 @@ pub fn sign_fee_for_cents(cents: f64) -> FeePolicy {
 ///
 /// * Validator #1 (index 0) holds the dominant stake — the deployment
 ///   stalled when it failed, so the remaining honest validators cannot
-///   have held a quorum without it. Its 10-hour outage is injected here.
+///   have held a quorum without it. Its 10-hour day-11 outage is part of
+///   [`TestnetConfig::paper`]'s chaos plan ([`paper_outage_plan`]).
 /// * 16 further active validators: stakes scaled to their observed
 ///   signature share (diligence), fees from the Cost column, latency
 ///   medians from the latency columns.
@@ -96,15 +98,15 @@ pub fn paper_validators() -> Vec<ValidatorProfile> {
     let mut profiles = vec![ValidatorProfile {
         // Validator #1: a dominant stake whose signature alone reaches the
         // ⅔ quorum — consistent with the deployment stalling the moment it
-        // failed (§V-C). 1.00 ¢ fee, 10-hour outage starting on day 11
-        // (the Fig. 2 stragglers and Fig. 6 tail).
+        // failed (§V-C). 1.00 ¢ fee; its 10-hour day-11 outage (the Fig. 2
+        // stragglers and Fig. 6 tail) is scheduled by the paper chaos plan.
         stake: 1_000_000,
         active: true,
         fee_policy: sign_fee_for_cents(1.00),
         latency_median_ms: 5_600,
         latency_sigma: 0.45,
         diligence: 1.0,
-        outage: Some((11 * DAY_MS, 11 * DAY_MS + 35_940_000)),
+        outage: None,
     }];
     for (diligence, cents, median_s) in rows {
         profiles.push(ValidatorProfile {
@@ -131,6 +133,19 @@ pub fn paper_validators() -> Vec<ValidatorProfile> {
         });
     }
     profiles
+}
+
+/// The deployment's one recorded incident as a chaos scenario: validator
+/// #1 crashes for 9 h 59 m starting on day 11 (§V-C). Same semantics as
+/// the old hard-coded `ValidatorProfile::outage` — signatures scheduled
+/// into the window fire right after it, the safety net skips the
+/// validator while it is down — so the Table I stall reproduces exactly.
+pub fn paper_outage_plan(seed: u64) -> ChaosPlan {
+    ChaosPlan::new(seed).with(
+        11 * DAY_MS,
+        11 * DAY_MS + 35_940_000,
+        Fault::ValidatorCrash { validator: 0 },
+    )
 }
 
 /// How client contracts pay for SendPacket transactions (Fig. 3).
@@ -210,6 +225,11 @@ pub struct TestnetConfig {
     /// Optional rogue validator; a fisherman actor watches the vote gossip
     /// and reports conflicts on-chain (§III-C).
     pub rogue: Option<RogueConfig>,
+    /// Scheduled fault injection; the empty default plan is inert (the
+    /// run is identical to one without any chaos machinery).
+    pub chaos: ChaosPlan,
+    /// Tuning of the invariant audit that runs alongside the simulation.
+    pub invariants: InvariantConfig,
 }
 
 impl TestnetConfig {
@@ -237,6 +257,8 @@ impl TestnetConfig {
             workload: Workload::default(),
             safety_net_ms: 20_000,
             rogue: None,
+            chaos: paper_outage_plan(20240901),
+            invariants: InvariantConfig::default(),
         }
     }
 
@@ -260,6 +282,8 @@ impl TestnetConfig {
             workload: Workload { outbound_mean_gap_ms: 60_000, inbound_mean_gap_ms: 90_000 },
             safety_net_ms: 15_000,
             rogue: None,
+            chaos: ChaosPlan::default(),
+            invariants: InvariantConfig::default(),
         }
     }
 }
@@ -279,8 +303,7 @@ mod tests {
         let without_first: u64 = profiles[1..].iter().map(|p| p.stake).sum();
         assert!(without_first < quorum, "{without_first} < {quorum}");
         // With #1 plus the active set, quorum is reachable.
-        let active: u64 =
-            profiles.iter().filter(|p| p.active).map(|p| p.stake).sum();
+        let active: u64 = profiles.iter().filter(|p| p.active).map(|p| p.stake).sum();
         assert!(active >= quorum);
     }
 

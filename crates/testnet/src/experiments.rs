@@ -136,16 +136,10 @@ pub fn report_of(net: &Testnet, duration_ms: u64) -> EvaluationReport {
     }
 
     // Table I.
-    let validator_count = net
-        .sign_records
-        .iter()
-        .map(|r| r.validator + 1)
-        .max()
-        .unwrap_or(0);
+    let validator_count = net.sign_records.iter().map(|r| r.validator + 1).max().unwrap_or(0);
     let mut table1 = Vec::new();
     for index in 0..validator_count {
-        let records: Vec<_> =
-            net.sign_records.iter().filter(|r| r.validator == index).collect();
+        let records: Vec<_> = net.sign_records.iter().filter(|r| r.validator == index).collect();
         if records.is_empty() {
             continue;
         }
@@ -161,11 +155,8 @@ pub fn report_of(net: &Testnet, duration_ms: u64) -> EvaluationReport {
     table1.sort_by_key(|row| std::cmp::Reverse(row.sigs));
     // §V-C computes the correlation over individual (cost, latency)
     // observations; within-validator variance dominates, so r ≈ 0.
-    let costs: Vec<f64> = net
-        .sign_records
-        .iter()
-        .map(|r| lamports_to_cents(r.fee_lamports))
-        .collect();
+    let costs: Vec<f64> =
+        net.sign_records.iter().map(|r| lamports_to_cents(r.fee_lamports)).collect();
     let latencies: Vec<f64> = net.sign_records.iter().map(|r| r.latency_s()).collect();
     let cost_latency_correlation = correlation(&costs, &latencies);
 

@@ -9,8 +9,11 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::Rc;
 
+use chaos::{ChaosController, CheckContext, Fault, InvariantSuite, InvariantViolation};
 use counterparty_sim::CounterpartyChain;
-use guest_chain::{GuestBlock, GuestContract, GuestEvent, GuestInstruction, GuestOp, GuestProgram, SignedVote};
+use guest_chain::{
+    GuestBlock, GuestContract, GuestEvent, GuestInstruction, GuestOp, GuestProgram, SignedVote,
+};
 use host_sim::{rent, FeePolicy, HostChain, Instruction, Pubkey, Transaction};
 use ibc_core::channel::Timeout;
 use ibc_core::ics20::TransferModule;
@@ -31,7 +34,8 @@ const RELAYER_PAYER: &str = "relayer-payer";
 /// The ledger account sending outbound transfers from the guest side.
 pub const GUEST_USER: &str = "9xQeWvG816bUx9EPjHmaT23yvVM2ZWbrrpZb9PusVFin";
 /// The ledger account sending inbound transfers from the counterparty.
-pub const CP_USER: &str = "pica1w508d6qejxtdg4y5r3zarvary0c5xw7kw508d6qejxtdg4y5r3zarvary0c5xw7k3k4mq2";
+pub const CP_USER: &str =
+    "pica1w508d6qejxtdg4y5r3zarvary0c5xw7kw508d6qejxtdg4y5r3zarvary0c5xw7k3k4mq2";
 /// The native denomination escrowed on the guest side.
 pub const GUEST_DENOM: &str = "wsol";
 /// The native denomination escrowed on the counterparty side.
@@ -82,6 +86,12 @@ pub struct Testnet {
     gossip: Vec<SignedVote>,
     /// Misbehaviour reports the fisherman submitted.
     pub fisherman_reports: usize,
+    /// Scheduled fault injection (inert when the plan is empty).
+    chaos: ChaosController,
+    /// Cross-chain safety audit, run at every finalised guest block.
+    invariants: InvariantSuite,
+    /// Next periodic audit (so a stalled chain still flags orphans).
+    next_audit_ms: u64,
 }
 
 impl Testnet {
@@ -104,9 +114,8 @@ impl Testnet {
         host.bank_mut().airdrop(vault, 1);
 
         // Validator keys and their (funded) fee payers.
-        let keypairs: Vec<Keypair> = (0..config.validators.len() as u64)
-            .map(|i| Keypair::from_seed(0xA11CE + i))
-            .collect();
+        let keypairs: Vec<Keypair> =
+            (0..config.validators.len() as u64).map(|i| Keypair::from_seed(0xA11CE + i)).collect();
         let validator_payers: Vec<Pubkey> = (0..config.validators.len())
             .map(|i| {
                 let payer = Pubkey::from_label(&format!("validator-payer-{i}"));
@@ -121,12 +130,8 @@ impl Testnet {
             .zip(&config.validators)
             .map(|(kp, profile)| (kp.public(), profile.stake))
             .collect();
-        let contract = Rc::new(RefCell::new(GuestContract::new(
-            config.guest,
-            genesis_validators,
-            0,
-            0,
-        )));
+        let contract =
+            Rc::new(RefCell::new(GuestContract::new(config.guest, genesis_validators, 0, 0)));
         let program = GuestProgram::new(program_id, vault, contract.clone());
         host.bank_mut().register_program(program_id, Box::new(program));
         // The paper's 10 MiB state account (§V-D): rent-exempt deposit paid
@@ -151,31 +156,28 @@ impl Testnet {
         // Prefund transfer users on both ledgers.
         {
             let mut guard = contract.borrow_mut();
-            let module = guard
-                .ibc_mut()
-                .module_mut(&endpoints.port)
-                .expect("transfer module bound");
-            module
-                .as_any_mut()
-                .downcast_mut::<TransferModule>()
-                .expect("ICS-20 module")
-                .mint(GUEST_USER, GUEST_DENOM, u128::MAX / 4);
+            let module =
+                guard.ibc_mut().module_mut(&endpoints.port).expect("transfer module bound");
+            module.as_any_mut().downcast_mut::<TransferModule>().expect("ICS-20 module").mint(
+                GUEST_USER,
+                GUEST_DENOM,
+                u128::MAX / 4,
+            );
         }
         {
-            let module = cp
-                .ibc_mut()
-                .module_mut(&endpoints.port)
-                .expect("transfer module bound");
-            module
-                .as_any_mut()
-                .downcast_mut::<TransferModule>()
-                .expect("ICS-20 module")
-                .mint(CP_USER, CP_DENOM, u128::MAX / 4);
+            let module = cp.ibc_mut().module_mut(&endpoints.port).expect("transfer module bound");
+            module.as_any_mut().downcast_mut::<TransferModule>().expect("ICS-20 module").mint(
+                CP_USER,
+                CP_DENOM,
+                u128::MAX / 4,
+            );
         }
 
         let fisherman_payer = Pubkey::from_label("fisherman-payer");
         host.bank_mut().airdrop(fisherman_payer, 100 * host_sim::LAMPORTS_PER_SOL);
         let relayer = Relayer::new(config.relayer, relayer_payer, program_id, endpoints.clone());
+        let chaos = ChaosController::new(config.chaos.clone());
+        let invariant_config = config.invariants;
         let mut rng = SplitMix64::new(config.seed ^ 0x7e57);
         let first_out = Self::sample_exp(&mut rng, config.workload.outbound_mean_gap_ms);
         let first_in = Self::sample_exp(&mut rng, config.workload.inbound_mean_gap_ms);
@@ -207,6 +209,9 @@ impl Testnet {
             fisherman_payer,
             gossip: Vec::new(),
             fisherman_reports: 0,
+            chaos,
+            invariants: InvariantSuite::new(invariant_config),
+            next_audit_ms: 60_000,
         }
     }
 
@@ -223,8 +228,23 @@ impl Testnet {
         }
     }
 
+    /// Violations detected by the invariant suite so far.
+    pub fn invariant_violations(&self) -> &[InvariantViolation] {
+        self.invariants.violations()
+    }
+
     /// Advances exactly one host slot.
     pub fn step(&mut self) {
+        // 0. Point-in-time fault injection for this slot. Skipped entirely
+        // for an empty plan, keeping the baseline untouched.
+        if !self.chaos.is_empty() {
+            let at = self.host.now_ms();
+            self.host.set_disturbance(self.chaos.host_disturbance(at));
+            for fault in self.chaos.take_due_one_shots(at) {
+                self.apply_one_shot(fault);
+            }
+        }
+
         // 1. Produce the next host block and observe it.
         let (now, sign_results, send_results, guest_events) = {
             let block = self.host.advance_slot();
@@ -250,9 +270,7 @@ impl Testnet {
             let mut guest_events = Vec::new();
             for event in &block.events {
                 if event.program_id == self.program_id {
-                    if let Ok(guest_event) =
-                        serde_json::from_slice::<GuestEvent>(&event.payload)
-                    {
+                    if let Ok(guest_event) = serde_json::from_slice::<GuestEvent>(&event.payload) {
                         guest_events.push(guest_event);
                     }
                 }
@@ -287,7 +305,14 @@ impl Testnet {
             }
         }
 
-        // 3. React to guest events.
+        // 3. React to guest events; the invariant suite watches the same
+        // stream and audits after every finalised block.
+        let mut finalised_seen = false;
+        let faults = self.chaos.active_labels(now);
+        for event in &guest_events {
+            self.invariants.observe_guest_event(now, &faults, event, &self.endpoints.guest_channel);
+            finalised_seen |= matches!(event, GuestEvent::FinalisedBlock { .. });
+        }
         for event in guest_events {
             match event {
                 GuestEvent::NewBlock { block } => {
@@ -295,8 +320,7 @@ impl Testnet {
                 }
                 GuestEvent::FinalisedBlock { block, .. } => {
                     for record in &mut self.send_records {
-                        if record.finalised_ms.is_none() && record.sent_ms <= block.timestamp_ms
-                        {
+                        if record.finalised_ms.is_none() && record.sent_ms <= block.timestamp_ms {
                             record.finalised_ms = Some(now);
                         }
                     }
@@ -307,11 +331,8 @@ impl Testnet {
         }
 
         // 4. Fire due scheduled actions.
-        let due: Vec<(u64, u64)> = self
-            .schedule
-            .range(..=(now, u64::MAX))
-            .map(|(k, _)| *k)
-            .collect();
+        let due: Vec<(u64, u64)> =
+            self.schedule.range(..=(now, u64::MAX)).map(|(k, _)| *k).collect();
         for key in due {
             let action = self.schedule.remove(&key).expect("just listed");
             self.fire(action, now);
@@ -331,7 +352,7 @@ impl Testnet {
 
         // 6. Counterparty block production: commit when its state changed
         // or once a minute to keep timestamps fresh.
-        if now >= self.next_cp_check_ms {
+        if now >= self.next_cp_check_ms && !self.chaos.cp_halted(now) {
             self.next_cp_check_ms = now + self.config.counterparty.block_interval_ms;
             let root = self.cp.ibc().root();
             if root != self.last_cp_header_root || now - self.last_cp_header_ms >= 60_000 {
@@ -345,11 +366,54 @@ impl Testnet {
         // the canonical chain and reports them on-chain (§III-C).
         self.run_fisherman(now);
 
-        // 8. Let the relayer catch up.
-        self.relayer.tick(&mut self.host, &mut self.cp, &self.contract);
+        // 8. Let the relayer catch up (unless a halt fault holds it down).
+        if !self.chaos.is_empty() {
+            self.relayer.set_chunk_faults(self.chaos.chunk_faults(now));
+        }
+        if !self.chaos.relayer_halted(now) {
+            self.relayer.tick(&mut self.host, &mut self.cp, &self.contract);
+        }
 
-        // 9. Keep memory bounded on long runs.
+        // 9. Audit the safety invariants at every finalised guest block,
+        // plus once a minute so a fully stalled chain still flags orphaned
+        // packets (the audit is read-only; cadence does not affect state).
+        if finalised_seen || now >= self.next_audit_ms {
+            self.next_audit_ms = now + 60_000;
+            self.check_invariants(now);
+        }
+
+        // 10. Keep memory bounded on long runs.
         self.host.prune_blocks(512);
+    }
+
+    /// Applies a one-shot fault (currently: counterfeit voucher mints on
+    /// the counterparty, which the conservation audit must flag).
+    fn apply_one_shot(&mut self, fault: Fault) {
+        if let Fault::CounterfeitMint { account, denom, amount } = fault {
+            if let Some(module) = self.cp.ibc_mut().module_mut(&self.endpoints.port) {
+                if let Some(bank) = module.as_any_mut().downcast_mut::<TransferModule>() {
+                    bank.mint(&account, &denom, amount);
+                }
+            }
+        }
+    }
+
+    fn check_invariants(&mut self, now: u64) {
+        let faults = self.chaos.active_labels(now);
+        let contract = self.contract.borrow();
+        self.invariants.check(&CheckContext {
+            now_ms: now,
+            faults: &faults,
+            contract: &contract,
+            cp: &self.cp,
+            port: self.endpoints.port.clone(),
+            guest_channel: self.endpoints.guest_channel.clone(),
+            cp_channel: self.endpoints.cp_channel.clone(),
+            guest_client_on_cp: self.endpoints.guest_client_on_cp.clone(),
+            cp_client_on_guest: self.endpoints.cp_client_on_guest.clone(),
+            guest_denom: GUEST_DENOM,
+            cp_denom: CP_DENOM,
+        });
     }
 
     fn schedule(&mut self, at_ms: u64, action: Action) {
@@ -374,13 +438,28 @@ impl Testnet {
             if self.rng.next_f64() >= profile.diligence {
                 continue;
             }
-            let latency = self.sample_lognormal(profile.latency_median_ms, profile.latency_sigma);
+            let mut latency =
+                self.sample_lognormal(profile.latency_median_ms, profile.latency_sigma);
+            let factor = self.chaos.latency_factor(index, now);
+            if factor != 1.0 {
+                latency = (latency as f64 * factor) as u64;
+            }
             let mut fire_at = now + latency;
+            let skew = self.chaos.clock_skew_ms(index, now);
+            if skew != 0 {
+                // A drifting clock shifts when the signature lands, but it
+                // cannot land before the block it signs exists.
+                fire_at = fire_at.saturating_add_signed(skew).max(now);
+            }
             if let Some((start, end)) = profile.outage {
                 if fire_at >= start && fire_at < end {
                     // The operator fixes the node and the backlog is signed.
                     fire_at = end + latency;
                 }
+            }
+            if let Some((_, end)) = self.chaos.crash_window_at(index, fire_at) {
+                // Same recovery semantics as a profile outage.
+                fire_at = end + latency;
             }
             self.schedule(fire_at, Action::Sign { validator: index, height, block_ms });
         }
@@ -423,8 +502,7 @@ impl Testnet {
                 vec![Instruction::new(
                     self.program_id,
                     vec![Pubkey::from_label("guest-state")],
-                    GuestInstruction::Inline { op: GuestOp::ReportMisbehaviour { vote } }
-                        .encode(),
+                    GuestInstruction::Inline { op: GuestOp::ReportMisbehaviour { vote } }.encode(),
                 )],
                 FeePolicy::BaseOnly,
             )
@@ -453,6 +531,9 @@ impl Testnet {
                         if now >= start && now < end {
                             continue;
                         }
+                    }
+                    if self.chaos.crash_window_at(index, now).is_some() {
+                        continue;
                     }
                     self.submit_sign_tx(index, height, block_ms, now);
                 }

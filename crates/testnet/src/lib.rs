@@ -31,10 +31,13 @@ pub mod experiments;
 mod harness;
 pub mod metrics;
 
+pub use chaos::{
+    ChaosPlan, Fault, FaultEvent, InvariantConfig, InvariantKind, InvariantSuite,
+    InvariantViolation,
+};
 pub use config::{
-    RogueConfig,
-    paper_validators, sign_fee_for_cents, ClientFeeMix, TestnetConfig, ValidatorProfile,
-    Workload, DAY_MS, HOUR_MS,
+    paper_outage_plan, paper_validators, sign_fee_for_cents, ClientFeeMix, RogueConfig,
+    TestnetConfig, ValidatorProfile, Workload, DAY_MS, HOUR_MS,
 };
 pub use experiments::{evaluate, report_of, EvaluationReport, StorageReport, ValidatorRow};
 pub use harness::{Testnet, CP_DENOM, CP_USER, GUEST_DENOM, GUEST_USER};

@@ -27,7 +27,16 @@ impl Summary {
     /// Computes the summary of `values` (empty input gives all-zero stats).
     pub fn of(values: &[f64]) -> Self {
         if values.is_empty() {
-            return Self { count: 0, min: 0.0, q1: 0.0, median: 0.0, q3: 0.0, max: 0.0, mean: 0.0, stddev: 0.0 };
+            return Self {
+                count: 0,
+                min: 0.0,
+                q1: 0.0,
+                median: 0.0,
+                q3: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                stddev: 0.0,
+            };
         }
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in metrics"));
@@ -85,11 +94,7 @@ pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in metrics"));
     let n = sorted.len();
-    sorted
-        .into_iter()
-        .enumerate()
-        .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
-        .collect()
+    sorted.into_iter().enumerate().map(|(i, v)| (v, (i + 1) as f64 / n as f64)).collect()
 }
 
 /// A histogram over fixed-width bins, as (bin lower edge, count).
@@ -105,11 +110,7 @@ pub fn histogram(values: &[f64], bin_width: f64) -> Vec<(f64, usize)> {
         let idx = (((v - min) / bin_width) as usize).min(bins - 1);
         counts[idx] += 1;
     }
-    counts
-        .into_iter()
-        .enumerate()
-        .map(|(i, c)| (min + i as f64 * bin_width, c))
-        .collect()
+    counts.into_iter().enumerate().map(|(i, c)| (min + i as f64 * bin_width, c)).collect()
 }
 
 /// Pearson correlation coefficient of two equal-length samples.

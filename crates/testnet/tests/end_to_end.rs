@@ -38,11 +38,7 @@ fn outbound_transfers_reach_the_counterparty() {
     net.run_for(12 * 60 * 1_000);
 
     assert!(!net.send_records.is_empty(), "workload produced sends");
-    let finalised = net
-        .send_records
-        .iter()
-        .filter(|r| r.finalised_ms.is_some())
-        .count();
+    let finalised = net.send_records.iter().filter(|r| r.finalised_ms.is_some()).count();
     assert!(finalised > 0, "sends reached finalised guest blocks");
 
     // Tokens arrived on the counterparty as vouchers.
@@ -67,18 +63,9 @@ fn inbound_transfers_reach_the_guest_through_chunked_updates() {
     net.run_for(15 * 60 * 1_000);
 
     // The relayer ran chunked client updates and packet deliveries.
-    let updates = net
-        .relayer
-        .records()
-        .iter()
-        .filter(|r| r.kind == JobKind::ClientUpdate)
-        .count();
-    let recvs: Vec<_> = net
-        .relayer
-        .records()
-        .iter()
-        .filter(|r| r.kind == JobKind::RecvPacket)
-        .collect();
+    let updates = net.relayer.records().iter().filter(|r| r.kind == JobKind::ClientUpdate).count();
+    let recvs: Vec<_> =
+        net.relayer.records().iter().filter(|r| r.kind == JobKind::RecvPacket).collect();
     assert!(updates > 0, "light client updates happened");
     assert!(!recvs.is_empty(), "packets were delivered to the guest");
     for record in &recvs {
@@ -113,12 +100,7 @@ fn acknowledgements_flow_back_to_the_guest() {
     let mut net = Testnet::build(config);
     net.run_for(20 * 60 * 1_000);
 
-    let acks = net
-        .relayer
-        .records()
-        .iter()
-        .filter(|r| r.kind == JobKind::AckPacket)
-        .count();
+    let acks = net.relayer.records().iter().filter(|r| r.kind == JobKind::AckPacket).count();
     assert!(acks > 0, "acknowledgements were delivered back");
 }
 

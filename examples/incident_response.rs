@@ -53,11 +53,8 @@ fn main() {
     let mut net = Testnet::build(config);
     net.run_for(10 * 60_000);
 
-    let latencies: Vec<u64> = net
-        .send_records
-        .iter()
-        .filter_map(|r| r.finalised_ms.map(|f| f - r.sent_ms))
-        .collect();
+    let latencies: Vec<u64> =
+        net.send_records.iter().filter_map(|r| r.finalised_ms.map(|f| f - r.sent_ms)).collect();
     let worst = latencies.iter().max().copied().unwrap_or(0);
     let typical = latencies.iter().min().copied().unwrap_or(0);
     println!("  transfers: {} completed", latencies.len());

@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use be_my_guest::testnet::{Testnet, TestnetConfig, CP_USER, GUEST_DENOM};
 use be_my_guest::ibc_core::ics20::TransferModule;
+use be_my_guest::testnet::{Testnet, TestnetConfig, CP_USER, GUEST_DENOM};
 
 fn main() {
     // A small deployment: 4 validators, fast Δ, light Poisson traffic in

@@ -22,12 +22,8 @@ fn run_with(strategy: FeeStrategy) -> (Summary, Summary) {
     let mut net = Testnet::build(config);
     net.run_for(35 * 60 * 1_000);
 
-    let updates: Vec<_> = net
-        .relayer
-        .records()
-        .iter()
-        .filter(|r| r.kind == JobKind::ClientUpdate)
-        .collect();
+    let updates: Vec<_> =
+        net.relayer.records().iter().filter(|r| r.kind == JobKind::ClientUpdate).collect();
     let latencies: Vec<f64> = updates.iter().map(|r| r.span_ms() as f64 / 1_000.0).collect();
     let costs: Vec<f64> = updates.iter().map(|r| lamports_to_cents(r.fee_lamports)).collect();
     (Summary::of(&latencies), Summary::of(&costs))

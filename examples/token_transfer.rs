@@ -22,7 +22,11 @@ use be_my_guest::ibc_core::ProvableStore;
 use be_my_guest::relayer::{connect_chains, finalise_guest_block};
 use be_my_guest::sim_crypto::schnorr::Keypair;
 
-fn balance(chain_module: &mut dyn be_my_guest::ibc_core::Module, account: &str, denom: &str) -> u128 {
+fn balance(
+    chain_module: &mut dyn be_my_guest::ibc_core::Module,
+    account: &str,
+    denom: &str,
+) -> u128 {
     chain_module
         .as_any_mut()
         .downcast_mut::<TransferModule>()
@@ -34,12 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Deployment -----------------------------------------------------
     let keypairs: Vec<Keypair> = (0..4).map(Keypair::from_seed).collect();
     let validators = keypairs.iter().map(|kp| (kp.public(), 100)).collect();
-    let contract = Rc::new(RefCell::new(GuestContract::new(
-        GuestConfig::fast(),
-        validators,
-        0,
-        0,
-    )));
+    let contract = Rc::new(RefCell::new(GuestContract::new(GuestConfig::fast(), validators, 0, 0)));
     let mut cp = CounterpartyChain::new(CounterpartyConfig::default(), 7);
 
     // Clients, connection and transfer channel (the one-time handshake).
@@ -52,11 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     {
         let mut guard = contract.borrow_mut();
         let module = guard.ibc_mut().module_mut(&endpoints.port).unwrap();
-        module
-            .as_any_mut()
-            .downcast_mut::<TransferModule>()
-            .unwrap()
-            .mint("alice", "wsol", 1_000);
+        module.as_any_mut().downcast_mut::<TransferModule>().unwrap().mint("alice", "wsol", 1_000);
     }
 
     // --- Alice sends 400 wSOL to bob on the counterparty ----------------
@@ -103,11 +98,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let proof = ProvableStore::prove(contract.borrow().ibc().store(), &commitment_key)?;
     let now = cp.host_time();
-    let ack = cp.ibc_mut().recv_packet(
-        &packet,
-        ProofData { height: block.height, bytes: proof },
-        now,
-    )?;
+    let ack =
+        cp.ibc_mut().recv_packet(&packet, ProofData { height: block.height, bytes: proof }, now)?;
     println!("counterparty accepted the packet: {ack:?}");
     {
         let module = cp.ibc_mut().module_mut(&endpoints.port).unwrap();
@@ -128,9 +120,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- The acknowledgement travels back --------------------------------
     clock += 1_000;
     let header = cp.produce_block(clock).clone();
-    contract
-        .borrow_mut()
-        .update_counterparty_client(&endpoints.cp_client_on_guest, &header.encode(), clock)?;
+    contract.borrow_mut().update_counterparty_client(
+        &endpoints.cp_client_on_guest,
+        &header.encode(),
+        clock,
+    )?;
     let ack_key = be_my_guest::ibc_core::path::packet_ack(
         &packet.destination_port,
         &packet.destination_channel,

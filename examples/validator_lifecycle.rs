@@ -14,10 +14,7 @@ fn finalise(contract: &mut GuestContract, block: &GuestBlock, keypairs: &[Keypai
         if !contract.current_epoch().contains(&kp.public()) {
             continue;
         }
-        if contract
-            .sign(block.height, kp.public(), kp.sign(&block.signing_bytes()))
-            .unwrap()
-        {
+        if contract.sign(block.height, kp.public(), kp.sign(&block.signing_bytes())).unwrap() {
             break;
         }
     }

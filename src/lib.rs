@@ -9,12 +9,14 @@
 //! * [`ibc_core`] — the IBC protocol stack,
 //! * [`counterparty_sim`] — the Picasso-like counterparty chain,
 //! * [`relayer`] — packet relaying and light-client updates (Alg. 2),
+//! * [`chaos`] — deterministic fault injection and invariant checking,
 //! * [`testnet`] — the discrete-event simulation harness,
 //! * [`sim_crypto`] — hashing and signatures.
 //!
 //! Runnable walk-throughs live in `examples/`; start with
 //! `cargo run --example quickstart`.
 
+pub use chaos;
 pub use counterparty_sim;
 pub use guest_chain;
 pub use host_sim;

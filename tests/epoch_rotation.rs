@@ -60,11 +60,7 @@ fn staking_through_transactions_joins_the_next_epoch() {
         let head_block = contract.borrow().head();
         let done = contract
             .borrow_mut()
-            .sign(
-                head_block.height,
-                whale.public(),
-                whale.sign(&head_block.signing_bytes()),
-            )
+            .sign(head_block.height, whale.public(), whale.sign(&head_block.signing_bytes()))
             .unwrap();
         assert!(done, "the whale's stake alone finalises");
     }

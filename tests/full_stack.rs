@@ -85,11 +85,8 @@ fn receipts_are_sealed_and_bounded() {
     );
     // Each delivered packet's receipt is sealed (reads error, not None).
     let endpoints = net.relayer.endpoints();
-    let key = be_my_guest::ibc_core::path::packet_receipt(
-        &endpoints.port,
-        &endpoints.guest_channel,
-        1,
-    );
+    let key =
+        be_my_guest::ibc_core::path::packet_receipt(&endpoints.port, &endpoints.guest_channel, 1);
     assert!(
         ProvableStore::get(contract.ibc().store(), &key).is_err(),
         "first delivered receipt must be sealed"

@@ -6,10 +6,8 @@ use be_my_guest::guest_chain::{GuestBlock, GuestInstruction, GuestOp, SignedVote
 use be_my_guest::host_sim::{FeePolicy, Instruction, Pubkey, Transaction};
 use be_my_guest::sim_crypto::schnorr::Keypair;
 use be_my_guest::sim_crypto::sha256;
-use be_my_guest::testnet::{
-    paper_validators, Testnet, TestnetConfig, ValidatorProfile, DAY_MS,
-};
 use be_my_guest::testnet::config::RogueConfig;
+use be_my_guest::testnet::{paper_validators, Testnet, TestnetConfig, ValidatorProfile, DAY_MS};
 
 fn submit_op(net: &mut Testnet, payer: Pubkey, op: GuestOp) -> u64 {
     let tx = Transaction::build(
@@ -130,10 +128,7 @@ fn dominant_validator_outage_stalls_and_recovers() {
         .filter_map(|r| r.finalised_ms.map(|f| f - r.sent_ms))
         .max()
         .expect("sends completed");
-    assert!(
-        worst > 8 * 60 * 1_000,
-        "the stall shows up as a straggler ({worst} ms)"
-    );
+    assert!(worst > 8 * 60 * 1_000, "the stall shows up as a straggler ({worst} ms)");
     // But the chain recovered: the head is finalised again.
     let contract = net.contract.borrow();
     assert!(contract.is_finalised(contract.head_height()));
@@ -183,8 +178,16 @@ fn paper_validator_profiles_stay_consistent() {
     let total: u64 = profiles.iter().map(|p| p.stake).sum();
     let quorum = total * 2 / 3 + 1;
     assert!(profiles[0].stake >= quorum, "validator #1 alone reaches quorum");
-    assert!(profiles[0].outage.is_some());
-    assert!(profiles[0].outage.unwrap().0 < 28 * DAY_MS, "outage inside the run");
+    // The §V-C outage moved from the profile into the paper chaos plan.
+    assert!(profiles.iter().all(|p| p.outage.is_none()));
+    let plan = TestnetConfig::paper().chaos;
+    let crash = plan
+        .events
+        .iter()
+        .find(|e| matches!(e.fault, testnet::Fault::ValidatorCrash { validator: 0 }))
+        .expect("paper plan crashes validator #1");
+    assert!(crash.from_ms < 28 * DAY_MS, "outage inside the run");
+    assert_eq!(crash.until_ms - crash.from_ms, 35_940_000, "a 9h59m outage");
 }
 
 /// Validator rewards through host transactions: fees accumulate as sends

@@ -20,17 +20,11 @@ use be_my_guest::sim_crypto::schnorr::Keypair;
 fn two_channels_multiplex_independently() {
     let keypairs: Vec<Keypair> = (0..4).map(Keypair::from_seed).collect();
     let validators = keypairs.iter().map(|kp| (kp.public(), 100)).collect();
-    let contract = Rc::new(RefCell::new(GuestContract::new(
-        GuestConfig::fast(),
-        validators,
-        0,
-        0,
-    )));
+    let contract = Rc::new(RefCell::new(GuestContract::new(GuestConfig::fast(), validators, 0, 0)));
     let mut cp = CounterpartyChain::new(CounterpartyConfig::default(), 61);
     let mut clock = 0u64;
     let mut height = 0u64;
-    let endpoints =
-        connect_chains(&contract, &mut cp, &keypairs, &mut clock, &mut height).unwrap();
+    let endpoints = connect_chains(&contract, &mut cp, &keypairs, &mut clock, &mut height).unwrap();
 
     // Open a SECOND channel over the same connection, by hand.
     let guest_chan2 = contract
@@ -110,11 +104,7 @@ fn two_channels_multiplex_independently() {
     {
         let mut guard = contract.borrow_mut();
         let module = guard.ibc_mut().module_mut(&endpoints.port).unwrap();
-        module
-            .as_any_mut()
-            .downcast_mut::<TransferModule>()
-            .unwrap()
-            .mint("alice", "wsol", 1_000);
+        module.as_any_mut().downcast_mut::<TransferModule>().unwrap().mint("alice", "wsol", 1_000);
     }
     let fee = contract.borrow().config().send_fee_lamports;
     let p1 = contract
@@ -134,7 +124,14 @@ fn two_channels_multiplex_independently() {
     let p2 = contract
         .borrow_mut()
         .send_transfer(
-            &endpoints.port, &guest_chan2, "wsol", 200, "alice", "bob", "", Timeout::NEVER,
+            &endpoints.port,
+            &guest_chan2,
+            "wsol",
+            200,
+            "alice",
+            "bob",
+            "",
+            Timeout::NEVER,
             fee,
         )
         .unwrap();

@@ -80,9 +80,6 @@ fn solana_remains_the_expensive_host() {
     // A realistic counterparty (124 validators, ~105-signature commits).
     let solana = count_mean(&run_on_with_validators(HostProfile::SOLANA, 83, 124));
     let near = count_mean(&run_on_with_validators(HostProfile::NEAR_LIKE, 83, 124));
-    assert!(
-        solana > 5.0 * near,
-        "Solana updates ({solana}) dwarf NEAR-like ({near})"
-    );
+    assert!(solana > 5.0 * near, "Solana updates ({solana}) dwarf NEAR-like ({near})");
     assert!(solana > 30.0, "paper-scale Solana updates, got {solana}");
 }

@@ -17,12 +17,7 @@ fn transfers_survive_aggressive_counterparty_rotations() {
     net.run_for(20 * 60 * 1_000);
 
     // Deliveries kept working across rotations.
-    let recvs = net
-        .relayer
-        .records()
-        .iter()
-        .filter(|r| r.kind == JobKind::RecvPacket)
-        .count();
+    let recvs = net.relayer.records().iter().filter(|r| r.kind == JobKind::RecvPacket).count();
     assert!(recvs >= 5, "packets delivered across rotations, got {recvs}");
     assert_eq!(net.relayer.failed_jobs(), 0, "no update was rejected");
 
@@ -30,13 +25,7 @@ fn transfers_survive_aggressive_counterparty_rotations() {
     // verified height lies beyond multiple rotation boundaries.
     let endpoints = net.endpoints().clone();
     let contract = net.contract.borrow();
-    let client_height = contract
-        .ibc()
-        .client(&endpoints.cp_client_on_guest)
-        .unwrap()
-        .latest_height();
-    assert!(
-        client_height >= 8,
-        "client passed at least two rotations (height {client_height})"
-    );
+    let client_height =
+        contract.ibc().client(&endpoints.cp_client_on_guest).unwrap().latest_height();
+    assert!(client_height >= 8, "client passed at least two rotations (height {client_height})");
 }

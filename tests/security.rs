@@ -5,9 +5,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use be_my_guest::counterparty_sim::{CounterpartyChain, CounterpartyConfig};
-use be_my_guest::guest_chain::{
-    GuestConfig, GuestContract, GuestHeader, GuestMisbehaviour,
-};
+use be_my_guest::guest_chain::{GuestConfig, GuestContract, GuestHeader, GuestMisbehaviour};
 use be_my_guest::ibc_core::channel::Timeout;
 use be_my_guest::ibc_core::handler::ProofData;
 use be_my_guest::ibc_core::ics20::TransferModule;
@@ -29,12 +27,7 @@ struct World {
 fn world() -> World {
     let keypairs: Vec<Keypair> = (0..4).map(Keypair::from_seed).collect();
     let validators = keypairs.iter().map(|kp| (kp.public(), 100)).collect();
-    let contract = Rc::new(RefCell::new(GuestContract::new(
-        GuestConfig::fast(),
-        validators,
-        0,
-        0,
-    )));
+    let contract = Rc::new(RefCell::new(GuestContract::new(GuestConfig::fast(), validators, 0, 0)));
     let mut cp = CounterpartyChain::new(CounterpartyConfig::default(), 99);
     let mut clock = 0;
     let mut host_height = 0;
@@ -43,11 +36,7 @@ fn world() -> World {
     {
         let mut guard = contract.borrow_mut();
         let module = guard.ibc_mut().module_mut(&endpoints.port).unwrap();
-        module
-            .as_any_mut()
-            .downcast_mut::<TransferModule>()
-            .unwrap()
-            .mint("alice", "wsol", 10_000);
+        module.as_any_mut().downcast_mut::<TransferModule>().unwrap().mint("alice", "wsol", 10_000);
     }
     World { contract, cp, keypairs, endpoints, clock, host_height }
 }
@@ -135,16 +124,8 @@ fn signature_replay_across_blocks_fails() {
     let _ = world.send();
     world.clock += 1_000;
     world.host_height += 2;
-    let next = world
-        .contract
-        .borrow_mut()
-        .generate_block(world.clock, world.host_height)
-        .unwrap();
-    let err = world
-        .contract
-        .borrow_mut()
-        .sign(next.height, stolen.0, stolen.1)
-        .unwrap_err();
+    let next = world.contract.borrow_mut().generate_block(world.clock, world.host_height).unwrap();
+    let err = world.contract.borrow_mut().sign(next.height, stolen.0, stolen.1).unwrap_err();
     assert_eq!(err, be_my_guest::guest_chain::GuestError::BadSignature);
 }
 
@@ -188,17 +169,11 @@ fn equivocation_freezes_the_light_client() {
         let signing = forged.signing_bytes();
         GuestHeader {
             block: forged,
-            signatures: world
-                .keypairs
-                .iter()
-                .map(|kp| (kp.public(), kp.sign(&signing)))
-                .collect(),
+            signatures: world.keypairs.iter().map(|kp| (kp.public(), kp.sign(&signing))).collect(),
         }
     };
-    let evidence = GuestMisbehaviour {
-        header_a: make(b"fork-a", &world),
-        header_b: make(b"fork-b", &world),
-    };
+    let evidence =
+        GuestMisbehaviour { header_a: make(b"fork-a", &world), header_b: make(b"fork-b", &world) };
     let frozen = world
         .cp
         .ibc_mut()
@@ -210,16 +185,13 @@ fn equivocation_freezes_the_light_client() {
     let packet = world.send();
     world.clock += 1_000;
     world.host_height += 2;
-    let block = world
-        .contract
-        .borrow_mut()
-        .generate_block(world.clock, world.host_height)
-        .unwrap();
+    let block = world.contract.borrow_mut().generate_block(world.clock, world.host_height).unwrap();
     for kp in &world.keypairs {
-        let _ = world
-            .contract
-            .borrow_mut()
-            .sign(block.height, kp.public(), kp.sign(&block.signing_bytes()));
+        let _ = world.contract.borrow_mut().sign(
+            block.height,
+            kp.public(),
+            kp.sign(&block.signing_bytes()),
+        );
     }
     let header = GuestHeader {
         block: block.clone(),

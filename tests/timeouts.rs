@@ -39,12 +39,8 @@ fn expired_transfer_is_refunded_through_the_relayer() {
     // (rejected as expired) → non-receipt proof → TimeoutPacket job.
     net.run_for(4 * 60 * 1_000);
 
-    let timeouts = net
-        .relayer
-        .records()
-        .iter()
-        .filter(|r| r.kind == JobKind::TimeoutPacket)
-        .count();
+    let timeouts =
+        net.relayer.records().iter().filter(|r| r.kind == JobKind::TimeoutPacket).count();
     assert_eq!(timeouts, 1, "the relayer ran exactly one timeout job");
 
     // Escrow refunded: sender balance restored, escrow empty.
@@ -72,12 +68,8 @@ fn live_transfers_are_not_timed_out() {
     let mut net = Testnet::build(config);
     net.run_for(10 * 60 * 1_000);
 
-    let timeouts = net
-        .relayer
-        .records()
-        .iter()
-        .filter(|r| r.kind == JobKind::TimeoutPacket)
-        .count();
+    let timeouts =
+        net.relayer.records().iter().filter(|r| r.kind == JobKind::TimeoutPacket).count();
     assert_eq!(timeouts, 0, "healthy transfers never time out");
     assert!(net.send_records.iter().any(|r| r.finalised_ms.is_some()));
 }

@@ -1,0 +1,161 @@
+//! Offline vendored mini-criterion.
+//!
+//! Implements the slice of the criterion API the workspace's benches use
+//! (`bench_function`, `benchmark_group`, `iter`, `iter_batched`,
+//! `criterion_group!`, `criterion_main!`) with straightforward wall-clock
+//! timing: a short warmup, then timed batches, reporting the mean per
+//! iteration. No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box.
+pub use std::hint::black_box;
+
+/// Hint for how expensive `iter_batched` setup values are. All variants
+/// behave identically here.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher);
+        bencher.report(&name.into());
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, name.into()));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+    }
+}
+
+/// Runs and times the measured routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times a routine, calling it repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup and per-call cost estimate.
+        let start = Instant::now();
+        black_box(routine());
+        let estimate = start.elapsed().max(Duration::from_nanos(1));
+        // Aim for ~2ms per sample, bounded to keep total runtime small.
+        let per_sample =
+            (Duration::from_millis(2).as_nanos() / estimate.as_nanos()).clamp(1, 10_000) as usize;
+        for _ in 0..self.sample_size.min(40) {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / per_sample as u32);
+        }
+    }
+
+    /// Times a routine over fresh inputs built by `setup`; only the routine
+    /// is measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size.min(40) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().expect("nonempty");
+        let max = self.samples.iter().max().expect("nonempty");
+        println!("{name:<40} mean {mean:>12.3?}  min {min:>12.3?}  max {max:>12.3?}");
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

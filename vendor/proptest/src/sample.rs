@@ -1,0 +1,27 @@
+//! `prop::sample`: index selection.
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// An index into a collection whose size is not known until use.
+#[derive(Clone, Copy, Debug)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects onto a concrete collection size (must be nonzero).
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index on empty collection");
+        (self.0 % size as u64) as usize
+    }
+
+    /// Selects an element of a nonempty slice.
+    pub fn get<'a, T>(&self, from: &'a [T]) -> &'a T {
+        &from[self.index(from.len())]
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}

@@ -1,0 +1,117 @@
+//! Regex-like string strategies: `"pattern"` as a `Strategy<Value = String>`.
+//!
+//! Supports the subset of regex syntax the workspace's tests use: literal
+//! characters, `.`, character classes `[...]` with ranges, and the
+//! quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// `.`: any printable ASCII character.
+    AnyChar,
+    /// `[...]`: one of an explicit character set.
+    Class(Vec<char>),
+}
+
+fn printable(rng: &mut TestRng) -> char {
+    (0x20u8 + rng.next_below(0x5f) as u8) as char
+}
+
+fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut pos = 0;
+    while pos < chars.len() {
+        let atom = match chars[pos] {
+            '.' => {
+                pos += 1;
+                Atom::AnyChar
+            }
+            '[' => {
+                pos += 1;
+                let mut set = Vec::new();
+                while pos < chars.len() && chars[pos] != ']' {
+                    if pos + 2 < chars.len() && chars[pos + 1] == '-' && chars[pos + 2] != ']' {
+                        let (lo, hi) = (chars[pos], chars[pos + 2]);
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        pos += 3;
+                    } else {
+                        set.push(chars[pos]);
+                        pos += 1;
+                    }
+                }
+                pos += 1; // closing ']'
+                assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+                Atom::Class(set)
+            }
+            '\\' => {
+                pos += 1;
+                let c = chars.get(pos).copied().expect("dangling escape in pattern");
+                pos += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                pos += 1;
+                Atom::Literal(c)
+            }
+        };
+
+        // Quantifier, if any.
+        let (min, max) = match chars.get(pos) {
+            Some('?') => {
+                pos += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                pos += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                pos += 1;
+                (1, 8)
+            }
+            Some('{') => {
+                let close =
+                    chars[pos..].iter().position(|&c| c == '}').expect("unterminated quantifier");
+                let body: String = chars[pos + 1..pos + close].iter().collect();
+                pos += close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse::<usize>().expect("bad quantifier"),
+                        hi.trim().parse::<usize>().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+
+        let count = min + rng.next_below((max - min + 1) as u64) as usize;
+        for _ in 0..count {
+            match &atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::AnyChar => out.push(printable(rng)),
+                Atom::Class(set) => {
+                    out.push(set[rng.next_below(set.len() as u64) as usize]);
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,30 @@
+//! Offline vendored `rand` placeholder.
+//!
+//! The workspace declares `rand` as a dev-dependency but all simulation
+//! randomness flows through `sim_crypto::rng`'s deterministic generators.
+//! This crate exists only so dependency resolution succeeds offline; a tiny
+//! seedable generator is provided for ad-hoc use.
+
+/// A minimal xorshift64* generator.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator from a nonzero seed (zero is mapped to a fixed
+    /// constant).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng { state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed } }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}

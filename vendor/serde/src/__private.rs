@@ -1,0 +1,81 @@
+//! Helpers called by `serde_derive`-generated code. Not public API.
+
+use crate::de::{DeserializeOwned, Error as DeError};
+use crate::ser::{Error as SerError, Serialize};
+use crate::value::{from_value, to_value, Value};
+
+/// Serializes one field, converting the value-model error into the caller's
+/// serializer error type.
+pub fn ser_field<T: Serialize + ?Sized, E: SerError>(field: &T) -> Result<Value, E> {
+    to_value(field).map_err(E::custom)
+}
+
+/// Unwraps an object value, reporting the expected type name on mismatch.
+pub fn expect_object<E: DeError>(value: Value, ty: &str) -> Result<Vec<(String, Value)>, E> {
+    match value {
+        Value::Object(entries) => Ok(entries),
+        other => Err(E::custom(format!("expected object for {ty}, got {}", other.kind()))),
+    }
+}
+
+/// Unwraps an array value, reporting the expected type name on mismatch.
+pub fn expect_array<E: DeError>(value: Value, ty: &str) -> Result<Vec<Value>, E> {
+    match value {
+        Value::Array(items) => Ok(items),
+        other => Err(E::custom(format!("expected array for {ty}, got {}", other.kind()))),
+    }
+}
+
+/// Removes and deserializes a named field; missing fields are an error.
+pub fn take_field<T: DeserializeOwned, E: DeError>(
+    entries: &mut Vec<(String, Value)>,
+    ty: &str,
+    name: &str,
+) -> Result<T, E> {
+    match entries.iter().position(|(key, _)| key == name) {
+        Some(index) => {
+            let (_, value) = entries.remove(index);
+            from_value(value).map_err(|e| E::custom(format!("{ty}.{name}: {e}")))
+        }
+        None => Err(E::custom(format!("missing field {ty}.{name}"))),
+    }
+}
+
+/// Removes and deserializes a `#[serde(default)]` field; missing fields fall
+/// back to `Default::default()`.
+pub fn take_field_default<T: DeserializeOwned + Default, E: DeError>(
+    entries: &mut Vec<(String, Value)>,
+    ty: &str,
+    name: &str,
+) -> Result<T, E> {
+    match entries.iter().position(|(key, _)| key == name) {
+        Some(index) => {
+            let (_, value) = entries.remove(index);
+            from_value(value).map_err(|e| E::custom(format!("{ty}.{name}: {e}")))
+        }
+        None => Ok(T::default()),
+    }
+}
+
+/// Deserializes the next element of a tuple (struct or variant).
+pub fn next_elem<T: DeserializeOwned, E: DeError>(
+    items: &mut std::vec::IntoIter<Value>,
+    ty: &str,
+) -> Result<T, E> {
+    match items.next() {
+        Some(value) => from_value(value).map_err(|e| E::custom(format!("{ty}: {e}"))),
+        None => Err(E::custom(format!("not enough elements for {ty}"))),
+    }
+}
+
+/// Wraps a value in the externally-tagged enum representation:
+/// `{"VariantName": value}`.
+pub fn tag(name: &str, value: Value) -> Value {
+    Value::Object(vec![(name.to_string(), value)])
+}
+
+/// Deserializes a whole value into a field position (newtype structs,
+/// newtype variants).
+pub fn de_value<T: DeserializeOwned, E: DeError>(value: Value, ty: &str) -> Result<T, E> {
+    from_value(value).map_err(|e| E::custom(format!("{ty}: {e}")))
+}

@@ -1,0 +1,280 @@
+//! Deserialization half of the vendored mini-serde.
+
+use core::fmt;
+use std::collections::{BTreeMap, HashMap};
+
+use crate::value::{from_value, Number, Value};
+
+/// Error trait every deserializer error implements (mirrors
+/// `serde::de::Error`).
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from any displayable message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// A data source (mirrors `serde::Deserializer`).
+///
+/// The vendored model is fully owned: a deserializer simply surrenders the
+/// [`Value`] tree it wraps and typed impls pattern-match on it.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Surrenders the owned [`Value`] tree.
+    fn into_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can be deserialized (mirrors `serde::Deserialize`).
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A type deserializable without borrowing from the input (mirrors
+/// `serde::de::DeserializeOwned`). Every type in the owned model qualifies.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+fn number_from<'de, D: Deserializer<'de>>(deserializer: D) -> Result<Number, D::Error> {
+    match deserializer.into_value()? {
+        Value::Number(number) => Ok(number),
+        other => Err(D::Error::custom(format!("expected number, got {}", other.kind()))),
+    }
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match number_from(deserializer)? {
+                    Number::PosInt(v) => <$ty>::try_from(v)
+                        .map_err(|_| D::Error::custom(format!("{v} out of range for {}", stringify!($ty)))),
+                    Number::NegInt(v) => {
+                        Err(D::Error::custom(format!("{v} is negative, expected {}", stringify!($ty))))
+                    }
+                    Number::Float(v) => Err(D::Error::custom(format!("expected integer, got float {v}"))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_deserialize_int {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match number_from(deserializer)? {
+                    Number::PosInt(v) => i128::try_from(v)
+                        .ok()
+                        .and_then(|v| <$ty>::try_from(v).ok())
+                        .ok_or_else(|| D::Error::custom(format!("{v} out of range for {}", stringify!($ty)))),
+                    Number::NegInt(v) => <$ty>::try_from(v)
+                        .map_err(|_| D::Error::custom(format!("{v} out of range for {}", stringify!($ty)))),
+                    Number::Float(v) => Err(D::Error::custom(format!("expected integer, got float {v}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_uint!(u8, u16, u32, u64, u128, usize);
+impl_deserialize_int!(i8, i16, i32, i64, i128, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match number_from(deserializer)? {
+            Number::PosInt(v) => Ok(v as f64),
+            Number::NegInt(v) => Ok(v as f64),
+            Number::Float(v) => Ok(v),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Bool(v) => Ok(v),
+            other => Err(D::Error::custom(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::String(v) => Ok(v),
+            other => Err(D::Error::custom(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let text = String::deserialize(deserializer)?;
+        let mut chars = text.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Null => Ok(()),
+            other => Err(D::Error::custom(format!("expected null, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Null => Ok(None),
+            value => from_value(value).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+fn array_from<'de, D: Deserializer<'de>>(deserializer: D) -> Result<Vec<Value>, D::Error> {
+    match deserializer.into_value()? {
+        Value::Array(items) => Ok(items),
+        other => Err(D::Error::custom(format!("expected array, got {}", other.kind()))),
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        array_from(deserializer)?
+            .into_iter()
+            .map(|item| from_value(item).map_err(D::Error::custom))
+            .collect()
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(Into::into)
+    }
+}
+
+impl<'de, T: DeserializeOwned + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(|items| items.into_iter().collect())
+    }
+}
+
+impl<'de, T: DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(deserializer)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| D::Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+/// Reparses a stringified map key back into the key type: string keys pass
+/// through, numeric keys are parsed (the inverse of serialization).
+fn key_from_string<K: DeserializeOwned, E: Error>(text: String) -> Result<K, E> {
+    let as_string = from_value(Value::String(text.clone()));
+    match as_string {
+        Ok(key) => Ok(key),
+        Err(_) => {
+            let number = if let Some(stripped) = text.strip_prefix('-') {
+                stripped.parse::<u128>().ok().map(|v| Number::NegInt(-(v as i128)))
+            } else {
+                text.parse::<u128>().ok().map(Number::PosInt)
+            };
+            let number = number.ok_or_else(|| E::custom(format!("bad map key {text:?}")))?;
+            from_value(Value::Number(number)).map_err(E::custom)
+        }
+    }
+}
+
+fn object_from<'de, D: Deserializer<'de>>(
+    deserializer: D,
+) -> Result<Vec<(String, Value)>, D::Error> {
+    match deserializer.into_value()? {
+        Value::Object(entries) => Ok(entries),
+        other => Err(D::Error::custom(format!("expected object, got {}", other.kind()))),
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: DeserializeOwned + Ord,
+    V: DeserializeOwned,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        object_from(deserializer)?
+            .into_iter()
+            .map(|(key, value)| {
+                Ok((key_from_string(key)?, from_value(value).map_err(D::Error::custom)?))
+            })
+            .collect()
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: DeserializeOwned + Eq + std::hash::Hash,
+    V: DeserializeOwned,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        object_from(deserializer)?
+            .into_iter()
+            .map(|(key, value)| {
+                Ok((key_from_string(key)?, from_value(value).map_err(D::Error::custom)?))
+            })
+            .collect()
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($($name:ident),+))*) => {$(
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                let mut items = array_from(deserializer)?.into_iter();
+                let expected = 0usize $(+ { let _ = stringify!($name); 1 })+;
+                let provided = items.len();
+                if provided != expected {
+                    return Err(__D::Error::custom(format!(
+                        "expected tuple of length {expected}, got {provided}"
+                    )));
+                }
+                Ok(($(
+                    from_value::<$name>(items.next().expect("length checked"))
+                        .map_err(__D::Error::custom)?,
+                )+))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.into_value()
+    }
+}

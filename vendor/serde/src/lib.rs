@@ -1,0 +1,21 @@
+//! Offline vendored mini-serde.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal serde-compatible facade: the same trait names and signatures the
+//! real crate exposes, backed by a simple owned JSON-like [`value::Value`]
+//! data model instead of serde's zero-copy visitor machinery. Only the API
+//! surface this workspace actually uses is implemented.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+#[doc(hidden)]
+pub mod __private;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use value::{from_value, to_value, Number, Value, ValueError};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,265 @@
+//! Serialization half of the vendored mini-serde.
+
+use core::fmt;
+use std::collections::{BTreeMap, HashMap};
+
+use crate::value::{to_value, Number, Value};
+
+/// Error trait every serializer error implements (mirrors `serde::ser::Error`).
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from any displayable message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// A data sink (mirrors `serde::Serializer`).
+///
+/// Unlike real serde's 30-method visitor interface, the vendored model funnels
+/// everything through [`Serializer::serialize_value`]; the typed helpers exist
+/// so that handwritten impls in the workspace (e.g. `Hash`'s hex form) keep
+/// their upstream-compatible shape.
+pub trait Serializer: Sized {
+    /// Successful result type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Consumes an owned [`Value`] tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::String(v.to_owned()))
+    }
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Bool(v))
+    }
+
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Number(Number::PosInt(v as u128)))
+    }
+
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        let value = if v < 0 {
+            Value::Number(Number::NegInt(v as i128))
+        } else {
+            Value::Number(Number::PosInt(v as u128))
+        };
+        self.serialize_value(value)
+    }
+
+    /// Serializes a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Number(Number::Float(v)))
+    }
+
+    /// Serializes a unit value as `null`.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+}
+
+/// A type that can be serialized (mirrors `serde::Serialize`).
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+macro_rules! impl_serialize_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::Number(Number::PosInt(*self as u128)))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i128;
+                let value = if v < 0 {
+                    Value::Number(Number::NegInt(v))
+                } else {
+                    Value::Number(Number::PosInt(v as u128))
+                };
+                serializer.serialize_value(value)
+            }
+        }
+    )*};
+}
+
+impl_serialize_uint!(u8, u16, u32, u64, u128, usize);
+impl_serialize_int!(i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::String(self.to_string()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(inner) => inner.serialize(serializer),
+            None => serializer.serialize_value(Value::Null),
+        }
+    }
+}
+
+fn seq_to_value<T: Serialize, E: Error>(items: impl Iterator<Item = T>) -> Result<Value, E> {
+    let mut out = Vec::new();
+    for item in items {
+        out.push(to_value(&item).map_err(E::custom)?);
+    }
+    Ok(Value::Array(out))
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let value = seq_to_value::<_, S::Error>(self.iter())?;
+        serializer.serialize_value(value)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let value = seq_to_value::<_, S::Error>(self.iter())?;
+        serializer.serialize_value(value)
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let value = seq_to_value::<_, S::Error>(self.iter())?;
+        serializer.serialize_value(value)
+    }
+}
+
+/// Renders a map key: JSON object keys must be strings, so string keys pass
+/// through and integer keys are stringified (matching real serde_json).
+fn key_to_string<K: Serialize, E: Error>(key: &K) -> Result<String, E> {
+    match to_value(key).map_err(E::custom)? {
+        Value::String(text) => Ok(text),
+        Value::Number(number) => Ok(number.to_string()),
+        other => Err(E::custom(format!("map key must be a string, got {}", other.kind()))),
+    }
+}
+
+fn map_to_value<'a, K, V, E>(entries: impl Iterator<Item = (&'a K, &'a V)>) -> Result<Value, E>
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    E: Error,
+{
+    let mut out = Vec::new();
+    for (key, value) in entries {
+        out.push((key_to_string::<_, E>(key)?, to_value(value).map_err(E::custom)?));
+    }
+    // Deterministic output regardless of the source map's iteration order.
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(Value::Object(out))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let value = map_to_value::<_, _, S::Error>(self.iter())?;
+        serializer.serialize_value(value)
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let value = map_to_value::<_, _, S::Error>(self.iter())?;
+        serializer.serialize_value(value)
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![$(to_value(&self.$idx).map_err(S::Error::custom)?),+];
+                serializer.serialize_value(Value::Array(items))
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}

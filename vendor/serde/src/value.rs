@@ -1,0 +1,139 @@
+//! The owned data model backing the vendored mini-serde.
+//!
+//! Every serialization produces a [`Value`] tree and every deserialization
+//! consumes one. `serde_json` renders and parses this tree as JSON text.
+
+use core::fmt;
+
+/// A JSON-like owned value.
+///
+/// Objects preserve insertion order (a `Vec` of pairs, not a map) so that
+/// serialized output is deterministic — the testnet harness relies on
+/// byte-identical metrics JSON across same-seed runs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number: non-negative integer, negative integer, or float.
+///
+/// 128-bit integer payloads are kept intact (ICS-20 token amounts are
+/// `u128`), matching real serde_json's arbitrary-precision-free behaviour
+/// closely enough for this workspace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u128),
+    /// A negative integer.
+    NegInt(i128),
+    /// A floating-point number (always finite when produced by serialization).
+    Float(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::PosInt(v) => write!(f, "{v}"),
+            Number::NegInt(v) => write!(f, "{v}"),
+            Number::Float(v) => {
+                if !v.is_finite() {
+                    // JSON has no NaN/Infinity; mirror serde_json and emit null.
+                    f.write_str("null")
+                } else {
+                    let text = format!("{v}");
+                    if text.contains(['.', 'e', 'E']) {
+                        f.write_str(&text)
+                    } else {
+                        // Mark integral floats as floats so they round-trip
+                        // back into the Float variant.
+                        write!(f, "{text}.0")
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Error produced when converting between [`Value`] and Rust types.
+#[derive(Clone, Debug)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl crate::ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl crate::de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// The serializer that turns any [`Serialize`](crate::Serialize) type into a
+/// [`Value`].
+pub struct ValueSerializer;
+
+impl crate::ser::Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// The deserializer that rebuilds any
+/// [`Deserialize`](crate::Deserialize) type from a [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> crate::de::Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn into_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Serializes `value` into the owned [`Value`] data model.
+pub fn to_value<T: crate::Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserializes a `T` out of an owned [`Value`].
+pub fn from_value<T: crate::DeserializeOwned>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+impl Value {
+    /// Human-readable name of the JSON type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}

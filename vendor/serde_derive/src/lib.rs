@@ -1,0 +1,273 @@
+//! Offline vendored `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for the vendored mini-serde.
+//!
+//! The build environment has no crates.io access, so there is no syn/quote;
+//! the input item is parsed with a small hand-rolled walker over
+//! [`proc_macro::TokenTree`]s and the generated impls are assembled as source
+//! text. Supports the shapes this workspace uses: named/tuple/unit structs,
+//! enums with unit/tuple/struct variants, type generics with bounds and
+//! defaults, and the `#[serde(default)]` field attribute.
+
+use proc_macro::TokenStream;
+
+mod parse;
+
+use parse::{Fields, Input, Kind};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse(input);
+    let body = serialize_body(&item);
+    let (impl_generics, ty_generics, where_clause) =
+        item.split_generics("::serde::ser::Serialize", None);
+    let name = &item.name;
+    let code = format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::ser::Serialize for {name}{ty_generics} {where_clause} {{\n\
+             fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    );
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse(input);
+    let body = deserialize_body(&item);
+    let (impl_generics, ty_generics, where_clause) =
+        item.split_generics("::serde::de::DeserializeOwned", Some("'de"));
+    let name = &item.name;
+    let code = format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::de::Deserialize<'de> for {name}{ty_generics} {where_clause} {{\n\
+             fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    );
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+fn serialize_body(item: &Input) -> String {
+    match &item.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let mut out = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                 ::serde::value::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for field in fields {
+                let fname = &field.name;
+                out.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{fname}\"), \
+                     ::serde::__private::ser_field::<_, __S::Error>(&self.{fname})?));\n"
+                ));
+            }
+            out.push_str("__serializer.serialize_value(::serde::value::Value::Object(__fields))");
+            out
+        }
+        Kind::Struct(Fields::Tuple(1)) => "__serializer.serialize_value(\
+             ::serde::__private::ser_field::<_, __S::Error>(&self.0)?)"
+            .to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::__private::ser_field::<_, __S::Error>(&self.{i})?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "__serializer.serialize_value(\
+                 ::serde::value::Value::Array(::std::vec![{items}]))"
+            )
+        }
+        Kind::Struct(Fields::Unit) => {
+            "__serializer.serialize_value(::serde::value::Value::Null)".to_string()
+        }
+        Kind::Enum(variants) => {
+            let name = &item.name;
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => __serializer.serialize_value(\
+                         ::serde::value::Value::String(\
+                         ::std::string::String::from(\"{vname}\"))),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => {{\n\
+                         let __inner = ::serde::__private::ser_field::<_, __S::Error>(__f0)?;\n\
+                         __serializer.serialize_value(\
+                         ::serde::__private::tag(\"{vname}\", __inner))\n}}\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds =
+                            (0..*n).map(|i| format!("__f{i}")).collect::<Vec<_>>().join(", ");
+                        let items = (0..*n)
+                            .map(|i| {
+                                format!("::serde::__private::ser_field::<_, __S::Error>(__f{i})?")
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                             let __inner = ::serde::value::Value::Array(::std::vec![{items}]);\n\
+                             __serializer.serialize_value(\
+                             ::serde::__private::tag(\"{vname}\", __inner))\n}}\n"
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds =
+                            fields.iter().map(|f| f.name.clone()).collect::<Vec<_>>().join(", ");
+                        let mut pushes = String::new();
+                        for field in fields {
+                            let fname = &field.name;
+                            pushes.push_str(&format!(
+                                "__inner.push((::std::string::String::from(\"{fname}\"), \
+                                 ::serde::__private::ser_field::<_, __S::Error>({fname})?));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                             let mut __inner: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::value::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             __serializer.serialize_value(::serde::__private::tag(\
+                             \"{vname}\", ::serde::value::Value::Object(__inner)))\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    }
+}
+
+fn deserialize_body(item: &Input) -> String {
+    let name = &item.name;
+    match &item.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let mut out = format!(
+                "let __value = __deserializer.into_value()?;\n\
+                 let mut __entries = \
+                 ::serde::__private::expect_object::<__D::Error>(__value, \"{name}\")?;\n\
+                 ::core::result::Result::Ok({name} {{\n"
+            );
+            for field in fields {
+                let fname = &field.name;
+                let helper = if field.default { "take_field_default" } else { "take_field" };
+                out.push_str(&format!(
+                    "{fname}: ::serde::__private::{helper}::<_, __D::Error>(\
+                     &mut __entries, \"{name}\", \"{fname}\")?,\n"
+                ));
+            }
+            out.push_str("})");
+            out
+        }
+        Kind::Struct(Fields::Tuple(1)) => format!(
+            "::core::result::Result::Ok({name}(\
+             ::serde::__private::de_value::<_, __D::Error>(\
+             __deserializer.into_value()?, \"{name}\")?))"
+        ),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let elems = (0..*n)
+                .map(|_| {
+                    format!(
+                        "::serde::__private::next_elem::<_, __D::Error>(\
+                         &mut __items, \"{name}\")?"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let mut __items = ::serde::__private::expect_array::<__D::Error>(\
+                 __deserializer.into_value()?, \"{name}\")?.into_iter();\n\
+                 ::core::result::Result::Ok({name}({elems}))"
+            )
+        }
+        Kind::Struct(Fields::Unit) => {
+            format!("let _ = __deserializer.into_value()?;\n::core::result::Result::Ok({name})")
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                         ::serde::__private::de_value::<_, __D::Error>(\
+                         __inner, \"{name}::{vname}\")?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let elems = (0..*n)
+                            .map(|_| {
+                                format!(
+                                    "::serde::__private::next_elem::<_, __D::Error>(\
+                                     &mut __items, \"{name}::{vname}\")?"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let mut __items = \
+                             ::serde::__private::expect_array::<__D::Error>(\
+                             __inner, \"{name}::{vname}\")?.into_iter();\n\
+                             ::core::result::Result::Ok({name}::{vname}({elems}))\n}}\n"
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let mut field_inits = String::new();
+                        for field in fields {
+                            let fname = &field.name;
+                            let helper =
+                                if field.default { "take_field_default" } else { "take_field" };
+                            field_inits.push_str(&format!(
+                                "{fname}: ::serde::__private::{helper}::<_, __D::Error>(\
+                                 &mut __ventries, \"{name}::{vname}\", \"{fname}\")?,\n"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let mut __ventries = \
+                             ::serde::__private::expect_object::<__D::Error>(\
+                             __inner, \"{name}::{vname}\")?;\n\
+                             ::core::result::Result::Ok({name}::{vname} {{\n{field_inits}}})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "let __value = __deserializer.into_value()?;\n\
+                 match __value {{\n\
+                 ::serde::value::Value::String(__tag) => match __tag.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err(\
+                 <__D::Error as ::serde::de::Error>::custom(\
+                 ::std::format!(\"unknown unit variant {{__other}} of {name}\"))),\n\
+                 }},\n\
+                 ::serde::value::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = __entries.into_iter().next().expect(\"len checked\");\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::core::result::Result::Err(\
+                 <__D::Error as ::serde::de::Error>::custom(\
+                 ::std::format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::core::result::Result::Err(\
+                 <__D::Error as ::serde::de::Error>::custom(\
+                 ::std::format!(\"expected {name} variant, got {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Hand-rolled item parser: extracts just enough structure from a
+//! `struct`/`enum` definition to generate serde impls, without syn.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// A parsed derive input item.
+pub struct Input {
+    /// Type name.
+    pub name: String,
+    /// Generic parameters, in declaration order.
+    pub params: Vec<Param>,
+    /// `where ...` clause text (empty when absent).
+    pub where_clause: String,
+    /// Struct or enum shape.
+    pub kind: Kind,
+}
+
+/// One generic parameter.
+pub struct Param {
+    /// `'a`, `S`, or the `N` of `const N: usize`.
+    pub name: String,
+    /// Full declaration with bounds, default stripped (e.g. `S: NodeStore`).
+    pub decl: String,
+    /// Whether this is a type parameter (gets the serde bound added).
+    pub is_type: bool,
+}
+
+/// Struct or enum.
+pub enum Kind {
+    /// A struct with the given fields.
+    Struct(Fields),
+    /// An enum with the given variants.
+    Enum(Vec<Variant>),
+}
+
+/// Field shape of a struct or enum variant.
+pub enum Fields {
+    /// Named fields in declaration order.
+    Named(Vec<Field>),
+    /// Tuple fields (count only; types are recovered by inference).
+    Tuple(usize),
+    /// No fields.
+    Unit,
+}
+
+/// A named field.
+pub struct Field {
+    /// Field identifier.
+    pub name: String,
+    /// Whether `#[serde(default)]` was present.
+    pub default: bool,
+}
+
+/// One enum variant.
+pub struct Variant {
+    /// Variant identifier.
+    pub name: String,
+    /// Variant field shape.
+    pub fields: Fields,
+}
+
+impl Input {
+    /// Renders `(impl_generics, ty_generics, where_clause)` for an impl
+    /// block, adding `extra_bound` to every type parameter and optionally a
+    /// leading lifetime (the `'de` of `Deserialize<'de>`).
+    pub fn split_generics(
+        &self,
+        extra_bound: &str,
+        extra_lifetime: Option<&str>,
+    ) -> (String, String, String) {
+        let mut impl_params: Vec<String> = Vec::new();
+        if let Some(lifetime) = extra_lifetime {
+            impl_params.push(lifetime.to_string());
+        }
+        for param in &self.params {
+            if param.is_type {
+                if param.decl.contains(':') {
+                    impl_params.push(format!("{} + {extra_bound}", param.decl));
+                } else {
+                    impl_params.push(format!("{}: {extra_bound}", param.decl));
+                }
+            } else {
+                impl_params.push(param.decl.clone());
+            }
+        }
+        let impl_generics = if impl_params.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", impl_params.join(", "))
+        };
+        let ty_generics = if self.params.is_empty() {
+            String::new()
+        } else {
+            let names: Vec<&str> = self.params.iter().map(|p| p.name.as_str()).collect();
+            format!("<{}>", names.join(", "))
+        };
+        (impl_generics, ty_generics, self.where_clause.clone())
+    }
+}
+
+/// Renders a token slice back to source text via `TokenStream`'s `Display`.
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    let stream: TokenStream = tokens.iter().cloned().collect();
+    stream.to_string()
+}
+
+/// Skips attributes and visibility modifiers; reports whether a
+/// `#[serde(default)]` attribute was among them.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut has_default = false;
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(group)) = tokens.get(*pos + 1) {
+                    if attr_is_serde_default(group) {
+                        has_default = true;
+                    }
+                }
+                *pos += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1;
+                    }
+                }
+            }
+            _ => return has_default,
+        }
+    }
+}
+
+/// True for the bracket group of a `#[serde(default)]` attribute.
+fn attr_is_serde_default(group: &Group) -> bool {
+    let mut inner = group.stream().into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match inner.next() {
+        Some(TokenTree::Group(args)) => args
+            .stream()
+            .into_iter()
+            .any(|tree| matches!(tree, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Parses a derive input item.
+pub fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let is_enum = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => false,
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => true,
+        other => panic!("derive input must be a struct or enum, found {other:?}"),
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    pos += 1;
+
+    let params = if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        pos += 1;
+        parse_generics(&tokens, &mut pos)
+    } else {
+        Vec::new()
+    };
+
+    let mut where_clause = String::new();
+    if matches!(tokens.get(pos), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        pos += 1;
+        let start = pos;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+                TokenTree::Punct(p) if p.as_char() == ';' => break,
+                _ => pos += 1,
+            }
+        }
+        where_clause = format!("where {}", tokens_to_string(&tokens[start..pos]));
+    }
+
+    let kind = if is_enum {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        }
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Tuple(count_tuple_fields(g)))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
+            None => Kind::Struct(Fields::Unit),
+            other => panic!("expected struct body, found {other:?}"),
+        }
+    };
+
+    Input { name, params, where_clause, kind }
+}
+
+/// Parses generic parameters after the opening `<` up to the matching `>`.
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<Param> {
+    let mut collected: Vec<TokenTree> = Vec::new();
+    let mut depth = 1usize;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                collected.push(tokens[*pos].clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *pos += 1;
+                    break;
+                }
+                collected.push(tokens[*pos].clone());
+            }
+            tree => collected.push(tree.clone()),
+        }
+        *pos += 1;
+    }
+
+    split_top_level(&collected, ',')
+        .into_iter()
+        .filter(|part| !part.is_empty())
+        .map(|part| parse_param(&part))
+        .collect()
+}
+
+/// Splits a token list on a separator punct at angle-bracket depth zero.
+/// Groups are atomic trees, so only `<`/`>` puncts affect depth.
+fn split_top_level(tokens: &[TokenTree], separator: char) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut depth = 0usize;
+    for tree in tokens {
+        if let TokenTree::Punct(p) = tree {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                c if c == separator && depth == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().expect("parts never empty").push(tree.clone());
+    }
+    parts
+}
+
+/// Parses one generic parameter, stripping any `= Default` suffix.
+fn parse_param(tokens: &[TokenTree]) -> Param {
+    let without_default = match split_top_level(tokens, '=').into_iter().next() {
+        Some(head) => head,
+        None => tokens.to_vec(),
+    };
+    match without_default.first() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+            let lifetime_name = match without_default.get(1) {
+                Some(TokenTree::Ident(id)) => format!("'{id}"),
+                other => panic!("expected lifetime name, found {other:?}"),
+            };
+            Param { name: lifetime_name, decl: tokens_to_string(&without_default), is_type: false }
+        }
+        Some(TokenTree::Ident(id)) if id.to_string() == "const" => {
+            let const_name = match without_default.get(1) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected const parameter name, found {other:?}"),
+            };
+            Param { name: const_name, decl: tokens_to_string(&without_default), is_type: false }
+        }
+        Some(TokenTree::Ident(id)) => {
+            Param { name: id.to_string(), decl: tokens_to_string(&without_default), is_type: true }
+        }
+        other => panic!("unsupported generic parameter starting with {other:?}"),
+    }
+}
+
+/// Parses the named fields of a brace-delimited struct body or variant.
+fn parse_named_fields(group: &Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let default = skip_attrs_and_vis(&tokens, &mut pos);
+        let Some(TokenTree::Ident(id)) = tokens.get(pos) else {
+            break;
+        };
+        let name = id.to_string();
+        pos += 1;
+        // Skip the `:` and the type, up to a top-level comma.
+        let mut depth = 0usize;
+        while pos < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[pos] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts the fields of a paren-delimited tuple body.
+fn count_tuple_fields(group: &Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut count = 0usize;
+    let mut depth = 0usize;
+    let mut pending = false;
+    for tree in &tokens {
+        if let TokenTree::Punct(p) = tree {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    if pending {
+                        count += 1;
+                    }
+                    pending = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending = true;
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let Some(TokenTree::Ident(id)) = tokens.get(pos) else {
+            break;
+        };
+        let name = id.to_string();
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip an optional `= discriminant` expression.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            pos += 1;
+            let mut depth = 0usize;
+            while pos < tokens.len() {
+                if let TokenTree::Punct(p) = &tokens[pos] {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth = depth.saturating_sub(1),
+                        ',' if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                pos += 1;
+            }
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    variants
+}

@@ -1,0 +1,88 @@
+//! Offline vendored mini-serde_json.
+//!
+//! Renders and parses JSON text over the vendored serde crate's owned
+//! [`Value`] data model. Implements the functions this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`to_vec`], [`to_vec_pretty`],
+//! [`from_str`], [`from_slice`].
+
+use core::fmt;
+
+pub use serde::value::{Number, Value};
+
+mod read;
+mod write;
+
+/// Error serializing or deserializing JSON.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Serializes `value` as compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let tree = serde::to_value(value).map_err(|e| Error(e.to_string()))?;
+    let mut out = String::new();
+    write::write_compact(&tree, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let tree = serde::to_value(value).map_err(|e| Error(e.to_string()))?;
+    let mut out = String::new();
+    write::write_pretty(&tree, &mut out, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serializes `value` as pretty-printed JSON bytes.
+pub fn to_vec_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+/// Deserializes a `T` from JSON text.
+pub fn from_str<T: serde::DeserializeOwned>(text: &str) -> Result<T> {
+    let tree = read::parse(text)?;
+    serde::from_value(tree).map_err(|e| Error(e.to_string()))
+}
+
+/// Deserializes a `T` from JSON bytes.
+pub fn from_slice<T: serde::DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    serde::to_value(value).map_err(|e| Error(e.to_string()))
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::DeserializeOwned>(value: Value) -> Result<T> {
+    serde::from_value(value).map_err(|e| Error(e.to_string()))
+}
