@@ -18,4 +18,35 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> trace explorer (telemetry smoke test)"
+cargo run --release --offline --example trace_explorer > /dev/null
+
+echo "==> 1-day paper run with telemetry run report"
+cargo run --release --offline -p testnet --example paper_timing -- 1 \
+    --run-report BENCH_run_report.json
+python3 - <<'PY'
+import json, sys
+
+with open("BENCH_run_report.json") as f:
+    report = json.load(f)
+
+missing = [key for key in ("meta", "metrics", "packets", "violations", "journal_len")
+           if key not in report]
+if missing:
+    sys.exit(f"BENCH_run_report.json missing sections: {missing}")
+if not report["packets"]:
+    sys.exit("BENCH_run_report.json records no packet traces")
+metrics = report["metrics"]
+for kind in ("counters", "gauges", "histograms"):
+    if kind not in metrics:
+        sys.exit(f"BENCH_run_report.json metrics missing {kind}")
+if not metrics["counters"]:
+    sys.exit("BENCH_run_report.json records no counters")
+if report["journal_len"] <= 0:
+    sys.exit("BENCH_run_report.json journal is empty")
+completed = sum(1 for p in report["packets"] if p["completed"])
+print(f"run report OK: {len(report['packets'])} packet traces "
+      f"({completed} completed), {report['journal_len']} journal records")
+PY
+
 echo "CI green."

@@ -6,9 +6,12 @@
 //! fault handling (or a new false-positive invariant) is visible at a
 //! glance.
 //!
-//! Usage: `cargo run --release -p bench --bin chaos_sweep -- [--minutes N] [--seed N]`
+//! Usage: `cargo run --release -p bench --bin chaos_sweep -- [--minutes N] [--seed N] [--quiet] [--json <path>]`
 
-use testnet::{quantile, report_of, ChaosPlan, Fault, InvariantViolation, Testnet, TestnetConfig};
+use testnet::{
+    quantile, report_of, Artifact, ChaosPlan, Fault, InvariantViolation, OutputOptions, Section,
+    Testnet, TestnetConfig,
+};
 
 const MINUTE_MS: u64 = 60 * 1_000;
 
@@ -83,10 +86,40 @@ fn violation_summary(violations: &[InvariantViolation]) -> String {
     format!("{} ({})", violations.len(), kinds.join(", "))
 }
 
+/// Runs one plan over the small deployment and appends its result row.
+fn run_row(section: &mut Section, name: &str, seed: u64, duration_ms: u64, plan: ChaosPlan) {
+    let mut config = TestnetConfig::small(seed);
+    config.workload.outbound_mean_gap_ms = 45_000;
+    config.workload.inbound_mean_gap_ms = 60_000;
+    config.chaos = plan;
+    let mut net = Testnet::build(config);
+    net.run_for(duration_ms);
+    let report = report_of(&net, duration_ms);
+    let latencies = &report.fig2_send_latency_s;
+    let (p50, p99) = if latencies.is_empty() {
+        (f64::NAN, f64::NAN)
+    } else {
+        (quantile(latencies, 0.50), quantile(latencies, 0.99))
+    };
+    section
+        .line(format!(
+            "{name:<18} {:>6} {p50:>8.2} {p99:>8.2} {:>6} {:>6} {:>7}  {}",
+            report.completed_sends,
+            net.relayer.failed_jobs(),
+            net.relayer.lost_submissions(),
+            net.relayer.resubmissions(),
+            violation_summary(net.invariant_violations()),
+        ))
+        .value(&format!("{name}_sends"), report.completed_sends as f64)
+        .value(&format!("{name}_p50_s"), p50)
+        .value(&format!("{name}_violations"), net.invariant_violations().len() as f64);
+}
+
 fn main() {
     let mut minutes = 10u64;
     let mut seed = 7u64;
     let args: Vec<String> = std::env::args().collect();
+    let output = OutputOptions::from_args(&args);
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -105,83 +138,39 @@ fn main() {
     }
     let duration_ms = minutes * MINUTE_MS;
 
-    println!("Chaos sweep — {minutes} simulated minutes per scenario (seed {seed})");
-    println!("=================================================================");
-    println!(
+    let mut artifact = Artifact::new(
+        format!("Chaos sweep — {minutes} simulated minutes per scenario (seed {seed})"),
+        "chaos_sweep",
+    );
+    let battery = artifact.section("fault battery");
+    battery.line(format!(
         "{:<18} {:>6} {:>8} {:>8} {:>6} {:>6} {:>7}  violations",
         "scenario", "sends", "p50 s", "p99 s", "fail", "lost", "resub"
-    );
-
+    ));
     for scenario in scenarios(seed, duration_ms) {
-        let mut config = TestnetConfig::small(seed);
-        config.workload.outbound_mean_gap_ms = 45_000;
-        config.workload.inbound_mean_gap_ms = 60_000;
-        config.chaos = scenario.plan;
-        let mut net = Testnet::build(config);
-        net.run_for(duration_ms);
-        let report = report_of(&net, duration_ms);
-        let mut latencies = report.fig2_send_latency_s.clone();
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        let (p50, p99) = if latencies.is_empty() {
-            (f64::NAN, f64::NAN)
-        } else {
-            (quantile(&latencies, 0.50), quantile(&latencies, 0.99))
-        };
-        println!(
-            "{:<18} {:>6} {:>8.2} {:>8.2} {:>6} {:>6} {:>7}  {}",
-            scenario.name,
-            report.completed_sends,
-            p50,
-            p99,
-            net.relayer.failed_jobs(),
-            net.relayer.lost_submissions(),
-            net.relayer.resubmissions(),
-            violation_summary(net.invariant_violations()),
-        );
+        run_row(battery, scenario.name, seed, duration_ms, scenario.plan);
     }
-
-    println!();
-    println!("  baseline must show zero violations; counterfeit-mint must show");
-    println!("  an ics20-conservation breach — anything else is a regression.");
+    battery
+        .line("")
+        .line("baseline must show zero violations; counterfeit-mint must show")
+        .line("an ics20-conservation breach — anything else is a regression.");
 
     // Intensity sweep: chunk-drop probability against delivery latency and
     // loss/recovery counters, one run per step.
-    println!();
-    println!("Chunk-drop intensity sweep");
-    println!("--------------------------");
-    println!(
-        "{:<6} {:>6} {:>8} {:>8} {:>6} {:>7}  violations",
-        "p", "sends", "p50 s", "p99 s", "lost", "resub"
-    );
+    let sweep = artifact.section("chunk-drop intensity sweep");
+    sweep.line(format!(
+        "{:<18} {:>6} {:>8} {:>8} {:>6} {:>6} {:>7}  violations",
+        "p", "sends", "p50 s", "p99 s", "fail", "lost", "resub"
+    ));
     for step in 0..=4u32 {
         let probability = f64::from(step) * 0.125;
-        let mut config = TestnetConfig::small(seed);
-        config.workload.outbound_mean_gap_ms = 45_000;
-        config.workload.inbound_mean_gap_ms = 60_000;
         let mut plan = ChaosPlan::new(seed);
         if probability > 0.0 {
             plan = plan.with(0, duration_ms, Fault::ChunkDrop { probability });
         }
-        config.chaos = plan;
-        let mut net = Testnet::build(config);
-        net.run_for(duration_ms);
-        let report = report_of(&net, duration_ms);
-        let mut latencies = report.fig2_send_latency_s.clone();
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        let (p50, p99) = if latencies.is_empty() {
-            (f64::NAN, f64::NAN)
-        } else {
-            (quantile(&latencies, 0.50), quantile(&latencies, 0.99))
-        };
-        println!(
-            "{:<6.3} {:>6} {:>8.2} {:>8.2} {:>6} {:>7}  {}",
-            probability,
-            report.completed_sends,
-            p50,
-            p99,
-            net.relayer.lost_submissions(),
-            net.relayer.resubmissions(),
-            violation_summary(net.invariant_violations()),
-        );
+        let label = format!("p={probability:.3}");
+        run_row(sweep, &label, seed, duration_ms, plan);
     }
+
+    artifact.emit(output.quiet, output.json.as_deref());
 }

@@ -5,36 +5,44 @@
 //! stragglers were caused by validator signing delays (the dominant
 //! validator's outage).
 //!
-//! Usage: `cargo run --release -p bench --bin fig2_send_latency -- [--days N] [--seed N] [--fresh]`
+//! Usage: `cargo run --release -p bench --bin fig2_send_latency -- [--days N] [--seed N] [--fresh] [--quiet] [--json <path>]`
 
-use bench::{paper_report, print_cdf, RunOptions};
-use testnet::fraction_below;
+use bench::{cdf_section, paper_report, RunOptions};
+use testnet::{fraction_below, Artifact};
 
 fn main() {
     let options = RunOptions::from_args();
     let report = paper_report(&options);
-    bench::maybe_dump_json(&options, &report);
     let latencies = &report.fig2_send_latency_s;
 
-    println!("Fig. 2 — SendPacket → FinalisedBlock delay");
-    println!("==========================================");
-    print_cdf("delay", "s", latencies, &[0.10, 0.25, 0.50, 0.75, 0.90, 0.96, 0.99]);
+    let mut artifact =
+        Artifact::new("Fig. 2 — SendPacket → FinalisedBlock delay", "fig2_send_latency");
+    let section = artifact.section("");
+    cdf_section(section, "delay", "s", latencies, &[0.10, 0.25, 0.50, 0.75, 0.90, 0.96, 0.99]);
     let within = fraction_below(latencies, 21.0);
     let stragglers = latencies.iter().filter(|v| **v > 21.0).count();
-    println!("  within 21 s: {:.1} %  ({stragglers} stragglers)", within * 100.0);
-    println!(
-        "  in flight at run end: {} of {} sends",
-        report.in_flight_sends,
-        report.in_flight_sends + report.completed_sends
-    );
-    println!();
-    println!("  paper: all but 3 transfers within 21 s; stragglers caused by");
-    println!("  validator signing delays (reproduced via validator #1's outage).");
+    section
+        .line(format!("within 21 s: {:.1} %  ({stragglers} stragglers)", within * 100.0))
+        .value("within_21s_fraction", within)
+        .value("stragglers", stragglers as f64);
+    section
+        .line(format!(
+            "in flight at run end: {} of {} sends",
+            report.in_flight_sends,
+            report.in_flight_sends + report.completed_sends
+        ))
+        .value("in_flight_sends", report.in_flight_sends as f64)
+        .value("completed_sends", report.completed_sends as f64);
+    section
+        .line("")
+        .line("paper: all but 3 transfers within 21 s; stragglers caused by")
+        .line("validator signing delays (reproduced via validator #1's outage).");
 
     // CDF series for plotting.
-    println!();
-    println!("  cdf series (seconds, cumulative fraction):");
+    let series = artifact.section("cdf series (seconds, cumulative fraction)");
     for (value, fraction) in testnet::cdf(latencies).iter().step_by(latencies.len().max(20) / 20) {
-        println!("    {value:>10.2}  {fraction:.3}");
+        series.line(format!("{value:>10.2}  {fraction:.3}"));
     }
+
+    artifact.emit(options.output.quiet, options.output.json.as_deref());
 }

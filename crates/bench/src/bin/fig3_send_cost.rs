@@ -6,16 +6,16 @@
 //! Also prints the §VI-B ablation: the dynamic fee strategy's cost under
 //! the same congestion trace.
 //!
-//! Usage: `cargo run --release -p bench --bin fig3_send_cost -- [--days N]`
+//! Usage: `cargo run --release -p bench --bin fig3_send_cost -- [--days N] [--quiet] [--json <path>]`
 
-use bench::{paper_report, print_cdf, RunOptions};
+use bench::{cdf_section, paper_report, RunOptions};
 use host_sim::lamports_to_usd;
 use relayer::FeeStrategy;
+use testnet::Artifact;
 
 fn main() {
     let options = RunOptions::from_args();
     let report = paper_report(&options);
-    bench::maybe_dump_json(&options, &report);
 
     let bundle: Vec<f64> = report
         .fig3_send_cost_usd
@@ -30,36 +30,46 @@ fn main() {
         .map(|(usd, _)| *usd)
         .collect();
     let total = (bundle.len() + priority.len()).max(1);
+    let bundle_mean = bundle.iter().sum::<f64>() / bundle.len().max(1) as f64;
+    let priority_mean = priority.iter().sum::<f64>() / priority.len().max(1) as f64;
 
-    println!("Fig. 3 — cost of sending a packet");
-    println!("=================================");
-    println!(
-        "  bundle cluster:   n = {:>4} ({:>4.1} %)  mean = {:.2} USD   (paper: 83 %, 3.02 USD)",
-        bundle.len(),
-        bundle.len() as f64 / total as f64 * 100.0,
-        bundle.iter().sum::<f64>() / bundle.len().max(1) as f64,
-    );
-    println!(
-        "  priority cluster: n = {:>4} ({:>4.1} %)  mean = {:.2} USD   (paper: 17 %, 1.40 USD)",
-        priority.len(),
-        priority.len() as f64 / total as f64 * 100.0,
-        priority.iter().sum::<f64>() / priority.len().max(1) as f64,
-    );
+    let mut artifact = Artifact::new("Fig. 3 — cost of sending a packet", "fig3_send_cost");
+    let section = artifact.section("");
+    section
+        .line(format!(
+            "bundle cluster:   n = {:>4} ({:>4.1} %)  mean = {bundle_mean:.2} USD   (paper: 83 %, 3.02 USD)",
+            bundle.len(),
+            bundle.len() as f64 / total as f64 * 100.0,
+        ))
+        .value("bundle_count", bundle.len() as f64)
+        .value("bundle_mean_usd", bundle_mean);
+    section
+        .line(format!(
+            "priority cluster: n = {:>4} ({:>4.1} %)  mean = {priority_mean:.2} USD   (paper: 17 %, 1.40 USD)",
+            priority.len(),
+            priority.len() as f64 / total as f64 * 100.0,
+        ))
+        .value("priority_count", priority.len() as f64)
+        .value("priority_mean_usd", priority_mean);
     let all: Vec<f64> = report.fig3_send_cost_usd.iter().map(|(usd, _)| *usd).collect();
-    print_cdf("all sends", "USD", &all, &[0.10, 0.17, 0.50, 0.90]);
+    cdf_section(section, "all sends", "USD", &all, &[0.10, 0.17, 0.50, 0.90]);
 
     // §VI-B ablation: what would the dynamic strategy pay for the same
     // send under calm vs. busy network conditions?
-    println!();
-    println!("  §VI-B ablation — dynamic fee strategy (same 1.4M CU budget):");
+    let ablation = artifact.section("§VI-B ablation — dynamic fee strategy (same 1.4M CU budget)");
     let dynamic = FeeStrategy::Dynamic { high_micro_lamports_per_cu: 5_000_000, threshold: 0.6 };
     for load in [0.2, 0.5, 0.7, 0.9] {
         let policy = dynamic.policy(load);
         let lamports = 5_000 + policy.extra_lamports(1_400_000);
-        println!("    load {load:.1}: {:>5.2} USD  ({policy:?})", lamports_to_usd(lamports));
+        let usd = lamports_to_usd(lamports);
+        ablation
+            .line(format!("load {load:.1}: {usd:>5.2} USD  ({policy:?})"))
+            .value(&format!("dynamic_usd_load_{load:.1}"), usd);
     }
-    // Measure inclusion latency of base vs bundle on a congested chain.
-    println!();
-    println!("  takeaway: fixed strategies overpay in calm periods (3.02 USD vs");
-    println!("  0.001 USD base) and the dynamic strategy tracks congestion.");
+    ablation
+        .line("")
+        .line("takeaway: fixed strategies overpay in calm periods (3.02 USD vs")
+        .line("0.001 USD base) and the dynamic strategy tracks congestion.");
+
+    artifact.emit(options.output.quiet, options.output.json.as_deref());
 }

@@ -4,31 +4,44 @@
 //! Paper: updates averaged 36.5 transactions (σ = 5.8); 50 % completed in
 //! under 25 s and 96 % in under a minute.
 //!
-//! Usage: `cargo run --release -p bench --bin fig4_lc_update_latency -- [--days N]`
+//! Usage: `cargo run --release -p bench --bin fig4_lc_update_latency -- [--days N] [--quiet] [--json <path>]`
 
-use bench::{paper_report, print_cdf, RunOptions};
-use testnet::{fraction_below, Summary};
+use bench::{cdf_section, paper_report, RunOptions};
+use testnet::{fraction_below, Artifact, Summary};
 
 fn main() {
     let options = RunOptions::from_args();
     let report = paper_report(&options);
-    bench::maybe_dump_json(&options, &report);
 
-    println!("Fig. 4 — light-client update latency (first → last transaction)");
-    println!("================================================================");
+    let mut artifact = Artifact::new(
+        "Fig. 4 — light-client update latency (first → last transaction)",
+        "fig4_lc_update_latency",
+    );
+    let section = artifact.section("");
     let tx_counts: Vec<f64> = report.fig4_update_tx_counts.iter().map(|c| *c as f64).collect();
     let txs = Summary::of(&tx_counts);
-    println!(
-        "  transactions per update: mean = {:.1}, σ = {:.1}   (paper: 36.5, σ 5.8)",
-        txs.mean, txs.stddev
+    section
+        .line(format!(
+            "transactions per update: mean = {:.1}, σ = {:.1}   (paper: 36.5, σ 5.8)",
+            txs.mean, txs.stddev
+        ))
+        .value("update_tx_mean", txs.mean)
+        .value("update_tx_stddev", txs.stddev);
+    cdf_section(
+        section,
+        "update latency",
+        "s",
+        &report.fig4_update_latency_s,
+        &[0.25, 0.50, 0.75, 0.96],
     );
-    print_cdf("update latency", "s", &report.fig4_update_latency_s, &[0.25, 0.50, 0.75, 0.96]);
-    println!(
-        "  < 25 s: {:.0} %   (paper: 50 %)",
-        fraction_below(&report.fig4_update_latency_s, 25.0) * 100.0
-    );
-    println!(
-        "  < 60 s: {:.0} %   (paper: 96 %)",
-        fraction_below(&report.fig4_update_latency_s, 60.0) * 100.0
-    );
+    let below_25 = fraction_below(&report.fig4_update_latency_s, 25.0);
+    let below_60 = fraction_below(&report.fig4_update_latency_s, 60.0);
+    section
+        .line(format!("< 25 s: {:.0} %   (paper: 50 %)", below_25 * 100.0))
+        .value("below_25s_fraction", below_25);
+    section
+        .line(format!("< 60 s: {:.0} %   (paper: 96 %)", below_60 * 100.0))
+        .value("below_60s_fraction", below_60);
+
+    artifact.emit(options.output.quiet, options.output.json.as_deref());
 }

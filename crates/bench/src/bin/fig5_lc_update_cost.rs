@@ -5,25 +5,31 @@
 //! per additional signature); the cost varies with the amount of header
 //! data and the number of signatures checked.
 //!
-//! Usage: `cargo run --release -p bench --bin fig5_lc_update_cost -- [--days N]`
+//! Usage: `cargo run --release -p bench --bin fig5_lc_update_cost -- [--days N] [--quiet] [--json <path>]`
 
-use bench::{paper_report, print_cdf, RunOptions};
+use bench::{cdf_section, paper_report, RunOptions};
+use testnet::Artifact;
 
 fn main() {
     let options = RunOptions::from_args();
     let report = paper_report(&options);
-    bench::maybe_dump_json(&options, &report);
 
-    println!("Fig. 5 — light-client update cost");
-    println!("=================================");
-    print_cdf("update cost", "¢", &report.fig5_update_cost_cents, &[0.10, 0.50, 0.90]);
+    let mut artifact = Artifact::new("Fig. 5 — light-client update cost", "fig5_lc_update_cost");
+    let section = artifact.section("");
+    cdf_section(section, "update cost", "¢", &report.fig5_update_cost_cents, &[0.10, 0.50, 0.90]);
 
     // The paper attributes the variance to update size (signature count);
     // show the correlation between transactions and cost.
     let txs: Vec<f64> = report.fig4_update_tx_counts.iter().map(|c| *c as f64).collect();
     let r = testnet::correlation(&txs, &report.fig5_update_cost_cents);
-    println!("  correlation(transactions, cost) = {r:.3}  (cost is driven by update size)");
+    section
+        .line(format!("correlation(transactions, cost) = {r:.3}  (cost is driven by update size)"))
+        .value("tx_cost_correlation", r);
     let mean = report.fig5_update_cost_cents.iter().sum::<f64>()
         / report.fig5_update_cost_cents.len().max(1) as f64;
-    println!("  mean: {mean:.2} ¢ ≈ {:.1} transactions × 0.1 ¢ base fee", mean / 0.1);
+    section
+        .line(format!("mean: {mean:.2} ¢ ≈ {:.1} transactions × 0.1 ¢ base fee", mean / 0.1))
+        .value("mean_cost_cents", mean);
+
+    artifact.emit(options.output.quiet, options.output.json.as_deref());
 }

@@ -8,7 +8,7 @@
 //! is state proofs) on the two expensive guest operations: light-client
 //! updates and packet deliveries.
 //!
-//! Usage: `cargo run --release -p bench --bin host_profiles`
+//! Usage: `cargo run --release -p bench --bin host_profiles -- [--quiet] [--json <path>]`
 
 use guest_chain::GuestOp;
 use host_sim::{lamports_to_cents, HostProfile};
@@ -16,6 +16,7 @@ use ibc_core::channel::{Packet, Timeout};
 use ibc_core::types::{ChannelId, ClientId, PortId};
 use relayer::chunking::{plan_op_for, sig_checks_per_tx_for, transaction_count_for};
 use sealable_trie::Trie;
+use testnet::{Artifact, OutputOptions};
 
 fn typical_update_op(signatures: usize) -> (GuestOp, usize) {
     // A counterparty commit: ~88 bytes of header + ~88 bytes per signature
@@ -54,46 +55,54 @@ fn typical_recv_op() -> GuestOp {
 }
 
 fn main() {
-    println!("§VI-D — the same guest operations on different hosts");
-    println!("====================================================");
+    let args: Vec<String> = std::env::args().collect();
+    let output = OutputOptions::from_args(&args);
     let profiles = [HostProfile::SOLANA, HostProfile::NEAR_LIKE, HostProfile::TRON_LIKE];
 
-    println!(
-        "\n  {:<10} {:>10} {:>12} {:>12} {:>12}",
+    let mut artifact =
+        Artifact::new("§VI-D — the same guest operations on different hosts", "host_profiles");
+    let limits = artifact.section("host runtime limits");
+    limits.line(format!(
+        "{:<10} {:>10} {:>12} {:>12} {:>12}",
         "host", "tx size", "CU budget", "sig/tx", "block time"
-    );
+    ));
     for p in &profiles {
-        println!(
-            "  {:<10} {:>8} B {:>12} {:>12} {:>10} ms",
+        limits.line(format!(
+            "{:<10} {:>8} B {:>12} {:>12} {:>10} ms",
             p.name,
             p.max_transaction_size,
             p.max_compute_units,
             sig_checks_per_tx_for(p),
             p.slot_millis
-        );
+        ));
     }
 
     let (update, sigs) = typical_update_op(105);
     let recv = typical_recv_op();
-    println!("\n  light-client update (105-signature commit) and packet delivery:");
-    println!(
-        "  {:<10} {:>12} {:>14} {:>12} {:>14}",
+    let costs = artifact.section("light-client update (105-signature commit) and packet delivery");
+    costs.line(format!(
+        "{:<10} {:>12} {:>14} {:>12} {:>14}",
         "host", "update txs", "update cost", "recv txs", "recv cost"
-    );
+    ));
     for p in &profiles {
         let update_txs = transaction_count_for(p, &update, sigs);
         let recv_txs = transaction_count_for(p, &recv, 0);
         // One signature per transaction (the relayer pays base fees).
         let update_cost = lamports_to_cents(update_txs as u64 * p.lamports_per_signature);
         let recv_cost = lamports_to_cents(recv_txs as u64 * p.lamports_per_signature);
-        println!(
-            "  {:<10} {:>12} {:>12.2} ¢ {:>12} {:>12.2} ¢",
-            p.name, update_txs, update_cost, recv_txs, recv_cost
-        );
+        costs
+            .line(format!(
+                "{:<10} {:>12} {:>12.2} ¢ {:>12} {:>12.2} ¢",
+                p.name, update_txs, update_cost, recv_txs, recv_cost
+            ))
+            .value(&format!("{}_update_txs", p.name), update_txs as f64)
+            .value(&format!("{}_recv_txs", p.name), recv_txs as f64)
+            .value(&format!("{}_update_cost_cents", p.name), update_cost)
+            .value(&format!("{}_recv_cost_cents", p.name), recv_cost);
     }
 
     // Show the actual plan shape per host.
-    println!("\n  plan shapes for the update:");
+    let shapes = artifact.section("plan shapes for the update");
     for p in &profiles {
         let plan = plan_op_for(p, &update, 1, sigs);
         let chunks = plan
@@ -104,16 +113,17 @@ fn main() {
             .iter()
             .filter(|i| matches!(i, guest_chain::GuestInstruction::VerifySigs { .. }))
             .count();
-        println!(
-            "    {:<10} {} chunk txs + {} verify txs + 1 exec = {} transactions",
+        shapes.line(format!(
+            "{:<10} {chunks} chunk txs + {verifies} verify txs + 1 exec = {} transactions",
             p.name,
-            chunks,
-            verifies,
             plan.len()
-        );
+        ));
     }
-    println!();
-    println!("  takeaway: the ~36-transaction updates of Fig. 4 are a property of");
-    println!("  Solana's 1232-byte / 1.4M-CU limits, not of the guest design — on a");
-    println!("  NEAR-like host the same update is a couple of transactions.");
+    shapes
+        .line("")
+        .line("takeaway: the ~36-transaction updates of Fig. 4 are a property of")
+        .line("Solana's 1232-byte / 1.4M-CU limits, not of the guest design — on a")
+        .line("NEAR-like host the same update is a couple of transactions.");
+
+    artifact.emit(output.quiet, output.json.as_deref());
 }

@@ -5,19 +5,24 @@
 //! Includes the DESIGN.md ablation: trie growth under packet churn with
 //! sealing ON vs OFF.
 //!
-//! Usage: `cargo run --release -p bench --bin storage_costs -- [--days N]`
+//! Usage: `cargo run --release -p bench --bin storage_costs -- [--days N] [--quiet] [--json <path>]`
 
 use bench::{paper_report, RunOptions};
 use host_sim::{rent, MAX_ACCOUNT_SIZE};
 use sealable_trie::Trie;
+use testnet::Artifact;
 
 fn main() {
     let options = RunOptions::from_args();
 
-    println!("§V-D — storage costs");
-    println!("====================");
+    let mut artifact = Artifact::new("§V-D — storage costs", "storage_costs");
+    let section = artifact.section("");
     let deposit = rent::deposit_usd(MAX_ACCOUNT_SIZE);
-    println!("  10 MiB account rent-exemption deposit: {deposit:.0} USD   (paper: 14.6 k USD)");
+    section
+        .line(format!(
+            "10 MiB account rent-exemption deposit: {deposit:.0} USD   (paper: 14.6 k USD)"
+        ))
+        .value("rent_deposit_usd", deposit);
     // A key-value pair in the trie costs roughly a leaf (~100 B with a
     // 32-byte value) plus its share of interior nodes.
     let mut trie = Trie::new();
@@ -26,16 +31,21 @@ fn main() {
     }
     let per_pair = trie.stats().byte_count as f64 / 10_000.0;
     let capacity = MAX_ACCOUNT_SIZE as f64 / per_pair;
-    println!(
-        "  measured {per_pair:.0} B per key-value pair ⇒ 10 MiB holds ≈ {:.0} k pairs   (paper: >72 k)",
-        capacity / 1_000.0
-    );
+    section
+        .line(format!(
+            "measured {per_pair:.0} B per key-value pair ⇒ 10 MiB holds ≈ {:.0} k pairs   (paper: >72 k)",
+            capacity / 1_000.0
+        ))
+        .value("bytes_per_pair", per_pair)
+        .value("capacity_pairs", capacity);
 
     // Ablation: sealing ON vs OFF under delivered-packet churn.
-    println!();
-    println!("  sealing ablation — bytes resident after N delivered packets");
-    println!("  (receipts are write-once: without sealing they accumulate forever)");
-    println!("    {:>8} {:>14} {:>14} {:>8}", "packets", "sealed (B)", "unsealed (B)", "ratio");
+    let ablation = artifact.section("sealing ablation — bytes resident after N delivered packets");
+    ablation.line("(receipts are write-once: without sealing they accumulate forever)");
+    ablation.line(format!(
+        "{:>8} {:>14} {:>14} {:>8}",
+        "packets", "sealed (B)", "unsealed (B)", "ratio"
+    ));
     for rounds in [1_000u64, 5_000, 20_000] {
         let mut sealed = Trie::new();
         let mut unsealed = Trie::new();
@@ -47,22 +57,31 @@ fn main() {
         }
         let s = sealed.stats().byte_count;
         let u = unsealed.stats().byte_count;
-        println!("    {rounds:>8} {s:>14} {u:>14} {:>7.0}x", u as f64 / s.max(1) as f64);
+        ablation
+            .line(format!("{rounds:>8} {s:>14} {u:>14} {:>7.0}x", u as f64 / s.max(1) as f64))
+            .value(&format!("sealed_bytes_{rounds}"), s as f64)
+            .value(&format!("unsealed_bytes_{rounds}"), u as f64);
     }
 
     // End-of-run accounting from the deployment simulation.
     let report = paper_report(&options);
-    println!();
-    println!("  after {:.0} simulated days of traffic:", report.duration_days);
-    println!("    resident trie bytes:  {:>10}", report.storage.trie_bytes);
-    println!("    peak trie bytes:      {:>10}", report.storage.trie_peak_bytes);
-    println!("    nodes reclaimed:      {:>10}", report.storage.sealed_reclaimed);
-    println!(
-        "    full state size:      {:>10} B  (of {} B allocated)",
+    let run =
+        artifact.section(format!("after {:.0} simulated days of traffic", report.duration_days));
+    run.line(format!("resident trie bytes:  {:>10}", report.storage.trie_bytes))
+        .value("trie_bytes", report.storage.trie_bytes as f64);
+    run.line(format!("peak trie bytes:      {:>10}", report.storage.trie_peak_bytes))
+        .value("trie_peak_bytes", report.storage.trie_peak_bytes as f64);
+    run.line(format!("nodes reclaimed:      {:>10}", report.storage.sealed_reclaimed))
+        .value("sealed_reclaimed", report.storage.sealed_reclaimed as f64);
+    run.line(format!(
+        "full state size:      {:>10} B  (of {} B allocated)",
         report.storage.state_bytes, MAX_ACCOUNT_SIZE
-    );
-    println!(
-        "    headroom: state is {:.2} % of the account — \"sufficient in the long term\"",
+    ))
+    .value("state_bytes", report.storage.state_bytes as f64);
+    run.line(format!(
+        "headroom: state is {:.2} % of the account — \"sufficient in the long term\"",
         report.storage.state_bytes as f64 / MAX_ACCOUNT_SIZE as f64 * 100.0
-    );
+    ));
+
+    artifact.emit(options.output.quiet, options.output.json.as_deref());
 }

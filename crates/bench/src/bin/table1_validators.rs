@@ -5,25 +5,25 @@
 //! block (1535) and its failure stalled finalisation for ~10 h (max latency
 //! 35 957.6 s); cost and latency were uncorrelated (r = 0.007).
 //!
-//! Usage: `cargo run --release -p bench --bin table1_validators -- [--days N]`
+//! Usage: `cargo run --release -p bench --bin table1_validators -- [--days N] [--quiet] [--json <path>]`
 
 use bench::{paper_report, RunOptions};
+use testnet::Artifact;
 
 fn main() {
     let options = RunOptions::from_args();
     let report = paper_report(&options);
-    bench::maybe_dump_json(&options, &report);
 
-    println!("Table I — Validator Signing Statistics");
-    println!("======================================");
-    println!(
-        "      {:>6} {:>7} | {:>7} {:>7} {:>7} {:>7} {:>9} {:>7} {:>8}",
+    let mut artifact = Artifact::new("Table I — Validator Signing Statistics", "table1_validators");
+    let section = artifact.section("");
+    section.line(format!(
+        "    {:>6} {:>7} | {:>7} {:>7} {:>7} {:>7} {:>9} {:>7} {:>8}",
         "sigs", "cost ¢", "min", "Q1", "med", "Q3", "max", "µ", "σ"
-    );
+    ));
     for (rank, row) in report.table1.iter().enumerate() {
         let l = &row.latency;
-        println!(
-            "  #{:<3} {:>6} {:>7.2} | {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>9.1} {:>7.1} {:>8.1}",
+        section.line(format!(
+            "#{:<3} {:>6} {:>7.2} | {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>9.1} {:>7.1} {:>8.1}",
             rank + 1,
             row.sigs,
             row.cost_cents,
@@ -34,19 +34,27 @@ fn main() {
             l.max,
             l.mean,
             l.stddev
-        );
+        ));
     }
-    println!();
-    println!(
-        "  active validators: {} of 24 (paper: 17 of 24; 7 submitted nothing)",
-        report.table1.len()
-    );
-    println!(
-        "  cost–latency correlation: {:.3}   (paper: 0.007 — paying more does not buy latency)",
-        report.cost_latency_correlation
-    );
+    let summary = artifact.section("summary");
+    summary
+        .line(format!(
+            "active validators: {} of 24 (paper: 17 of 24; 7 submitted nothing)",
+            report.table1.len()
+        ))
+        .value("active_validators", report.table1.len() as f64);
+    summary
+        .line(format!(
+            "cost–latency correlation: {:.3}   (paper: 0.007 — paying more does not buy latency)",
+            report.cost_latency_correlation
+        ))
+        .value("cost_latency_correlation", report.cost_latency_correlation);
     let max_latency = report.table1.iter().map(|r| r.latency.max).fold(0.0f64, f64::max);
-    println!(
-        "  longest signing delay: {max_latency:.1} s   (paper: 35 957.6 s — validator #1's outage)"
-    );
+    summary
+        .line(format!(
+            "longest signing delay: {max_latency:.1} s   (paper: 35 957.6 s — validator #1's outage)"
+        ))
+        .value("max_latency_s", max_latency);
+
+    artifact.emit(options.output.quiet, options.output.json.as_deref());
 }

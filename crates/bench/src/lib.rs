@@ -2,14 +2,17 @@
 //!
 //! Every `fig*`/`table1`/`recv_packet_cost` binary replays the same
 //! simulated deployment; the report is cached on disk (keyed by duration
-//! and seed) so running all binaries costs one simulation.
+//! and seed) so running all binaries costs one simulation. Results are
+//! emitted as a telemetry [`Artifact`] — one structure rendered both as
+//! terminal text (suppressed by `--quiet`) and, with `--json <path>`, as
+//! a machine-readable JSON file.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::path::PathBuf;
 
-use testnet::{evaluate, EvaluationReport, TestnetConfig, DAY_MS};
+use testnet::{evaluate, EvaluationReport, OutputOptions, Section, Summary, TestnetConfig, DAY_MS};
 
 /// Command-line options shared by the experiment binaries.
 #[derive(Clone, Debug)]
@@ -20,15 +23,21 @@ pub struct RunOptions {
     pub seed: u64,
     /// Ignore any cached report.
     pub fresh: bool,
-    /// Also dump the full report as JSON to this path (for plotting).
-    pub json: Option<String>,
+    /// Artifact emission: `--quiet` and `--json <path>`.
+    pub output: OutputOptions,
 }
 
 impl RunOptions {
-    /// Parses `--days N`, `--seed N` and `--fresh` from `std::env::args`.
+    /// Parses `--days N`, `--seed N`, `--fresh`, `--quiet` and
+    /// `--json <path>` from `std::env::args`.
     pub fn from_args() -> Self {
-        let mut options = Self { days: 28, seed: 20240901, fresh: false, json: None };
         let args: Vec<String> = std::env::args().collect();
+        let mut options = Self {
+            days: 28,
+            seed: 20240901,
+            fresh: false,
+            output: OutputOptions::from_args(&args),
+        };
         let mut iter = args.iter().peekable();
         while let Some(arg) = iter.next() {
             match arg.as_str() {
@@ -43,7 +52,6 @@ impl RunOptions {
                     }
                 }
                 "--fresh" => options.fresh = true,
-                "--json" => options.json = iter.next().cloned(),
                 _ => {}
             }
         }
@@ -57,56 +65,55 @@ fn cache_path(options: &RunOptions) -> PathBuf {
 }
 
 /// Runs (or loads from cache) the paper-configuration deployment and
-/// returns its evaluation report.
+/// returns its evaluation report. Progress notes go to stderr unless
+/// `--quiet` was given.
 pub fn paper_report(options: &RunOptions) -> EvaluationReport {
     let path = cache_path(options);
     if !options.fresh {
         if let Ok(bytes) = std::fs::read(&path) {
             if let Ok(report) = serde_json::from_slice::<EvaluationReport>(&bytes) {
-                eprintln!("(loaded cached report from {})", path.display());
+                if !options.output.quiet {
+                    eprintln!("(loaded cached report from {})", path.display());
+                }
                 return report;
             }
         }
     }
-    eprintln!("simulating {} days of the paper deployment (seed {})…", options.days, options.seed);
+    if !options.output.quiet {
+        eprintln!(
+            "simulating {} days of the paper deployment (seed {})…",
+            options.days, options.seed
+        );
+    }
     let mut config = TestnetConfig::paper();
     config.seed = options.seed;
     let started = std::time::Instant::now();
     let report = evaluate(config, options.days * DAY_MS);
-    eprintln!("…done in {:.1?}", started.elapsed());
+    if !options.output.quiet {
+        eprintln!("…done in {:.1?}", started.elapsed());
+    }
     if let Ok(bytes) = serde_json::to_vec(&report) {
         let _ = std::fs::write(&path, bytes);
     }
     report
 }
 
-/// Writes the report to `options.json` when requested; used by every
-/// experiment binary so any figure's raw series can be re-plotted.
-pub fn maybe_dump_json(options: &RunOptions, report: &EvaluationReport) {
-    let Some(path) = &options.json else { return };
-    match serde_json::to_vec_pretty(report) {
-        Ok(bytes) => {
-            if let Err(err) = std::fs::write(path, bytes) {
-                eprintln!("could not write {path}: {err}");
-            } else {
-                eprintln!("(raw report written to {path})");
-            }
-        }
-        Err(err) => eprintln!("could not serialize the report: {err}"),
-    }
-}
-
-/// Formats a value-CDF as aligned rows for terminal output.
-pub fn print_cdf(label: &str, unit: &str, values: &[f64], points: &[f64]) {
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-    println!("  {label} (n = {}):", sorted.len());
+/// Appends a value-CDF to an artifact section: quantile rows as text plus
+/// named scalar values for the JSON twin. NaN samples are discarded by the
+/// underlying quantile.
+pub fn cdf_section(section: &mut Section, label: &str, unit: &str, values: &[f64], points: &[f64]) {
+    section.line(format!("{label} (n = {}):", values.len()));
     for q in points {
-        let v = testnet::quantile(&sorted, *q);
-        println!("    p{:<4} {v:>10.2} {unit}", (q * 100.0) as u32);
+        let v = testnet::quantile(values, *q);
+        let pct = (q * 100.0) as u32;
+        section.line(format!("  p{pct:<4} {v:>10.2} {unit}"));
+        section.value(&format!("{label}_p{pct}"), v);
     }
-    if let (Some(min), Some(max)) = (sorted.first(), sorted.last()) {
-        println!("    min  {min:>10.2} {unit}");
-        println!("    max  {max:>10.2} {unit}");
+    let summary = Summary::of(values);
+    if summary.count > 0 {
+        section.line(format!("  min  {:>10.2} {unit}", summary.min));
+        section.line(format!("  max  {:>10.2} {unit}", summary.max));
+        section.value(&format!("{label}_min"), summary.min);
+        section.value(&format!("{label}_max"), summary.max);
     }
 }

@@ -1,14 +1,18 @@
 //! A guided chaos drill: one small deployment, a 12-minute storyline of
 //! faults, and the invariant suite narrating what broke and what held.
 //!
-//! Run with `cargo run --release -p chaos --example chaos_drill`.
+//! Run with `cargo run --release -p chaos --example chaos_drill`
+//! (add `--quiet` / `--json <path>` for artifact emission). Exits with
+//! status 1 if the counterfeit mint goes undetected.
 
 use chaos::{ChaosPlan, Fault};
-use testnet::{report_of, Testnet, TestnetConfig};
+use testnet::{report_of, Artifact, OutputOptions, Testnet, TestnetConfig};
 
 const MINUTE_MS: u64 = 60 * 1_000;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let output = OutputOptions::from_args(&args);
     let duration = 12 * MINUTE_MS;
     // The storyline: a congestion storm in minutes 2–4, a crashed
     // validator in minutes 5–7, flaky chunk delivery in minutes 7–9, and a
@@ -27,9 +31,11 @@ fn main() {
             },
         );
 
-    println!("chaos drill — plan:");
-    println!("{}", serde_json::to_string_pretty(&plan).expect("plan serialises"));
-    println!();
+    let mut artifact = Artifact::new("chaos drill — 12-minute fault storyline", "chaos_drill");
+    let plan_section = artifact.section("plan");
+    for line in serde_json::to_string_pretty(&plan).expect("plan serialises").lines() {
+        plan_section.line(line);
+    }
 
     let mut config = TestnetConfig::small(0xD811);
     config.workload.outbound_mean_gap_ms = 30_000;
@@ -39,30 +45,49 @@ fn main() {
     net.run_for(duration);
 
     let report = report_of(&net, duration);
-    println!("after {} simulated minutes:", duration / MINUTE_MS);
-    println!("  completed sends:     {}", report.completed_sends);
-    println!("  in flight at end:    {}", report.in_flight_sends);
-    println!("  relayer failed jobs: {}", net.relayer.failed_jobs());
-    println!(
-        "  chunks lost / resent: {} / {}",
-        net.relayer.lost_submissions(),
-        net.relayer.resubmissions()
-    );
-    println!();
+    let stats = artifact.section(format!("after {} simulated minutes", duration / MINUTE_MS));
+    stats
+        .line(format!("completed sends:     {}", report.completed_sends))
+        .value("completed_sends", report.completed_sends as f64);
+    stats
+        .line(format!("in flight at end:    {}", report.in_flight_sends))
+        .value("in_flight_sends", report.in_flight_sends as f64);
+    stats
+        .line(format!("relayer failed jobs: {}", net.relayer.failed_jobs()))
+        .value("failed_jobs", net.relayer.failed_jobs() as f64);
+    stats
+        .line(format!(
+            "chunks lost / resent: {} / {}",
+            net.relayer.lost_submissions(),
+            net.relayer.resubmissions()
+        ))
+        .value("lost_submissions", net.relayer.lost_submissions() as f64)
+        .value("resubmissions", net.relayer.resubmissions() as f64);
 
-    let violations = net.invariant_violations();
+    let violations = net.invariant_violations().to_vec();
+    let verdict = artifact.section(format!("invariant violations ({})", violations.len()));
+    verdict.value("violations", violations.len() as f64);
     if violations.is_empty() {
-        println!("no invariant violations — the counterfeit mint went undetected?!");
+        verdict.line("no invariant violations — the counterfeit mint went undetected?!");
+        artifact.emit(output.quiet, output.json.as_deref());
         std::process::exit(1);
     }
-    println!("invariant violations ({}):", violations.len());
-    for violation in violations {
-        println!(
-            "  [{:>6.1} min] {} — {}",
+    for violation in &violations {
+        verdict.line(format!(
+            "[{:>6.1} min] {} — {}",
             violation.at_ms as f64 / MINUTE_MS as f64,
             violation.invariant.name(),
             violation.details,
-        );
-        println!("      active faults: {}", violation.faults.join(", "));
+        ));
+        verdict.line(format!("    active faults: {}", violation.faults.join(", ")));
+        if !violation.linked_traces.is_empty() {
+            let ids: Vec<String> =
+                violation.linked_traces.iter().map(|id| format!("trace-{id}")).collect();
+            verdict.line(format!("    in-flight packet traces: {}", ids.join(", ")));
+        }
     }
+    // Attach the full telemetry run report so the JSON artifact carries the
+    // packet traces the violations point into.
+    artifact.report = Some(net.run_report("chaos-drill"));
+    artifact.emit(output.quiet, output.json.as_deref());
 }

@@ -16,6 +16,7 @@ use ibc_core::ics20::TransferModule;
 use ibc_core::{ChannelId, ClientId, IbcEvent, PortId};
 use serde::{Deserialize, Serialize};
 use sim_crypto::Hash;
+use telemetry::Telemetry;
 
 /// The audited properties.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,6 +60,11 @@ pub struct InvariantViolation {
     pub details: String,
     /// Labels of the faults active at detection time ([`crate::Fault::label`]).
     pub faults: Vec<String>,
+    /// Telemetry trace ids of the outbound packets in flight at detection
+    /// time (empty when telemetry is disabled), linking the violation to
+    /// the packet-lifecycle traces it may have corrupted.
+    #[serde(default)]
+    pub linked_traces: Vec<u64>,
 }
 
 /// Tuning knobs of the suite.
@@ -131,6 +137,10 @@ pub struct InvariantSuite {
     /// is recorded once rather than at every finalised block.
     reported: BTreeSet<String>,
     violations: Vec<InvariantViolation>,
+    /// The guest transfer channel, captured from the first observed event
+    /// (the key under which packet traces are registered).
+    guest_channel_label: Option<String>,
+    telemetry: Telemetry,
 }
 
 impl InvariantSuite {
@@ -144,6 +154,13 @@ impl InvariantSuite {
         &self.violations
     }
 
+    /// Installs an observability sink. Every recorded violation is mirrored
+    /// into the telemetry journal, linked to the traces of the packets in
+    /// flight when the breach was detected.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
     /// Feeds one guest event into the suite's bookkeeping. Call for every
     /// event the harness drains, in order.
     pub fn observe_guest_event(
@@ -153,6 +170,9 @@ impl InvariantSuite {
         event: &GuestEvent,
         guest_channel: &ChannelId,
     ) {
+        if self.guest_channel_label.is_none() {
+            self.guest_channel_label = Some(guest_channel.as_str().to_string());
+        }
         match event {
             GuestEvent::FinalisedBlock { block, .. } => {
                 let hash = block.hash();
@@ -217,12 +237,31 @@ impl InvariantSuite {
         if !self.reported.insert(dedup_key) {
             return;
         }
+        let linked_traces = self.in_flight_traces();
+        self.telemetry.violation(
+            at_ms,
+            invariant.name(),
+            &details,
+            faults,
+            &linked_traces.iter().map(|id| telemetry::TraceId(*id)).collect::<Vec<_>>(),
+        );
         self.violations.push(InvariantViolation {
             at_ms,
             invariant,
             details,
             faults: faults.to_vec(),
+            linked_traces,
         });
+    }
+
+    /// Trace ids of the tracked outbound packets still awaiting resolution.
+    fn in_flight_traces(&self) -> Vec<u64> {
+        let Some(channel) = self.guest_channel_label.as_deref() else { return Vec::new() };
+        self.outbound
+            .keys()
+            .filter_map(|sequence| self.telemetry.lookup_packet_trace("guest", channel, *sequence))
+            .map(|trace| trace.0)
+            .collect()
     }
 
     /// Vouchers in circulation on one side must be fully backed by escrow

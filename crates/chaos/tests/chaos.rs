@@ -301,3 +301,86 @@ fn slashing_preserves_stake_accounting() {
         net.invariant_violations()
     );
 }
+
+/// A violation's forensic links must name the packets that were in flight
+/// when it fired: halt the relayer so outbound transfers cannot resolve,
+/// then mint counterfeit vouchers — the resulting conservation breach has
+/// to carry their trace ids, and the run report must agree.
+#[test]
+fn violations_link_in_flight_packet_traces() {
+    let mut config = TestnetConfig::small(73);
+    config.workload.outbound_mean_gap_ms = 30_000;
+    config.workload.inbound_mean_gap_ms = u64::MAX / 4;
+    config.chaos = ChaosPlan::new(73).with(MINUTE_MS, 8 * MINUTE_MS, Fault::RelayerHalt).at(
+        3 * MINUTE_MS,
+        Fault::CounterfeitMint {
+            account: "mallory".into(),
+            denom: "transfer/channel-0/wsol".into(),
+            amount: 1_000_000_000,
+        },
+    );
+    let mut net = Testnet::build(config);
+    net.run_for(6 * MINUTE_MS);
+
+    let violation = net
+        .invariant_violations()
+        .iter()
+        .find(|v| v.invariant == InvariantKind::Ics20Conservation)
+        .expect("the counterfeit mint breaks conservation")
+        .clone();
+    assert!(
+        !violation.linked_traces.is_empty(),
+        "with the relayer halted, transfers were in flight at detection time"
+    );
+
+    // The run report mirrors the links and resolves them to real packets.
+    let report = net.run_report("violation-links");
+    let reported = report
+        .violations
+        .iter()
+        .find(|v| v.invariant == "ics20-conservation")
+        .expect("violation reaches the run report");
+    assert_eq!(reported.linked_traces, violation.linked_traces);
+    for trace in &reported.linked_traces {
+        let packet = report
+            .packets
+            .iter()
+            .find(|p| p.trace == *trace)
+            .expect("every linked trace resolves to a packet");
+        assert_eq!(packet.origin, "guest", "tracked in-flight packets are guest outbound");
+        assert!(!packet.completed, "an in-flight packet has no ack yet");
+    }
+}
+
+/// A finality stall must be legible in the telemetry run report: a packet
+/// sent into a validator-crash window carries a `cp_client_update` span
+/// stretching across the outage — the miniature of ISSUE 3's 13-day
+/// `paper_outage_plan` acceptance check.
+#[test]
+fn outage_is_visible_as_lc_update_span() {
+    let window = (2 * MINUTE_MS, 7 * MINUTE_MS);
+    let mut config = dominant_validator_config(21);
+    config.chaos =
+        ChaosPlan::new(21).with(window.0, window.1, Fault::ValidatorCrash { validator: 0 });
+    let mut net = Testnet::build(config);
+    net.run_for(13 * MINUTE_MS);
+
+    let report = net.run_report("outage-span");
+    let stall_span = report
+        .packets
+        .iter()
+        .flat_map(|p| &p.spans)
+        .filter(|s| s.name == "relayer.job.cp_client_update")
+        .filter_map(|s| s.end_ms.map(|end| (s.start_ms, end)))
+        .find(|(start, end)| {
+            // Stretches across most of the outage: opens inside the window
+            // (when the first stranded packet starts waiting) and closes
+            // only once a post-recovery header lands.
+            *start < window.1 && *end >= window.1 && end - start > (window.1 - window.0) / 2
+        });
+    let (start, end) = stall_span.expect("the stall shows up as a long LC-update wait span");
+    assert!(
+        end - start < 13 * MINUTE_MS,
+        "the span closes after recovery instead of hanging forever"
+    );
+}

@@ -26,6 +26,7 @@ use ibc_core::types::{ChannelId, ClientId, ConnectionId, PortId};
 use ibc_core::Ordering;
 use serde::{Deserialize, Serialize};
 use sim_crypto::schnorr::{PublicKey, Signature};
+use telemetry::{names, Telemetry};
 
 use crate::block::SignedVote;
 use crate::contract::{GuestContract, GuestEvent};
@@ -202,6 +203,32 @@ pub enum GuestOp {
 }
 
 impl GuestOp {
+    /// Stable snake-case label of the operation, used as the telemetry
+    /// metrics key (`guest.cu.op.<kind>`).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            GuestOp::SendPacket { .. } => "send_packet",
+            GuestOp::SendTransfer { .. } => "send_transfer",
+            GuestOp::GenerateBlock => "generate_block",
+            GuestOp::SignBlock { .. } => "sign_block",
+            GuestOp::UpdateClient { .. } => "update_client",
+            GuestOp::RecvPacket { .. } => "recv_packet",
+            GuestOp::AckPacket { .. } => "ack_packet",
+            GuestOp::TimeoutPacket { .. } => "timeout_packet",
+            GuestOp::Stake { .. } => "stake",
+            GuestOp::RequestUnstake { .. } => "request_unstake",
+            GuestOp::ClaimUnstaked { .. } => "claim_unstaked",
+            GuestOp::ReportMisbehaviour { .. } => "report_misbehaviour",
+            GuestOp::ClaimRewards { .. } => "claim_rewards",
+            GuestOp::SelfDestruct => "self_destruct",
+            GuestOp::ConnOpenInit { .. } => "conn_open_init",
+            GuestOp::ConnOpenAck { .. } => "conn_open_ack",
+            GuestOp::ConnOpenConfirm { .. } => "conn_open_confirm",
+            GuestOp::ChanOpenInit { .. } => "chan_open_init",
+            GuestOp::ChanOpenAck { .. } => "chan_open_ack",
+        }
+    }
+
     /// Wire encoding.
     pub fn encode(&self) -> Vec<u8> {
         serde_json::to_vec(self).expect("op serializes")
@@ -314,12 +341,27 @@ pub struct GuestProgram {
     /// (which are permissionless, §III-C) cannot corrupt each other's
     /// chunk sequences.
     buffers: HashMap<(Pubkey, u64), StagingBuffer>,
+    /// Observability sink (disabled by default).
+    telemetry: Telemetry,
 }
 
 impl GuestProgram {
     /// Wraps `contract` as a host program.
     pub fn new(program_id: Pubkey, vault: Pubkey, contract: Rc<RefCell<GuestContract>>) -> Self {
-        Self { program_id, vault, contract, buffers: HashMap::new() }
+        Self {
+            program_id,
+            vault,
+            contract,
+            buffers: HashMap::new(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Installs an observability sink: per-instruction compute-unit
+    /// attribution plus guest lifecycle and packet events. Must be called
+    /// before the program is boxed into the bank.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The shared contract handle.
@@ -332,6 +374,25 @@ impl GuestProgram {
     }
 
     fn execute_op(
+        &mut self,
+        ctx: &mut InvokeContext<'_>,
+        op: GuestOp,
+        verified_sigs: usize,
+    ) -> Result<(), ProgramError> {
+        let op_kind = op.kind_name();
+        let cu_before = ctx.compute_used();
+        let result = self.execute_op_inner(ctx, op, verified_sigs);
+        if self.telemetry.is_recording() {
+            let spent = ctx.compute_used().saturating_sub(cu_before);
+            self.telemetry.counter_add(&format!("guest.cu.op.{op_kind}"), spent);
+            if result.is_err() {
+                self.telemetry.counter_add(&format!("guest.op.rejected.{op_kind}"), 1);
+            }
+        }
+        result
+    }
+
+    fn execute_op_inner(
         &mut self,
         ctx: &mut InvokeContext<'_>,
         op: GuestOp,
@@ -517,9 +578,87 @@ impl GuestProgram {
                 GuestEvent::ValidatorSlashed { .. } => "ValidatorSlashed",
                 GuestEvent::Ibc(_) => "Ibc",
             };
+            self.record_guest_event(ctx.now_ms, &event);
             ctx.emit(Event::encode(self.program_id, name, &event));
         }
         Ok(())
+    }
+
+    /// Mirrors a guest event into the telemetry journal: lifecycle events
+    /// for packets (keyed by `(source_channel, sequence)`, the identity
+    /// that survives the hop across chains) plus finalisation and epoch
+    /// milestones. `NewBlock` is deliberately omitted — only finalisation
+    /// is a lifecycle edge.
+    fn record_guest_event(&self, now_ms: host_sim::TimeMs, event: &GuestEvent) {
+        if !self.telemetry.is_recording() {
+            return;
+        }
+        match event {
+            GuestEvent::NewBlock { .. } => {}
+            GuestEvent::FinalisedBlock { block, signatures } => {
+                self.telemetry.event(
+                    now_ms,
+                    names::GUEST_FINALISED,
+                    &[],
+                    &[("height", block.height.into()), ("signatures", signatures.len().into())],
+                );
+            }
+            GuestEvent::EpochRotated { validators, .. } => {
+                self.telemetry.event(
+                    now_ms,
+                    names::GUEST_EPOCH,
+                    &[],
+                    &[("validators", (*validators).into())],
+                );
+            }
+            GuestEvent::ValidatorSlashed { amount, .. } => {
+                self.telemetry.event(
+                    now_ms,
+                    "guest.validator.slashed",
+                    &[],
+                    &[("amount", (*amount).into())],
+                );
+            }
+            GuestEvent::Ibc(ibc) => {
+                // The trace key needs the packet's *origin* chain: a packet
+                // received or acknowledged-on-arrival here originated on the
+                // counterparty, everything else originated on the guest.
+                let (name, packet, origin) = match ibc {
+                    ibc_core::IbcEvent::SendPacket { packet } => {
+                        (names::PACKET_SEND, packet, "guest")
+                    }
+                    ibc_core::IbcEvent::RecvPacket { packet } => (names::PACKET_RECV, packet, "cp"),
+                    ibc_core::IbcEvent::WriteAcknowledgement { packet, .. } => {
+                        (names::PACKET_ACK_WRITTEN, packet, "cp")
+                    }
+                    ibc_core::IbcEvent::AcknowledgePacket { packet } => {
+                        (names::PACKET_ACK, packet, "guest")
+                    }
+                    ibc_core::IbcEvent::TimeoutPacket { packet } => {
+                        (names::PACKET_TIMEOUT, packet, "guest")
+                    }
+                    _ => return,
+                };
+                let trace = self.telemetry.trace_for_packet(
+                    origin,
+                    packet.source_channel.as_str(),
+                    packet.sequence,
+                );
+                let traces: Vec<_> = trace.into_iter().collect();
+                self.telemetry.event(
+                    now_ms,
+                    name,
+                    &traces,
+                    &[
+                        ("chain", "guest".into()),
+                        ("src_channel", packet.source_channel.as_str().into()),
+                        ("dst_channel", packet.destination_channel.as_str().into()),
+                        ("sequence", packet.sequence.into()),
+                        ("payload_bytes", packet.payload.len().into()),
+                    ],
+                );
+            }
+        }
     }
 }
 
@@ -531,7 +670,15 @@ impl Program for GuestProgram {
     ) -> Result<(), ProgramError> {
         let instruction = GuestInstruction::decode(data)
             .ok_or_else(|| ProgramError::InvalidInstruction("undecodable".into()))?;
-        match instruction {
+        let kind = match &instruction {
+            GuestInstruction::Inline { .. } => "inline",
+            GuestInstruction::WriteChunk { .. } => "write_chunk",
+            GuestInstruction::VerifySigs { .. } => "verify_sigs",
+            GuestInstruction::ExecStaged { .. } => "exec_staged",
+            GuestInstruction::DropBuffer { .. } => "drop_buffer",
+        };
+        let cu_before = ctx.compute_used();
+        let result = match instruction {
             GuestInstruction::Inline { op } => self.execute_op(ctx, op, 0),
             GuestInstruction::WriteChunk { buffer, offset, data } => {
                 ctx.consume(costs::DATA_PER_BYTE * data.len() as u64)?;
@@ -577,7 +724,13 @@ impl Program for GuestProgram {
                 self.buffers.remove(&(ctx.payer, buffer));
                 Ok(())
             }
+        };
+        if self.telemetry.is_recording() {
+            self.telemetry.counter_add(&format!("guest.instructions.{kind}"), 1);
+            let spent = ctx.compute_used().saturating_sub(cu_before);
+            self.telemetry.counter_add(&format!("guest.cu.instruction.{kind}"), spent);
         }
+        result
     }
 
     fn state_size(&self) -> usize {

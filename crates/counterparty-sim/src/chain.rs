@@ -5,6 +5,7 @@ use ibc_core::IbcEvent;
 use sealable_trie::Trie;
 use sim_crypto::rng::SplitMix64;
 use sim_crypto::schnorr::{Keypair, PublicKey};
+use telemetry::{names, Telemetry};
 
 use crate::header::CpHeader;
 
@@ -52,6 +53,7 @@ pub struct CounterpartyChain {
     config: CounterpartyConfig,
     rng: SplitMix64,
     headers: Vec<CpHeader>,
+    telemetry: Telemetry,
 }
 
 impl CounterpartyChain {
@@ -76,7 +78,15 @@ impl CounterpartyChain {
             config,
             rng: SplitMix64::new(seed ^ 0x5eed),
             headers: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs an observability sink. Counterparty-side packet lifecycle
+    /// events join the same traces the guest side writes to, keyed by
+    /// `(source_channel, sequence)`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The validator public keys and their (equal) voting powers, for
@@ -188,12 +198,54 @@ impl CounterpartyChain {
         if let Some(next) = self.next_set.take() {
             self.validators = next;
         }
+        if self.telemetry.is_recording() {
+            // Per-block aggregates only — a multi-week run produces tens
+            // of thousands of counterparty blocks.
+            self.telemetry.counter_add("cp.blocks", 1);
+            self.telemetry.gauge_set("cp.height", self.height as f64);
+        }
         self.headers.last().expect("just pushed")
     }
 
     /// Drains pending IBC events (relayer polling).
     pub fn drain_events(&mut self) -> Vec<IbcEvent> {
-        self.ibc.drain_events()
+        let events = self.ibc.drain_events();
+        if self.telemetry.is_recording() {
+            for event in &events {
+                // Mirror of the guest's mapping: packets received or
+                // ack-written here originated on the guest, the rest
+                // originated on this chain.
+                let (name, packet, origin) = match event {
+                    IbcEvent::SendPacket { packet } => (names::PACKET_SEND, packet, "cp"),
+                    IbcEvent::RecvPacket { packet } => (names::PACKET_RECV, packet, "guest"),
+                    IbcEvent::WriteAcknowledgement { packet, .. } => {
+                        (names::PACKET_ACK_WRITTEN, packet, "guest")
+                    }
+                    IbcEvent::AcknowledgePacket { packet } => (names::PACKET_ACK, packet, "cp"),
+                    IbcEvent::TimeoutPacket { packet } => (names::PACKET_TIMEOUT, packet, "cp"),
+                    _ => continue,
+                };
+                let trace = self.telemetry.trace_for_packet(
+                    origin,
+                    packet.source_channel.as_str(),
+                    packet.sequence,
+                );
+                let traces: Vec<_> = trace.into_iter().collect();
+                self.telemetry.event(
+                    self.time_ms,
+                    name,
+                    &traces,
+                    &[
+                        ("chain", "cp".into()),
+                        ("src_channel", packet.source_channel.as_str().into()),
+                        ("dst_channel", packet.destination_channel.as_str().into()),
+                        ("sequence", packet.sequence.into()),
+                        ("height", self.height.into()),
+                    ],
+                );
+            }
+        }
+        events
     }
 }
 

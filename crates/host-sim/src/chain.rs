@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use sim_crypto::rng::SplitMix64;
+use telemetry::Telemetry;
 
 use crate::bank::{Bank, TxOutcome};
 use crate::event::Event;
@@ -149,6 +150,8 @@ pub struct HostChain {
     chaos_rng: SplitMix64,
     /// Recent blocks (kept for event polling by off-chain actors).
     blocks: Vec<Block>,
+    /// Observability sink (disabled by default; never consumes RNG).
+    telemetry: Telemetry,
 }
 
 impl HostChain {
@@ -171,7 +174,25 @@ impl HostChain {
             disturbance: Disturbance::default(),
             chaos_rng: SplitMix64::new(seed ^ 0xD157_0000_0000_0001),
             blocks: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs an observability sink. Per-slot aggregates (mempool depth,
+    /// load, fees, compute) flow into its metrics registry; telemetry
+    /// never touches the RNG streams, so a recording run stays
+    /// byte-identical to a disabled one.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        telemetry.register_histogram(
+            "host.slot.load",
+            &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98],
+        );
+        self.telemetry = telemetry;
+    }
+
+    /// The installed observability sink (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Installs (or, with the default value, clears) a production
@@ -256,6 +277,10 @@ impl HostChain {
         let selected = self.mempool.drain_for_slot(capacity, floor, include_base);
         let mut transactions = Vec::with_capacity(selected.len());
         let mut events = Vec::new();
+        let mut inclusion_failures = 0u64;
+        let mut fee_lamports = 0u64;
+        let mut compute_units = 0u64;
+        let mut failed_txs = 0u64;
         for pending in selected {
             if self.disturbance.inclusion_failure_probability > 0.0
                 && self.chaos_rng.next_f64() < self.disturbance.inclusion_failure_probability
@@ -263,11 +288,30 @@ impl HostChain {
                 // The transaction misses the block (leader drop, expired
                 // blockhash) and waits for a later slot.
                 self.mempool.requeue(pending);
+                inclusion_failures += 1;
                 continue;
             }
             let outcome = self.bank.execute_transaction(&pending.tx, self.slot, self.time_ms);
+            fee_lamports += outcome.fee_lamports;
+            compute_units += outcome.compute_units;
+            if !outcome.is_ok() {
+                failed_txs += 1;
+            }
             events.extend(outcome.events.iter().cloned());
             transactions.push((pending.id, outcome));
+        }
+        if self.telemetry.is_recording() {
+            // Per-slot aggregates go to the metrics registry only — a
+            // multi-week run produces millions of slots, far too many for
+            // the journal.
+            self.telemetry.counter_add("host.txs.included", transactions.len() as u64);
+            self.telemetry.counter_add("host.txs.failed", failed_txs);
+            self.telemetry.counter_add("host.inclusion_failures", inclusion_failures);
+            self.telemetry.counter_add("host.fees.lamports", fee_lamports);
+            self.telemetry.counter_add("host.compute_units", compute_units);
+            self.telemetry.gauge_set("host.mempool.depth", self.mempool.len() as f64);
+            self.telemetry.observe("host.mempool.depth", self.mempool.len() as f64);
+            self.telemetry.observe("host.slot.load", load);
         }
         self.blocks.push(Block {
             slot: self.slot,
@@ -416,6 +460,30 @@ mod tests {
         chain.prune_blocks(3);
         assert_eq!(chain.blocks_since(0).len(), 3);
         assert_eq!(chain.latest_block().unwrap().slot, 10);
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_timeline() {
+        let run = |record: bool| {
+            let mut chain = HostChain::new(CongestionModel::default(), 11);
+            if record {
+                chain.set_telemetry(Telemetry::recording());
+            }
+            (0..200).map(|_| chain.advance_slot().load).collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true), "recording telemetry must not consume RNG");
+    }
+
+    #[test]
+    fn telemetry_counts_slot_aggregates() {
+        let (mut chain, program_id, payer) = chain_with_noop();
+        let telemetry = Telemetry::recording();
+        chain.set_telemetry(telemetry.clone());
+        chain.submit(noop_tx(program_id, payer, FeePolicy::BaseOnly));
+        chain.advance_slot();
+        assert_eq!(telemetry.counter("host.txs.included"), 1);
+        assert!(telemetry.counter("host.fees.lamports") > 0);
+        assert_eq!(telemetry.journal_len(), 0, "per-slot aggregates stay out of the journal");
     }
 
     #[test]

@@ -96,6 +96,12 @@ impl<'a> InvokeContext<'a> {
         self.compute.remaining()
     }
 
+    /// Compute units consumed so far in this transaction (for cost
+    /// attribution, e.g. telemetry's per-instruction CU counters).
+    pub fn compute_used(&self) -> u64 {
+        self.compute.used()
+    }
+
     /// Emits an event observable by off-chain actors (validators, relayers).
     pub fn emit(&mut self, event: Event) {
         self.events.push(event);

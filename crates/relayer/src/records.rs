@@ -17,6 +17,19 @@ pub enum JobKind {
     GenerateBlock,
 }
 
+impl JobKind {
+    /// Stable snake_case label, used as telemetry span/metric suffix.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::ClientUpdate => "client_update",
+            Self::RecvPacket => "recv_packet",
+            Self::AckPacket => "ack_packet",
+            Self::TimeoutPacket => "timeout_packet",
+            Self::GenerateBlock => "generate_block",
+        }
+    }
+}
+
 /// One completed multi-transaction job on the host chain.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct JobRecord {

@@ -18,6 +18,7 @@ use ibc_core::channel::{Acknowledgement, Packet};
 use ibc_core::handler::ProofData;
 use ibc_core::IbcEvent;
 use sim_crypto::rng::SplitMix64;
+use telemetry::{names, SpanId, Telemetry, TraceId};
 
 use crate::bootstrap::Endpoints;
 use crate::chunking::{plan_op_for, sig_checks_per_tx_for};
@@ -123,6 +124,8 @@ struct ActiveJob {
     fee_lamports: u64,
     sig_checks: usize,
     retries: usize,
+    span: Option<SpanId>,
+    traces: Vec<TraceId>,
 }
 
 /// Transient on-chain failures are retried this many times before the job
@@ -152,6 +155,12 @@ pub struct Relayer {
     next_lost_id: u64,
     lost_submissions: usize,
     resubmissions: usize,
+    telemetry: Telemetry,
+    /// Open while guest-side packets/acks wait for a finalised guest
+    /// header to reach the counterparty's light client — a finality stall
+    /// shows up as this span stretching across the outage on every
+    /// waiting packet's trace.
+    cp_update_span: Option<SpanId>,
 }
 
 impl Relayer {
@@ -184,7 +193,32 @@ impl Relayer {
             next_lost_id: u64::MAX,
             lost_submissions: 0,
             resubmissions: 0,
+            telemetry: Telemetry::disabled(),
+            cp_update_span: None,
         }
+    }
+
+    /// Installs an observability sink. Each multi-transaction job becomes a
+    /// span linked to the packet traces it serves (a `ClientUpdate` span
+    /// links *every* queued intent's packet — which is what makes a relay
+    /// stall visible as a long light-client-update span on those traces).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        telemetry.register_histogram(
+            "relayer.job.latency_ms",
+            &[
+                1_000.0,
+                5_000.0,
+                10_000.0,
+                20_000.0,
+                30_000.0,
+                60_000.0,
+                120_000.0,
+                300_000.0,
+                900_000.0,
+                3_600_000.0,
+            ],
+        );
+        self.telemetry = telemetry;
     }
 
     /// Installs (or removes, with `None` or an all-zero value) chunk-level
@@ -251,7 +285,8 @@ impl Relayer {
         for buffer in std::mem::take(&mut self.pending_cleanup) {
             self.submit_instruction(host, &GuestInstruction::DropBuffer { buffer });
         }
-        self.process_guest_events(guest_events, cp, contract);
+        let now_ms = host.now_ms();
+        self.process_guest_events(guest_events, cp, contract, now_ms);
         self.process_cp_events(cp);
         if self.config.drive_blocks {
             self.maybe_generate_block(host, contract);
@@ -290,14 +325,31 @@ impl Relayer {
                         // resubmit the same instruction.
                         active.retries += 1;
                         active.queue.push_front(failed_instruction);
+                        if self.telemetry.is_recording() {
+                            let traces = active.traces.clone();
+                            self.telemetry.counter_add("relayer.tx.retries", 1);
+                            self.telemetry.event(
+                                block.time_ms,
+                                names::CHUNK_RETRY,
+                                &traces,
+                                &[("kind", active.kind.name().into())],
+                            );
+                        }
                     } else {
                         // Unrecoverable (e.g. duplicate delivery raced by
                         // another relayer): abandon the job and free its
                         // staging buffer.
                         let buffer = active.buffer;
+                        let span = active.span.take();
                         self.failed_jobs += 1;
                         self.active = None;
                         self.pending_cleanup.push(buffer);
+                        if self.telemetry.is_recording() {
+                            self.telemetry.counter_add("relayer.jobs.abandoned", 1);
+                            if let Some(span) = span {
+                                self.telemetry.span_end(block.time_ms, span);
+                            }
+                        }
                     }
                 }
             }
@@ -322,13 +374,27 @@ impl Relayer {
         events: Vec<GuestEvent>,
         cp: &mut CounterpartyChain,
         contract: &Rc<RefCell<GuestContract>>,
+        now_ms: u64,
     ) {
         for event in events {
             match event {
                 GuestEvent::Ibc(IbcEvent::SendPacket { packet }) => {
+                    let trace = self.telemetry.trace_for_packet(
+                        "guest",
+                        packet.source_channel.as_str(),
+                        packet.sequence,
+                    );
+                    self.link_cp_update_wait(now_ms, trace);
                     self.pending_guest_packets.push(packet);
                 }
                 GuestEvent::Ibc(IbcEvent::WriteAcknowledgement { packet, ack }) => {
+                    // The ack travels back to the packet's origin — the cp.
+                    let trace = self.telemetry.trace_for_packet(
+                        "cp",
+                        packet.source_channel.as_str(),
+                        packet.sequence,
+                    );
+                    self.link_cp_update_wait(now_ms, trace);
                     self.pending_guest_acks.push((packet, ack));
                 }
                 GuestEvent::FinalisedBlock { block, signatures } => {
@@ -346,9 +412,58 @@ impl Relayer {
                         continue; // e.g. stale relay; retry on the next block.
                     }
                     self.deliver_provables_to_cp(&block, cp, contract);
+                    self.close_cp_update_wait(now_ms);
                 }
                 _ => {}
             }
+        }
+    }
+
+    /// Links `trace` to the open guest→cp client-update wait span, opening
+    /// one if necessary. The span measures how long guest-side work waits
+    /// for the next finalised guest header to reach the counterparty.
+    fn link_cp_update_wait(&mut self, now_ms: u64, trace: Option<TraceId>) {
+        let Some(trace) = trace else { return };
+        match self.cp_update_span {
+            Some(span) => self.telemetry.span_link(span, trace),
+            None => {
+                self.cp_update_span =
+                    self.telemetry.span_start(now_ms, names::CP_CLIENT_UPDATE, &[trace]);
+            }
+        }
+    }
+
+    /// Closes the guest→cp client-update wait span after a header landed,
+    /// reopening it for whatever could not be proven under that header.
+    fn close_cp_update_wait(&mut self, now_ms: u64) {
+        let Some(span) = self.cp_update_span.take() else { return };
+        self.telemetry.span_end(now_ms, span);
+        let mut leftover = Vec::new();
+        for packet in &self.pending_guest_packets {
+            if let Some(trace) = self.telemetry.trace_for_packet(
+                "guest",
+                packet.source_channel.as_str(),
+                packet.sequence,
+            ) {
+                if !leftover.contains(&trace) {
+                    leftover.push(trace);
+                }
+            }
+        }
+        for (packet, _) in &self.pending_guest_acks {
+            if let Some(trace) = self.telemetry.trace_for_packet(
+                "cp",
+                packet.source_channel.as_str(),
+                packet.sequence,
+            ) {
+                if !leftover.contains(&trace) {
+                    leftover.push(trace);
+                }
+            }
+        }
+        if !leftover.is_empty() {
+            self.cp_update_span =
+                self.telemetry.span_start(now_ms, names::CP_CLIENT_UPDATE, &leftover);
         }
     }
 
@@ -620,6 +735,49 @@ impl Relayer {
         }
     }
 
+    /// The packet traces a job serves: the op's own packet, or — for a
+    /// client update — every packet whose delivery waits on the update.
+    fn job_traces(&self, op: &GuestOp) -> Vec<TraceId> {
+        if !self.telemetry.is_recording() {
+            return Vec::new();
+        }
+        // Packets delivered *to* the guest originated on the counterparty;
+        // acks and timeouts coming home concern guest-origin packets.
+        match op {
+            GuestOp::RecvPacket { packet, .. } => self
+                .telemetry
+                .trace_for_packet("cp", packet.source_channel.as_str(), packet.sequence)
+                .into_iter()
+                .collect(),
+            GuestOp::AckPacket { packet, .. } | GuestOp::TimeoutPacket { packet, .. } => self
+                .telemetry
+                .trace_for_packet("guest", packet.source_channel.as_str(), packet.sequence)
+                .into_iter()
+                .collect(),
+            GuestOp::UpdateClient { .. } => {
+                let mut traces = Vec::new();
+                for intent in &self.intents {
+                    let (packet, origin) = match intent {
+                        Intent::DeliverToGuest { packet, .. } => (packet, "cp"),
+                        Intent::AckToGuest { packet, .. }
+                        | Intent::TimeoutToGuest { packet, .. } => (packet, "guest"),
+                    };
+                    if let Some(trace) = self.telemetry.trace_for_packet(
+                        origin,
+                        packet.source_channel.as_str(),
+                        packet.sequence,
+                    ) {
+                        if !traces.contains(&trace) {
+                            traces.push(trace);
+                        }
+                    }
+                }
+                traces
+            }
+            _ => Vec::new(),
+        }
+    }
+
     fn start_job(&mut self, host: &HostChain, kind: JobKind, op: &GuestOp, sig_checks: usize) {
         let buffer = self.next_buffer;
         self.next_buffer += 1;
@@ -628,6 +786,12 @@ impl Relayer {
         debug_assert!(
             sig_checks == 0
                 || queue.len() > sig_checks / sig_checks_per_tx_for(&self.config.host_profile)
+        );
+        let traces = self.job_traces(op);
+        let span = self.telemetry.span_start(
+            host.now_ms(),
+            &format!("{}.{}", names::RELAYER_JOB, kind.name()),
+            &traces,
         );
         self.active = Some(ActiveJob {
             kind,
@@ -642,6 +806,8 @@ impl Relayer {
             fee_lamports: 0,
             sig_checks,
             retries: 0,
+            span,
+            traces,
         });
     }
 
@@ -649,6 +815,7 @@ impl Relayer {
     /// the deployed relayer awaited confirmations), or finishes the job.
     fn pump_active_job(&mut self, host: &mut HostChain) {
         let current_slot = host.slot();
+        let now_ms = host.now_ms();
         let Some(active) = &mut self.active else { return };
         if active.in_flight.is_some() {
             return;
@@ -673,6 +840,17 @@ impl Relayer {
                     let active = self.active.as_mut().expect("active job checked above");
                     active.in_flight = Some((id, instruction));
                     active.submitted_slot = current_slot;
+                    if self.telemetry.is_recording() {
+                        let active = self.active.as_ref().expect("active job checked above");
+                        let (traces, kind) = (active.traces.clone(), active.kind);
+                        self.telemetry.counter_add("relayer.chunks.dropped", 1);
+                        self.telemetry.event(
+                            now_ms,
+                            names::CHUNK_DROP,
+                            &traces,
+                            &[("kind", kind.name().into())],
+                        );
+                    }
                     return;
                 }
             }
@@ -694,6 +872,7 @@ impl Relayer {
                 // An at-least-once RPC retry: the same transaction lands
                 // twice; the relayer only tracks the first copy.
                 self.submit_instruction(host, &instruction);
+                self.telemetry.counter_add("relayer.chunks.duplicated", 1);
             }
             let active = self.active.as_mut().expect("active job checked above");
             active.in_flight = Some((id, instruction));
@@ -702,7 +881,7 @@ impl Relayer {
         }
         // Queue drained and nothing in flight: the job is complete.
         let done = self.active.take().expect("active job checked above");
-        self.records.push(JobRecord {
+        let record = JobRecord {
             kind: done.kind,
             scheduled_ms: done.scheduled_ms,
             first_tx_ms: done.first_tx_ms.unwrap_or(done.scheduled_ms),
@@ -710,7 +889,17 @@ impl Relayer {
             tx_count: done.tx_count,
             fee_lamports: done.fee_lamports,
             sig_checks: done.sig_checks,
-        });
+        };
+        if self.telemetry.is_recording() {
+            self.telemetry.counter_add(&format!("relayer.jobs.{}", done.kind.name()), 1);
+            self.telemetry.counter_add("fees.relayer", done.fee_lamports);
+            self.telemetry.counter_add("relayer.txs", done.tx_count as u64);
+            self.telemetry.observe("relayer.job.latency_ms", record.span_ms() as f64);
+            if let Some(span) = done.span {
+                self.telemetry.span_end(now_ms, span);
+            }
+        }
+        self.records.push(record);
     }
 
     /// Re-queues the in-flight instruction when its confirmation is overdue
@@ -729,6 +918,17 @@ impl Relayer {
         let (_, instruction) = active.in_flight.take().expect("checked above");
         active.queue.push_front(instruction);
         self.resubmissions += 1;
+        if self.telemetry.is_recording() {
+            let traces = active.traces.clone();
+            let kind = active.kind;
+            self.telemetry.counter_add("relayer.chunks.resubmitted", 1);
+            self.telemetry.event(
+                host.now_ms(),
+                names::CHUNK_RESUBMIT,
+                &traces,
+                &[("kind", kind.name().into())],
+            );
+        }
     }
 
     fn build_tx(&self, instruction: &GuestInstruction) -> Transaction {

@@ -1,0 +1,143 @@
+//! Bench artifacts: one data structure per experiment binary, rendered
+//! both as terminal text and as a JSON file.
+//!
+//! The experiment binaries used to `println!` their results directly,
+//! which let the human-readable output and any JSON dump drift apart.
+//! An [`Artifact`] is built once — headings, text lines and named metric
+//! values — and both renderings come from it.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::RunReport;
+
+/// One titled block of an artifact.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Section {
+    /// Section heading.
+    pub heading: String,
+    /// Pre-formatted human-readable lines.
+    pub lines: Vec<String>,
+    /// Named scalar results (the machine-readable twin of `lines`).
+    pub values: BTreeMap<String, f64>,
+}
+
+impl Section {
+    /// Appends a text line.
+    pub fn line(&mut self, text: impl Into<String>) -> &mut Self {
+        self.lines.push(text.into());
+        self
+    }
+
+    /// Records a named scalar result.
+    pub fn value(&mut self, name: &str, value: f64) -> &mut Self {
+        self.values.insert(name.to_string(), value);
+        self
+    }
+}
+
+/// A bench binary's complete output.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Artifact {
+    /// Artifact title (the figure or table being reproduced).
+    pub title: String,
+    /// Name of the binary that produced it.
+    pub generated_by: String,
+    /// Ordered sections.
+    pub sections: Vec<Section>,
+    /// Optional full telemetry run report attached to the artifact.
+    pub report: Option<RunReport>,
+}
+
+impl Artifact {
+    /// Creates an empty artifact.
+    pub fn new(title: impl Into<String>, generated_by: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            generated_by: generated_by.into(),
+            sections: Vec::new(),
+            report: None,
+        }
+    }
+
+    /// Opens a new section and returns it for population.
+    pub fn section(&mut self, heading: impl Into<String>) -> &mut Section {
+        self.sections.push(Section {
+            heading: heading.into(),
+            lines: Vec::new(),
+            values: BTreeMap::new(),
+        });
+        self.sections.last_mut().expect("just pushed")
+    }
+
+    /// Renders the artifact as terminal text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        out.push_str(&"=".repeat(self.title.chars().count()));
+        out.push('\n');
+        for section in &self.sections {
+            if !section.heading.is_empty() {
+                out.push('\n');
+                out.push_str(&section.heading);
+                out.push('\n');
+                out.push_str(&"-".repeat(section.heading.chars().count()));
+                out.push('\n');
+            }
+            for line in &section.lines {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Serializes the artifact as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("artifact serializes")
+    }
+
+    /// Emits the artifact: text to stdout unless `quiet`, JSON to
+    /// `json_path` when given.
+    pub fn emit(&self, quiet: bool, json_path: Option<&str>) {
+        if !quiet {
+            print!("{}", self.render_text());
+        }
+        if let Some(path) = json_path {
+            match std::fs::write(path, self.to_json()) {
+                Ok(()) => eprintln!("(artifact written to {path})"),
+                Err(err) => eprintln!("could not write {path}: {err}"),
+            }
+        }
+    }
+}
+
+/// Common CLI switches shared by every artifact-emitting binary:
+/// `--quiet` suppresses the text rendering and `--json <path>` writes the
+/// JSON artifact.
+#[derive(Clone, Debug, Default)]
+pub struct OutputOptions {
+    /// Suppress the text rendering.
+    pub quiet: bool,
+    /// Write the JSON artifact to this path.
+    pub json: Option<String>,
+}
+
+impl OutputOptions {
+    /// Parses `--quiet` and `--json <path>` out of an argument list.
+    pub fn from_args(args: &[String]) -> Self {
+        let mut options = Self::default();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--quiet" => options.quiet = true,
+                "--json" => options.json = iter.next().cloned(),
+                _ => {}
+            }
+        }
+        options
+    }
+}

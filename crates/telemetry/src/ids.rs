@@ -1,0 +1,31 @@
+//! Deterministic trace and span identifiers.
+//!
+//! Ids are allocated from monotone counters inside the [`Telemetry`]
+//! handle — never from clocks or entropy — so a same-seed simulation
+//! always assigns the same id to the same logical object.
+//!
+//! [`Telemetry`]: crate::Telemetry
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of one packet lifecycle (`send_packet → … → ack`) followed
+/// across both chains and the relayer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TraceId(pub u64);
+
+/// Identity of one timed operation (a relayer job, a chunked upload, a
+/// verification pass) within the journal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SpanId(pub u64);
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace-{}", self.0)
+    }
+}
+
+impl std::fmt::Display for SpanId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "span-{}", self.0)
+    }
+}

@@ -1,0 +1,515 @@
+//! Deterministic observability for the guest-blockchain deployment.
+//!
+//! The simulation can already *summarize* a run (end-of-run statistics in
+//! `testnet::metrics`), but the paper's most interesting results are
+//! *lifecycle* observations — why one packet took 35,081 s, where compute
+//! units go inside a 36.5-chunk light-client update, what was in flight
+//! when an invariant broke. This crate adds that layer:
+//!
+//! - **Traces** follow one IBC packet across both chains and the relayer,
+//!   keyed by `(origin chain, source channel, sequence)` — ICS-04 packet
+//!   identity is only unique per source chain, and both chains may well
+//!   name their end of the channel `channel-0`.
+//! - **Spans** time multi-step operations (relayer jobs, chunked uploads)
+//!   and may link several traces at once — a light-client update advances
+//!   every packet waiting on it.
+//! - **Events** are point-in-time records with structured fields.
+//! - **Metrics** are counters, gauges and fixed-bucket histograms that
+//!   components register into instead of ad-hoc locals.
+//!
+//! Everything is stamped with the *simulated* clock and allocated from
+//! monotone counters — no wall clock, no entropy — so two same-seed runs
+//! emit byte-identical JSONL journals and [`RunReport`] JSON. A
+//! [`Telemetry`] handle is a cheap `Rc` clone; the
+//! [`Telemetry::disabled`] handle makes every call a no-op so hot paths
+//! pay nothing when observability is off.
+//!
+//! # Examples
+//!
+//! ```
+//! use telemetry::Telemetry;
+//!
+//! let telemetry = Telemetry::recording();
+//! let trace = telemetry.trace_for_packet("guest", "channel-0", 1).unwrap();
+//! telemetry.event(5, "packet.send", &[trace], &[("fee", 5_000u64.into())]);
+//! let span = telemetry.span_start(6, "relayer.job.recv_packet", &[trace]).unwrap();
+//! telemetry.span_end(420, span);
+//! telemetry.counter_add("relayer.chunks.submitted", 37);
+//!
+//! let report = telemetry.run_report("doc-test", 1, 1_000);
+//! assert_eq!(report.packets.len(), 1);
+//! assert!(report.packets[0].spans[0].duration_ms() == Some(414));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+mod artifact;
+mod ids;
+mod journal;
+mod metrics;
+mod report;
+
+pub use artifact::{Artifact, OutputOptions, Section};
+pub use ids::{SpanId, TraceId};
+pub use journal::{FieldValue, Fields, JournalRecord, RecordKind};
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, DEFAULT_BUCKETS};
+pub use report::{
+    render_packet_trace, PacketTraceReport, RunMeta, RunReport, SpanReport, TraceEvent,
+    ViolationReport,
+};
+
+/// Canonical event and span names, shared by every instrumented crate so
+/// the journal stays greppable and reports can key on lifecycle stages.
+pub mod names {
+    /// `SendPacket` committed on the source chain.
+    pub const PACKET_SEND: &str = "packet.send";
+    /// `RecvPacket` executed on the destination chain.
+    pub const PACKET_RECV: &str = "packet.recv";
+    /// Acknowledgement written on the destination chain.
+    pub const PACKET_ACK_WRITTEN: &str = "packet.ack_written";
+    /// Acknowledgement delivered back to the source chain.
+    pub const PACKET_ACK: &str = "packet.ack";
+    /// Packet timed out on the source chain.
+    pub const PACKET_TIMEOUT: &str = "packet.timeout";
+    /// Guest block finalised (quorum of validator signatures).
+    pub const GUEST_FINALISED: &str = "guest.block.finalised";
+    /// Guest validator-set epoch rotated.
+    pub const GUEST_EPOCH: &str = "guest.epoch.rotated";
+    /// Relayer job span prefix; the job kind is appended.
+    pub const RELAYER_JOB: &str = "relayer.job";
+    /// Guest-side work waiting for a finalised guest header to reach the
+    /// counterparty's light client; stretches across finality stalls.
+    pub const CP_CLIENT_UPDATE: &str = "relayer.job.cp_client_update";
+    /// A chunk transaction dropped before inclusion (fault injection).
+    pub const CHUNK_DROP: &str = "relayer.chunk.drop";
+    /// A chunk transaction retried after a failed execution.
+    pub const CHUNK_RETRY: &str = "relayer.chunk.retry";
+    /// A lost chunk transaction resubmitted after its timeout.
+    pub const CHUNK_RESUBMIT: &str = "relayer.chunk.resubmit";
+    /// Invariant violation detected by the chaos suite.
+    pub const INVARIANT_VIOLATION: &str = "invariant.violation";
+}
+
+#[derive(Clone, Debug)]
+struct SpanData {
+    name: String,
+    traces: Vec<u64>,
+    start_ms: u64,
+    end_ms: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    next_trace: u64,
+    next_span: u64,
+    packet_traces: BTreeMap<(String, String, u64), TraceId>,
+    spans: BTreeMap<u64, SpanData>,
+    journal: Vec<JournalRecord>,
+    metrics: MetricsRegistry,
+    violations: Vec<ViolationReport>,
+}
+
+/// Handle to the run's telemetry sink.
+///
+/// Cloning shares the sink (`Rc`); a [`Telemetry::disabled`] handle turns
+/// every call into a no-op. The handle is deliberately `!Send`: the whole
+/// simulation is single-threaded per run, and same-seed determinism
+/// depends on a single, ordered journal.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Option<Rc<RefCell<Inner>>>,
+}
+
+impl Telemetry {
+    /// A recording sink.
+    pub fn recording() -> Self {
+        Self { inner: Some(Rc::new(RefCell::new(Inner::default()))) }
+    }
+
+    /// A no-op sink: every method returns immediately.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Returns (allocating on first sight) the trace id of the packet
+    /// identified by `(origin, channel, sequence)` — the origin chain plus
+    /// the packet's source channel *as named on that chain*. The key is
+    /// stable across both chains and the relayer; the origin disambiguates
+    /// the common case where both chains name their channel `channel-0`.
+    pub fn trace_for_packet(&self, origin: &str, channel: &str, sequence: u64) -> Option<TraceId> {
+        let inner = self.inner.as_ref()?;
+        let mut inner = inner.borrow_mut();
+        let key = (origin.to_string(), channel.to_string(), sequence);
+        if let Some(trace) = inner.packet_traces.get(&key) {
+            return Some(*trace);
+        }
+        let trace = TraceId(inner.next_trace);
+        inner.next_trace += 1;
+        inner.packet_traces.insert(key, trace);
+        Some(trace)
+    }
+
+    /// Looks up a packet trace without allocating one.
+    pub fn lookup_packet_trace(
+        &self,
+        origin: &str,
+        channel: &str,
+        sequence: u64,
+    ) -> Option<TraceId> {
+        let inner = self.inner.as_ref()?;
+        let inner = inner.borrow();
+        inner.packet_traces.get(&(origin.to_string(), channel.to_string(), sequence)).copied()
+    }
+
+    /// Emits a point-in-time event linked to `traces`.
+    pub fn event(&self, at_ms: u64, name: &str, traces: &[TraceId], fields: &[(&str, FieldValue)]) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        let mut inner = inner.borrow_mut();
+        let seq = inner.journal.len() as u64;
+        inner.journal.push(JournalRecord {
+            seq,
+            at_ms,
+            kind: RecordKind::Event,
+            name: name.to_string(),
+            traces: traces.iter().map(|t| t.0).collect(),
+            span: None,
+            fields: Fields::from(fields),
+        });
+    }
+
+    /// Opens a span linked to `traces` and returns its id.
+    pub fn span_start(&self, at_ms: u64, name: &str, traces: &[TraceId]) -> Option<SpanId> {
+        let inner = self.inner.as_ref()?;
+        let mut inner = inner.borrow_mut();
+        let span = SpanId(inner.next_span);
+        inner.next_span += 1;
+        let trace_ids: Vec<u64> = traces.iter().map(|t| t.0).collect();
+        inner.spans.insert(
+            span.0,
+            SpanData {
+                name: name.to_string(),
+                traces: trace_ids.clone(),
+                start_ms: at_ms,
+                end_ms: None,
+            },
+        );
+        let seq = inner.journal.len() as u64;
+        inner.journal.push(JournalRecord {
+            seq,
+            at_ms,
+            kind: RecordKind::SpanStart,
+            name: name.to_string(),
+            traces: trace_ids,
+            span: Some(span.0),
+            fields: Fields::default(),
+        });
+        Some(span)
+    }
+
+    /// Links an additional trace to an open span (e.g. a packet that
+    /// started waiting on an in-flight light-client update).
+    pub fn span_link(&self, span: SpanId, trace: TraceId) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        let mut inner = inner.borrow_mut();
+        if let Some(data) = inner.spans.get_mut(&span.0) {
+            if !data.traces.contains(&trace.0) {
+                data.traces.push(trace.0);
+            }
+        }
+    }
+
+    /// Closes a span.
+    pub fn span_end(&self, at_ms: u64, span: SpanId) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        let mut inner = inner.borrow_mut();
+        let Some(data) = inner.spans.get_mut(&span.0) else { return };
+        data.end_ms = Some(at_ms);
+        let (name, traces) = (data.name.clone(), data.traces.clone());
+        let seq = inner.journal.len() as u64;
+        inner.journal.push(JournalRecord {
+            seq,
+            at_ms,
+            kind: RecordKind::SpanEnd,
+            name,
+            traces,
+            span: Some(span.0),
+            fields: Fields::default(),
+        });
+    }
+
+    /// Adds `delta` to a named counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        inner.borrow_mut().metrics.counter_add(name, delta);
+    }
+
+    /// Sets a named gauge.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        inner.borrow_mut().metrics.gauge_set(name, value);
+    }
+
+    /// Registers a histogram with explicit bucket bounds.
+    pub fn register_histogram(&self, name: &str, bounds: &[f64]) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        inner.borrow_mut().metrics.register_histogram(name, bounds);
+    }
+
+    /// Records a histogram observation (NaN is tallied, never folded in).
+    pub fn observe(&self, name: &str, value: f64) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        inner.borrow_mut().metrics.observe(name, value);
+    }
+
+    /// Reads a counter (0 when absent or disabled).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.as_ref().map(|inner| inner.borrow().metrics.counter(name)).unwrap_or(0)
+    }
+
+    /// Records an invariant violation with its forensic links.
+    pub fn violation(
+        &self,
+        at_ms: u64,
+        invariant: &str,
+        details: &str,
+        faults: &[String],
+        traces: &[TraceId],
+    ) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        self.event(
+            at_ms,
+            names::INVARIANT_VIOLATION,
+            traces,
+            &[("invariant", invariant.into()), ("details", details.into())],
+        );
+        inner.borrow_mut().violations.push(ViolationReport {
+            at_ms,
+            invariant: invariant.to_string(),
+            details: details.to_string(),
+            faults: faults.to_vec(),
+            linked_traces: traces.iter().map(|t| t.0).collect(),
+        });
+    }
+
+    /// Number of journal records so far.
+    pub fn journal_len(&self) -> u64 {
+        self.inner.as_ref().map(|inner| inner.borrow().journal.len() as u64).unwrap_or(0)
+    }
+
+    /// Renders the journal as JSONL — one JSON record per line, in
+    /// emission order.
+    pub fn journal_jsonl(&self) -> String {
+        let Some(inner) = self.inner.as_ref() else { return String::new() };
+        let inner = inner.borrow();
+        let mut out = String::new();
+        for record in &inner.journal {
+            out.push_str(&serde_json::to_string(record).expect("journal record serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Snapshot of the metrics registry.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.as_ref().map(|inner| inner.borrow().metrics.snapshot()).unwrap_or_default()
+    }
+
+    /// Builds the aggregated [`RunReport`] for this run.
+    pub fn run_report(&self, scenario: &str, seed: u64, duration_ms: u64) -> RunReport {
+        let meta = RunMeta { scenario: scenario.to_string(), seed, duration_ms };
+        let Some(inner) = self.inner.as_ref() else {
+            return RunReport {
+                meta,
+                metrics: MetricsSnapshot::default(),
+                packets: Vec::new(),
+                violations: Vec::new(),
+                journal_len: 0,
+            };
+        };
+        let inner = inner.borrow();
+
+        // One pass over the journal builds a trace → events index so the
+        // per-packet assembly below is linear, not quadratic.
+        let mut events_by_trace: BTreeMap<u64, Vec<TraceEvent>> = BTreeMap::new();
+        for record in &inner.journal {
+            if record.kind != RecordKind::Event {
+                continue;
+            }
+            for trace in &record.traces {
+                events_by_trace.entry(*trace).or_default().push(TraceEvent {
+                    at_ms: record.at_ms,
+                    name: record.name.clone(),
+                    fields: record.fields.clone(),
+                });
+            }
+        }
+        let mut spans_by_trace: BTreeMap<u64, Vec<SpanReport>> = BTreeMap::new();
+        for (id, data) in &inner.spans {
+            for trace in &data.traces {
+                spans_by_trace.entry(*trace).or_default().push(SpanReport {
+                    id: *id,
+                    name: data.name.clone(),
+                    start_ms: data.start_ms,
+                    end_ms: data.end_ms,
+                    traces: data.traces.clone(),
+                });
+            }
+        }
+
+        let mut packets = Vec::with_capacity(inner.packet_traces.len());
+        for ((origin, channel, sequence), trace) in &inner.packet_traces {
+            let events = events_by_trace.remove(&trace.0).unwrap_or_default();
+            let spans = spans_by_trace.remove(&trace.0).unwrap_or_default();
+            let mut first_ms = u64::MAX;
+            let mut last_ms = 0;
+            for event in &events {
+                first_ms = first_ms.min(event.at_ms);
+                last_ms = last_ms.max(event.at_ms);
+            }
+            for span in &spans {
+                first_ms = first_ms.min(span.start_ms);
+                last_ms = last_ms.max(span.end_ms.unwrap_or(span.start_ms));
+            }
+            if first_ms == u64::MAX {
+                first_ms = 0;
+            }
+            let completed = events
+                .iter()
+                .any(|e| e.name == names::PACKET_ACK || e.name == names::PACKET_TIMEOUT);
+            packets.push(PacketTraceReport {
+                trace: trace.0,
+                origin: origin.clone(),
+                channel: channel.clone(),
+                sequence: *sequence,
+                first_ms,
+                last_ms,
+                completed,
+                events,
+                spans,
+            });
+        }
+        packets.sort_by_key(|p| p.trace);
+
+        RunReport {
+            meta,
+            metrics: inner.metrics.snapshot(),
+            packets,
+            violations: inner.violations.clone(),
+            journal_len: inner.journal.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let telemetry = Telemetry::disabled();
+        assert!(telemetry.trace_for_packet("guest", "channel-0", 1).is_none());
+        assert!(telemetry.span_start(0, "noop", &[]).is_none());
+        telemetry.event(0, "noop", &[], &[]);
+        telemetry.counter_add("noop", 1);
+        assert_eq!(telemetry.counter("noop"), 0);
+        assert_eq!(telemetry.journal_len(), 0);
+        assert!(telemetry.journal_jsonl().is_empty());
+    }
+
+    #[test]
+    fn packet_trace_ids_are_stable() {
+        let telemetry = Telemetry::recording();
+        let a = telemetry.trace_for_packet("guest", "channel-0", 7).unwrap();
+        let b = telemetry.trace_for_packet("guest", "channel-0", 7).unwrap();
+        let c = telemetry.trace_for_packet("guest", "channel-1", 7).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(telemetry.lookup_packet_trace("guest", "channel-0", 7), Some(a));
+        assert_eq!(telemetry.lookup_packet_trace("guest", "channel-9", 7), None);
+    }
+
+    #[test]
+    fn spans_link_multiple_traces() {
+        let telemetry = Telemetry::recording();
+        let a = telemetry.trace_for_packet("guest", "channel-0", 1).unwrap();
+        let b = telemetry.trace_for_packet("guest", "channel-0", 2).unwrap();
+        let span = telemetry.span_start(10, "relayer.job.client_update", &[a]).unwrap();
+        telemetry.span_link(span, b);
+        telemetry.span_end(50, span);
+        let report = telemetry.run_report("test", 0, 100);
+        assert_eq!(report.packets.len(), 2);
+        for packet in &report.packets {
+            assert_eq!(packet.spans.len(), 1, "span must appear under both traces");
+            assert_eq!(packet.spans[0].duration_ms(), Some(40));
+        }
+    }
+
+    #[test]
+    fn completion_follows_ack_and_timeout() {
+        let telemetry = Telemetry::recording();
+        let a = telemetry.trace_for_packet("guest", "channel-0", 1).unwrap();
+        let b = telemetry.trace_for_packet("guest", "channel-0", 2).unwrap();
+        telemetry.event(1, names::PACKET_SEND, &[a], &[]);
+        telemetry.event(2, names::PACKET_SEND, &[b], &[]);
+        telemetry.event(9, names::PACKET_ACK, &[a], &[]);
+        let report = telemetry.run_report("test", 0, 100);
+        assert!(report.packet("guest", "channel-0", 1).unwrap().completed);
+        assert!(!report.packet("guest", "channel-0", 2).unwrap().completed);
+    }
+
+    #[test]
+    fn journal_is_deterministic() {
+        let run = || {
+            let telemetry = Telemetry::recording();
+            let trace = telemetry.trace_for_packet("guest", "channel-0", 1).unwrap();
+            telemetry.event(3, names::PACKET_SEND, &[trace], &[("fee", 5u64.into())]);
+            let span = telemetry.span_start(4, "relayer.job.recv_packet", &[trace]).unwrap();
+            telemetry.span_end(8, span);
+            telemetry.observe("latency_ms", 5.0);
+            telemetry.observe("latency_ms", f64::NAN);
+            telemetry.counter_add("chunks", 3);
+            (telemetry.journal_jsonl(), telemetry.run_report("t", 1, 10).to_json())
+        };
+        let (journal_a, report_a) = run();
+        let (journal_b, report_b) = run();
+        assert_eq!(journal_a, journal_b);
+        assert_eq!(report_a, report_b);
+        assert!(journal_a.lines().count() == 3);
+    }
+
+    #[test]
+    fn nan_observations_are_tallied_not_folded() {
+        let telemetry = Telemetry::recording();
+        telemetry.observe("x", 1.0);
+        telemetry.observe("x", f64::NAN);
+        telemetry.observe("x", 3.0);
+        let snapshot = telemetry.metrics_snapshot();
+        let histogram = &snapshot.histograms["x"];
+        assert_eq!(histogram.count, 2);
+        assert_eq!(histogram.nan_count, 1);
+        assert_eq!(histogram.mean(), 2.0);
+        assert!(histogram.sum.is_finite());
+    }
+
+    #[test]
+    fn violations_carry_linked_traces() {
+        let telemetry = Telemetry::recording();
+        let trace = telemetry.trace_for_packet("guest", "channel-0", 1).unwrap();
+        telemetry.violation(42, "ics20-conservation", "minted out of thin air", &[], &[trace]);
+        let report = telemetry.run_report("t", 0, 100);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].linked_traces, vec![trace.0]);
+        // The violation is also a journal event linked to the trace.
+        assert!(report.packets[0].events.iter().any(|e| e.name == names::INVARIANT_VIOLATION));
+    }
+}

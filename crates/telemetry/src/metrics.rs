@@ -1,0 +1,168 @@
+//! Counters, gauges and fixed-bucket histograms.
+//!
+//! Components register measurements here instead of keeping ad-hoc local
+//! tallies; the registry snapshot becomes the `metrics` section of a
+//! [`RunReport`](crate::RunReport). All state lives in `BTreeMap`s so
+//! snapshots serialize in a deterministic order.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-bucket histogram: counts per `≤ bound` bucket plus an
+/// overflow bucket, running sum and extrema.
+///
+/// NaN observations are never folded into the buckets or the sum — they
+/// are tallied separately in [`Histogram::nan_count`] so a stray NaN in a
+/// release bench shows up as data instead of a panic.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Inclusive upper bounds of the finite buckets, ascending.
+    pub bounds: Vec<f64>,
+    /// Observation counts: `counts[i]` pairs with `bounds[i]`; the final
+    /// entry counts observations above every bound.
+    pub counts: Vec<u64>,
+    /// Total non-NaN observations.
+    pub count: u64,
+    /// Sum of non-NaN observations.
+    pub sum: f64,
+    /// Smallest non-NaN observation (0 when empty).
+    pub min: f64,
+    /// Largest non-NaN observation (0 when empty).
+    pub max: f64,
+    /// NaN observations rejected from the buckets.
+    pub nan_count: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over the given ascending bucket bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            nan_count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        if value.is_nan() {
+            self.nan_count += 1;
+            return;
+        }
+        let bucket =
+            self.bounds.iter().position(|bound| value <= *bound).unwrap_or(self.bounds.len());
+        self.counts[bucket] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean of the non-NaN observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The mutable registry held inside a recording `Telemetry` handle.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Default bucket bounds used when a histogram is observed without an
+/// explicit registration: decade-ish steps covering latencies in ms,
+/// compute units and lamport fees alike.
+pub const DEFAULT_BUCKETS: [f64; 12] = [
+    1.0,
+    10.0,
+    100.0,
+    1_000.0,
+    10_000.0,
+    100_000.0,
+    1_000_000.0,
+    10_000_000.0,
+    100_000_000.0,
+    1_000_000_000.0,
+    10_000_000_000.0,
+    100_000_000_000.0,
+];
+
+impl MetricsRegistry {
+    /// Adds `delta` to a named counter (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets a named gauge to its latest value.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Registers a histogram with explicit bucket bounds, replacing the
+    /// default layout if the first observation arrived earlier.
+    pub fn register_histogram(&mut self, name: &str, bounds: &[f64]) {
+        self.histograms.entry(name.to_string()).or_insert_with(|| Histogram::new(bounds));
+    }
+
+    /// Records an observation, creating the histogram with
+    /// [`DEFAULT_BUCKETS`] when it was never registered.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(&DEFAULT_BUCKETS))
+            .observe(value);
+    }
+
+    /// Reads a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Reads a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// An immutable, serializable copy of the registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+}
+
+/// Serializable copy of every metric at one point in time; the `metrics`
+/// section of a [`RunReport`](crate::RunReport).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotone counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket histograms.
+    pub histograms: BTreeMap<String, Histogram>,
+}

@@ -1,0 +1,244 @@
+//! Aggregated run reports: everything a run produced, rendered once as
+//! JSON (machine artifact) and once as text (human summary), from the
+//! same data so the two can never drift apart.
+
+use serde::{Deserialize, Serialize};
+
+use crate::journal::Fields;
+use crate::metrics::MetricsSnapshot;
+
+/// Identifying metadata of one simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunMeta {
+    /// Scenario label (e.g. `paper`, `small`, a chaos scenario name).
+    pub scenario: String,
+    /// Simulation seed the run is a pure function of.
+    pub seed: u64,
+    /// Simulated duration in milliseconds.
+    pub duration_ms: u64,
+}
+
+/// One journal event replayed into a packet's lifecycle view.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulated timestamp in milliseconds.
+    pub at_ms: u64,
+    /// Event name.
+    pub name: String,
+    /// Structured payload.
+    pub fields: Fields,
+}
+
+/// One span linked to a packet trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpanReport {
+    /// Span id.
+    pub id: u64,
+    /// Span name.
+    pub name: String,
+    /// Opening edge, simulated ms.
+    pub start_ms: u64,
+    /// Closing edge, simulated ms (`None` when still open at run end).
+    pub end_ms: Option<u64>,
+    /// Every trace this span is linked to.
+    pub traces: Vec<u64>,
+}
+
+impl SpanReport {
+    /// Span duration in milliseconds (`None` while open).
+    pub fn duration_ms(&self) -> Option<u64> {
+        self.end_ms.map(|end| end.saturating_sub(self.start_ms))
+    }
+}
+
+/// The full lifecycle of one IBC packet as observed by telemetry.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PacketTraceReport {
+    /// Trace id.
+    pub trace: u64,
+    /// Chain the packet originated on.
+    pub origin: String,
+    /// Source channel of the packet, as named on the origin chain.
+    pub channel: String,
+    /// ICS-04 sequence number.
+    pub sequence: u64,
+    /// First journal activity, simulated ms.
+    pub first_ms: u64,
+    /// Last journal activity, simulated ms.
+    pub last_ms: u64,
+    /// Whether the lifecycle closed (acknowledged or timed out).
+    pub completed: bool,
+    /// Point events, in journal order.
+    pub events: Vec<TraceEvent>,
+    /// Linked spans, in start order.
+    pub spans: Vec<SpanReport>,
+}
+
+/// One invariant violation with its forensic context.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ViolationReport {
+    /// Simulated time of detection.
+    pub at_ms: u64,
+    /// Invariant name.
+    pub invariant: String,
+    /// Human-readable diagnosis.
+    pub details: String,
+    /// Labels of fault windows active at detection time.
+    pub faults: Vec<String>,
+    /// Trace ids of packets in flight at detection time.
+    pub linked_traces: Vec<u64>,
+}
+
+/// The aggregated output of one run: metadata, metrics, packet traces
+/// and invariant violations.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Run identity.
+    pub meta: RunMeta,
+    /// Snapshot of every counter, gauge and histogram.
+    pub metrics: MetricsSnapshot,
+    /// Per-packet lifecycle traces, by trace id.
+    pub packets: Vec<PacketTraceReport>,
+    /// Invariant violations with linked traces.
+    pub violations: Vec<ViolationReport>,
+    /// Total journal records emitted.
+    pub journal_len: u64,
+}
+
+impl RunReport {
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("run report serializes")
+    }
+
+    /// The packet trace with the longest observed lifecycle, if any.
+    pub fn slowest_packet(&self) -> Option<&PacketTraceReport> {
+        self.packets.iter().max_by_key(|p| (p.last_ms.saturating_sub(p.first_ms), p.trace))
+    }
+
+    /// Looks up a packet trace by `(origin, channel, sequence)`.
+    pub fn packet(&self, origin: &str, channel: &str, sequence: u64) -> Option<&PacketTraceReport> {
+        self.packets
+            .iter()
+            .find(|p| p.origin == origin && p.channel == channel && p.sequence == sequence)
+    }
+
+    /// Renders the human-readable summary (the text twin of
+    /// [`RunReport::to_json`]).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let meta = &self.meta;
+        out.push_str(&format!(
+            "Run report — scenario {} (seed {}, {:.2} simulated days)\n",
+            meta.scenario,
+            meta.seed,
+            meta.duration_ms as f64 / 86_400_000.0,
+        ));
+        out.push_str(&format!(
+            "  journal: {} records   packets: {} ({} completed)   violations: {}\n",
+            self.journal_len,
+            self.packets.len(),
+            self.packets.iter().filter(|p| p.completed).count(),
+            self.violations.len(),
+        ));
+        if !self.metrics.counters.is_empty() {
+            out.push_str("  counters:\n");
+            for (name, value) in &self.metrics.counters {
+                out.push_str(&format!("    {name:<42} {value}\n"));
+            }
+        }
+        if !self.metrics.gauges.is_empty() {
+            out.push_str("  gauges:\n");
+            for (name, value) in &self.metrics.gauges {
+                out.push_str(&format!("    {name:<42} {value}\n"));
+            }
+        }
+        if !self.metrics.histograms.is_empty() {
+            out.push_str("  histograms:\n");
+            for (name, histogram) in &self.metrics.histograms {
+                out.push_str(&format!(
+                    "    {name:<42} n={} mean={:.2} min={:.2} max={:.2}{}\n",
+                    histogram.count,
+                    histogram.mean(),
+                    histogram.min,
+                    histogram.max,
+                    if histogram.nan_count > 0 {
+                        format!(" nan={}", histogram.nan_count)
+                    } else {
+                        String::new()
+                    },
+                ));
+            }
+        }
+        if let Some(slowest) = self.slowest_packet() {
+            out.push_str(&format!(
+                "  slowest packet: {}/{}#{} — {:.1} s over {} events / {} spans\n",
+                slowest.origin,
+                slowest.channel,
+                slowest.sequence,
+                slowest.last_ms.saturating_sub(slowest.first_ms) as f64 / 1_000.0,
+                slowest.events.len(),
+                slowest.spans.len(),
+            ));
+        }
+        for violation in &self.violations {
+            out.push_str(&format!(
+                "  violation @{} ms: {} [faults: {}] [traces: {}] {}\n",
+                violation.at_ms,
+                violation.invariant,
+                violation.faults.join(", "),
+                violation
+                    .linked_traces
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                violation.details,
+            ));
+        }
+        out
+    }
+}
+
+/// Pretty-prints one packet's lifecycle (used by `trace_explorer`).
+pub fn render_packet_trace(packet: &PacketTraceReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "packet {}/{}#{} (trace {}) — {} → {} ms ({}){}\n",
+        packet.origin,
+        packet.channel,
+        packet.sequence,
+        packet.trace,
+        packet.first_ms,
+        packet.last_ms,
+        if packet.completed { "completed" } else { "in flight" },
+        if packet.spans.is_empty() { "" } else { ":" },
+    ));
+    let base = packet.first_ms;
+    let mut rows: Vec<(u64, String)> = Vec::new();
+    for event in &packet.events {
+        let fields = if event.fields.is_empty() {
+            String::new()
+        } else {
+            let rendered: Vec<String> =
+                event.fields.0.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("  [{}]", rendered.join(" "))
+        };
+        rows.push((event.at_ms, format!("event {}{}", event.name, fields)));
+    }
+    for span in &packet.spans {
+        let duration = match span.duration_ms() {
+            Some(ms) => format!("{:.1} s", ms as f64 / 1_000.0),
+            None => "open at run end".to_string(),
+        };
+        rows.push((span.start_ms, format!("span  {} ({duration})", span.name)));
+    }
+    rows.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    for (at_ms, line) in rows {
+        out.push_str(&format!(
+            "  +{:>9.1} s  {line}\n",
+            at_ms.saturating_sub(base) as f64 / 1_000.0
+        ));
+    }
+    out
+}

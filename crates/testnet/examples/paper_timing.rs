@@ -6,13 +6,26 @@
 //! ```text
 //! cargo run --release -p testnet --example paper_timing -- 28
 //! ```
+//!
+//! `--run-report <path>` additionally writes the telemetry
+//! [`testnet::RunReport`] of the run as JSON (ci.sh gates on it).
 
-use testnet::{evaluate, TestnetConfig, DAY_MS};
+use testnet::{report_of, Testnet, TestnetConfig, DAY_MS};
 fn main() {
-    let days: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2);
+    let args: Vec<String> = std::env::args().collect();
+    let days: u64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(2);
+    let run_report_path =
+        args.iter().position(|a| a == "--run-report").and_then(|i| args.get(i + 1)).cloned();
     let start = std::time::Instant::now();
-    let report = evaluate(TestnetConfig::paper(), days * DAY_MS);
+    let mut net = Testnet::build(TestnetConfig::paper());
+    net.run_for(days * DAY_MS);
+    let report = report_of(&net, days * DAY_MS);
     eprintln!("wall: {:?}", start.elapsed());
+    if let Some(path) = run_report_path {
+        let run_report = net.run_report("paper-timing");
+        std::fs::write(&path, run_report.to_json()).expect("run report written");
+        eprintln!("run report: {path} ({} packets)", run_report.packets.len());
+    }
     eprintln!("sends completed={} inflight={}", report.completed_sends, report.in_flight_sends);
     eprintln!(
         "fig2 n={} max={:?}",
@@ -32,7 +45,7 @@ fn main() {
         eprintln!("fig4 txs sigma={:.1}", var.sqrt());
         let lat = &report.fig4_update_latency_s;
         let mut sl = lat.clone();
-        sl.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sl.sort_by(f64::total_cmp);
         if !sl.is_empty() {
             eprintln!(
                 "fig4 lat p50={:.1}s p96={:.1}s max={:.1}s",
@@ -42,7 +55,7 @@ fn main() {
             );
         }
         let mut f5 = report.fig5_update_cost_cents.clone();
-        f5.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        f5.sort_by(f64::total_cmp);
         if !f5.is_empty() {
             eprintln!(
                 "fig5 cost p10={:.2}c p50={:.2}c p90={:.2}c",
@@ -52,7 +65,7 @@ fn main() {
             );
         }
         let mut f2 = report.fig2_send_latency_s.clone();
-        f2.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        f2.sort_by(f64::total_cmp);
         if !f2.is_empty() {
             eprintln!(
                 "fig2 p50={:.1}s p99={:.1}s within21={:.3}",

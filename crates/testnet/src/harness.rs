@@ -20,6 +20,7 @@ use ibc_core::ics20::TransferModule;
 use relayer::{connect_chains, Endpoints, Relayer};
 use sim_crypto::rng::SplitMix64;
 use sim_crypto::schnorr::Keypair;
+use telemetry::{RunReport, Telemetry};
 
 use crate::config::TestnetConfig;
 use crate::metrics::{SendRecord, SignRecord};
@@ -79,6 +80,7 @@ pub struct Testnet {
     validator_payers: Vec<Pubkey>,
     sign_tx_inflight: HashMap<u64, (usize, u64, u64)>,
     send_tx_inflight: HashMap<u64, bool>,
+    fisherman_tx_inflight: HashSet<u64>,
     submitted_signs: HashMap<u64, HashSet<usize>>,
     outbound_counter: u64,
     fisherman_payer: Pubkey,
@@ -92,6 +94,8 @@ pub struct Testnet {
     invariants: InvariantSuite,
     /// Next periodic audit (so a stalled chain still flags orphans).
     next_audit_ms: u64,
+    /// The run's shared observability sink (every component holds a clone).
+    telemetry: Telemetry,
 }
 
 impl Testnet {
@@ -101,7 +105,11 @@ impl Testnet {
     pub fn build(mut config: TestnetConfig) -> Self {
         // The relayer must plan against the same host limits.
         config.relayer.host_profile = config.host_profile;
+        // One shared sink; every component records into the same ordered
+        // journal, which is what lets a packet's trace cross chains.
+        let telemetry = Telemetry::recording();
         let mut host = HostChain::with_profile(config.host_profile, config.congestion, config.seed);
+        host.set_telemetry(telemetry.clone());
         let program_id = Pubkey::from_label(GUEST_PROGRAM);
         let vault = Pubkey::from_label(GUEST_VAULT);
         let deployer = Pubkey::from_label(DEPLOYER);
@@ -132,7 +140,8 @@ impl Testnet {
             .collect();
         let contract =
             Rc::new(RefCell::new(GuestContract::new(config.guest, genesis_validators, 0, 0)));
-        let program = GuestProgram::new(program_id, vault, contract.clone());
+        let mut program = GuestProgram::new(program_id, vault, contract.clone());
+        program.set_telemetry(telemetry.clone());
         host.bank_mut().register_program(program_id, Box::new(program));
         // The paper's 10 MiB state account (§V-D): rent-exempt deposit paid
         // by the deployer.
@@ -148,6 +157,7 @@ impl Testnet {
 
         // Counterparty chain + the one-time IBC handshake.
         let mut cp = CounterpartyChain::new(config.counterparty, config.seed ^ 0xC913);
+        cp.set_telemetry(telemetry.clone());
         let mut clock = 0u64;
         let mut height = 0u64;
         let endpoints = connect_chains(&contract, &mut cp, &keypairs, &mut clock, &mut height)
@@ -175,9 +185,13 @@ impl Testnet {
 
         let fisherman_payer = Pubkey::from_label("fisherman-payer");
         host.bank_mut().airdrop(fisherman_payer, 100 * host_sim::LAMPORTS_PER_SOL);
-        let relayer = Relayer::new(config.relayer, relayer_payer, program_id, endpoints.clone());
+        let mut relayer =
+            Relayer::new(config.relayer, relayer_payer, program_id, endpoints.clone());
+        relayer.set_telemetry(telemetry.clone());
         let chaos = ChaosController::new(config.chaos.clone());
         let invariant_config = config.invariants;
+        let mut invariants = InvariantSuite::new(invariant_config);
+        invariants.set_telemetry(telemetry.clone());
         let mut rng = SplitMix64::new(config.seed ^ 0x7e57);
         let first_out = Self::sample_exp(&mut rng, config.workload.outbound_mean_gap_ms);
         let first_in = Self::sample_exp(&mut rng, config.workload.inbound_mean_gap_ms);
@@ -204,15 +218,28 @@ impl Testnet {
             validator_payers,
             sign_tx_inflight: HashMap::new(),
             send_tx_inflight: HashMap::new(),
+            fisherman_tx_inflight: HashSet::new(),
             submitted_signs: HashMap::new(),
             outbound_counter: 0,
             fisherman_payer,
             gossip: Vec::new(),
             fisherman_reports: 0,
             chaos,
-            invariants: InvariantSuite::new(invariant_config),
+            invariants,
             next_audit_ms: 60_000,
+            telemetry,
         }
+    }
+
+    /// The run's shared telemetry sink.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Aggregates the telemetry collected so far into a structured run
+    /// report (packet lifecycles, metrics snapshot, linked violations).
+    pub fn run_report(&self, scenario: &str) -> RunReport {
+        self.telemetry.run_report(scenario, self.config.seed, self.host.now_ms())
     }
 
     /// The established link's identifiers.
@@ -246,14 +273,17 @@ impl Testnet {
         }
 
         // 1. Produce the next host block and observe it.
-        let (now, sign_results, send_results, guest_events) = {
+        let (now, sign_results, send_results, guest_events, fisherman_fees) = {
             let block = self.host.advance_slot();
             let now = block.time_ms;
             let mut sign_results = Vec::new();
             let mut send_results = Vec::new();
+            let mut fisherman_fees = 0u64;
             for (tx_id, outcome) in &block.transactions {
                 if self.sign_tx_inflight.contains_key(tx_id) {
                     sign_results.push((*tx_id, outcome.is_ok(), outcome.fee_lamports));
+                } else if self.fisherman_tx_inflight.remove(tx_id) {
+                    fisherman_fees += outcome.fee_lamports;
                 } else if self.send_tx_inflight.contains_key(tx_id) {
                     let sequence = outcome.events.iter().find_map(|event| {
                         let guest: GuestEvent = serde_json::from_slice(&event.payload).ok()?;
@@ -275,13 +305,17 @@ impl Testnet {
                     }
                 }
             }
-            (now, sign_results, send_results, guest_events)
+            (now, sign_results, send_results, guest_events, fisherman_fees)
         };
 
         // 2. Resolve tracked transactions.
+        if fisherman_fees > 0 {
+            self.telemetry.counter_add("fees.fisherman", fisherman_fees);
+        }
         for (tx_id, ok, fee) in sign_results {
             let (validator, height, block_ms) =
                 self.sign_tx_inflight.remove(&tx_id).expect("tracked");
+            self.telemetry.counter_add("fees.validator", fee);
             if ok {
                 self.sign_records.push(SignRecord {
                     validator,
@@ -294,6 +328,7 @@ impl Testnet {
         }
         for (tx_id, sequence, fee) in send_results {
             let used_bundle = self.send_tx_inflight.remove(&tx_id).expect("tracked");
+            self.telemetry.counter_add("fees.client", fee);
             if let Some(sequence) = sequence {
                 self.send_records.push(SendRecord {
                     sequence,
@@ -382,7 +417,12 @@ impl Testnet {
             self.check_invariants(now);
         }
 
-        // 10. Keep memory bounded on long runs.
+        // 10. Flush harness-level gauges (metrics only — no journal
+        // records at slot cadence) and keep memory bounded on long runs.
+        if self.telemetry.is_recording() {
+            self.telemetry.gauge_set("relayer.backlog", self.relayer.backlog() as f64);
+            self.telemetry.gauge_set("guest.head", self.contract.borrow().head_height() as f64);
+        }
         self.host.prune_blocks(512);
     }
 
@@ -507,7 +547,9 @@ impl Testnet {
                 FeePolicy::BaseOnly,
             )
             .expect("report fits a transaction");
-            self.host.submit(tx);
+            let id = self.host.submit(tx);
+            self.fisherman_tx_inflight.insert(id);
+            self.telemetry.counter_add("fisherman.reports", 1);
             self.fisherman_reports += 1;
         }
     }

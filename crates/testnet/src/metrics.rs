@@ -25,8 +25,12 @@ pub struct Summary {
 
 impl Summary {
     /// Computes the summary of `values` (empty input gives all-zero stats).
+    ///
+    /// NaN samples are discarded rather than poisoning the sort — a single
+    /// 0/0 latency ratio must not abort a day-long benchmark run.
     pub fn of(values: &[f64]) -> Self {
-        if values.is_empty() {
+        let sorted = sorted_finite(values);
+        if sorted.is_empty() {
             return Self {
                 count: 0,
                 min: 0.0,
@@ -38,8 +42,6 @@ impl Summary {
                 stddev: 0.0,
             };
         }
-        let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in metrics"));
         let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
         let variance =
             sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / sorted.len() as f64;
@@ -54,6 +56,13 @@ impl Summary {
             stddev: variance.sqrt(),
         }
     }
+}
+
+/// Sorts a sample with NaN entries removed (total order, never panics).
+fn sorted_finite(values: &[f64]) -> Vec<f64> {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    sorted.sort_by(f64::total_cmp);
+    sorted
 }
 
 /// The `q`-quantile (0.0–1.0) of pre-sorted values, linearly interpolated.
@@ -72,11 +81,9 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     }
 }
 
-/// The `q`-quantile of unsorted values.
+/// The `q`-quantile of unsorted values. NaN samples are discarded.
 pub fn quantile(values: &[f64], q: f64) -> f64 {
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in metrics"));
-    quantile_sorted(&sorted, q)
+    quantile_sorted(&sorted_finite(values), q)
 }
 
 /// Fraction of `values` at or below `threshold` (for CDF claims like
@@ -91,8 +98,7 @@ pub fn fraction_below(values: &[f64], threshold: f64) -> f64 {
 /// An empirical CDF as (value, cumulative fraction) points — the series
 /// plotted in the paper's figures.
 pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in metrics"));
+    let sorted = sorted_finite(values);
     let n = sorted.len();
     sorted.into_iter().enumerate().map(|(i, v)| (v, (i + 1) as f64 / n as f64)).collect()
 }
@@ -204,6 +210,20 @@ mod tests {
     fn quantile_interpolates() {
         assert!((quantile(&[0.0, 10.0], 0.5) - 5.0).abs() < 1e-12);
         assert_eq!(quantile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn nan_samples_are_discarded_not_fatal() {
+        let s = Summary::of(&[f64::NAN, 1.0, 2.0, 3.0, f64::NAN]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((quantile(&[f64::NAN, 4.0], 0.5) - 4.0).abs() < 1e-12);
+        let points = cdf(&[2.0, f64::NAN, 1.0]);
+        assert_eq!(points.len(), 2);
+        assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12);
+        let all_nan = Summary::of(&[f64::NAN]);
+        assert_eq!(all_nan.count, 0);
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Trace explorer: boot a small deployment, let a few transfers flow, and
+//! pretty-print one packet's complete lifecycle as telemetry saw it —
+//! `send_packet`, the chunked light-client update spans that carried its
+//! finality proof, delivery on the counterparty, and the acknowledgement.
+//!
+//! ```text
+//! cargo run --release --example trace_explorer
+//! ```
+
+use be_my_guest::telemetry::render_packet_trace;
+use be_my_guest::testnet::{Testnet, TestnetConfig};
+
+fn main() {
+    // Light traffic so individual packets are easy to follow.
+    let mut config = TestnetConfig::small(2026);
+    config.workload.outbound_mean_gap_ms = 3 * 60 * 1_000;
+    config.workload.inbound_mean_gap_ms = 5 * 60 * 1_000;
+    let mut net = Testnet::build(config);
+    net.run_for(30 * 60 * 1_000); // half a simulated hour
+
+    let report = net.run_report("trace-explorer");
+    println!("{}", report.render_text());
+
+    // Walk the slowest packet's lifecycle end to end: every event the
+    // journal recorded for it plus every relayer job span linked to it.
+    let Some(packet) = report.slowest_packet() else {
+        eprintln!("no packets completed — run longer or lower the workload gaps");
+        std::process::exit(1);
+    };
+    println!("slowest packet, end to end:");
+    println!("{}", render_packet_trace(packet));
+
+    // The same trace is addressable by (origin, channel, sequence) — the
+    // identity a packet keeps across both chains and the relayer.
+    let by_key = report
+        .packet(&packet.origin, &packet.channel, packet.sequence)
+        .expect("the slowest packet is indexed by origin, channel and sequence");
+    assert_eq!(by_key.trace, packet.trace);
+    println!(
+        "(looked up again as {}/{}#{} → trace {})",
+        by_key.origin, by_key.channel, by_key.sequence, by_key.trace
+    );
+}

@@ -10,6 +10,7 @@
 //! * [`counterparty_sim`] — the Picasso-like counterparty chain,
 //! * [`relayer`] — packet relaying and light-client updates (Alg. 2),
 //! * [`chaos`] — deterministic fault injection and invariant checking,
+//! * [`telemetry`] — deterministic tracing, metrics and run reports,
 //! * [`testnet`] — the discrete-event simulation harness,
 //! * [`sim_crypto`] — hashing and signatures.
 //!
@@ -24,4 +25,5 @@ pub use ibc_core;
 pub use relayer;
 pub use sealable_trie;
 pub use sim_crypto;
+pub use telemetry;
 pub use testnet;
