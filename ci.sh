@@ -49,4 +49,35 @@ print(f"run report OK: {len(report['packets'])} packet traces "
       f"({completed} completed), {report['journal_len']} journal records")
 PY
 
+echo "==> mesh scaling smoke run (multi-hop routing)"
+cargo run --release --offline -p bench --bin mesh_scaling -- \
+    --chains 3 --hops 2 --days 1 --quiet \
+    --json BENCH_mesh_scaling.json --run-report BENCH_mesh_run_report.json
+python3 - <<'PY'
+import json, sys
+
+with open("BENCH_mesh_scaling.json") as f:
+    bench = json.load(f)
+values = {k: v for s in bench["sections"] for k, v in s["values"].items()}
+for key in ("round_trip_delivered", "round_trip_conserved"):
+    if values.get(key) != 1:
+        sys.exit(f"mesh_scaling: {key} != 1 ({values.get(key)}) — "
+                 "A->B->C round trip must deliver with conserved supply")
+
+with open("BENCH_mesh_run_report.json") as f:
+    report = json.load(f)
+routes = report.get("routes", [])
+if not routes:
+    sys.exit("BENCH_mesh_run_report.json records no route traces")
+multi_hop = [r for r in routes
+             if sum(1 for e in r["events"] if e["name"] == "packet.send") >= 2]
+if not multi_hop:
+    sys.exit("no route trace links >= 2 packet.send events — "
+             "multi-hop legs are not being tied to one route")
+if not any(r["delivered"] for r in multi_hop):
+    sys.exit("no multi-hop route delivered")
+print(f"mesh run report OK: {len(routes)} route traces, "
+      f"{len(multi_hop)} multi-hop, all invariants hold")
+PY
+
 echo "CI green."

@@ -112,6 +112,20 @@ impl ChaosController {
             .any(|e| e.is_active(now_ms) && matches!(e.fault, Fault::CounterpartyHalt))
     }
 
+    /// Whether the named mesh chain is halted at `now_ms`.
+    pub fn chain_halted(&self, chain: &str, now_ms: u64) -> bool {
+        self.plan.events.iter().any(|e| {
+            e.is_active(now_ms) && matches!(&e.fault, Fault::ChainHalt { chain: c } if c == chain)
+        })
+    }
+
+    /// Whether the named mesh link's relayer is down at `now_ms`.
+    pub fn link_down(&self, link: &str, now_ms: u64) -> bool {
+        self.plan.events.iter().any(|e| {
+            e.is_active(now_ms) && matches!(&e.fault, Fault::LinkDown { link: l } if l == link)
+        })
+    }
+
     /// The host-chain disturbance at `now_ms` (default = inert).
     pub fn host_disturbance(&self, now_ms: u64) -> Disturbance {
         let mut disturbance = Disturbance::default();
@@ -199,7 +213,9 @@ mod tests {
             .with(100, 200, Fault::RelayerHalt)
             .with(100, 200, Fault::CounterpartyHalt)
             .with(100, 200, Fault::CongestionStorm { load: 0.9 })
-            .with(100, 200, Fault::ChunkDrop { probability: 0.5 });
+            .with(100, 200, Fault::ChunkDrop { probability: 0.5 })
+            .with(100, 200, Fault::ChainHalt { chain: "chain-b".into() })
+            .with(100, 200, Fault::LinkDown { link: "chain-a<>chain-b".into() });
         let controller = ChaosController::new(plan);
 
         assert_eq!(controller.crash_window_at(2, 150), Some((100, 200)));
@@ -209,12 +225,18 @@ mod tests {
         assert_eq!(controller.latency_factor(2, 200), 1.0, "window end is exclusive");
         assert!(controller.relayer_halted(150) && !controller.relayer_halted(200));
         assert!(controller.cp_halted(199) && !controller.cp_halted(99));
+        assert!(
+            controller.chain_halted("chain-b", 150) && !controller.chain_halted("chain-b", 200)
+        );
+        assert!(!controller.chain_halted("chain-a", 150), "other chains unaffected");
+        assert!(controller.link_down("chain-a<>chain-b", 150));
+        assert!(!controller.link_down("chain-b<>chain-c", 150), "other links unaffected");
         assert_eq!(controller.host_disturbance(150).forced_load, Some(0.9));
         assert_eq!(controller.host_disturbance(200).forced_load, None);
         let faults = controller.chunk_faults(150).unwrap();
         assert_eq!(faults.drop_probability, 0.5);
         assert_eq!(controller.chunk_faults(200), None);
-        assert_eq!(controller.active_labels(150).len(), 6);
+        assert_eq!(controller.active_labels(150).len(), 8);
     }
 
     #[test]

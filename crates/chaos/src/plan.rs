@@ -67,6 +67,19 @@ pub enum Fault {
     },
     /// The counterparty chain stops producing blocks.
     CounterpartyHalt,
+    /// A named chain in a multi-chain mesh stops producing blocks (e.g.
+    /// the middle chain of an `A→B→C` route; packets through it time out
+    /// and their refunds must unwind hop-by-hop).
+    ChainHalt {
+        /// Mesh node name, e.g. `"chain-b"`.
+        chain: String,
+    },
+    /// A named mesh link's relayer is down: neither direction of that
+    /// link relays packets, acks, client updates or timeouts.
+    LinkDown {
+        /// Mesh link name, e.g. `"chain-a<>chain-b"`.
+        link: String,
+    },
     /// Vouchers are minted out of thin air on the counterparty — a bridge
     /// exploit the ICS-20 conservation invariant must flag. Fires once at
     /// the window start.
@@ -101,6 +114,8 @@ impl Fault {
                 format!("inclusion-failure:{probability}")
             }
             Fault::CounterpartyHalt => "counterparty-halt".to_string(),
+            Fault::ChainHalt { chain } => format!("chain-halt:{chain}"),
+            Fault::LinkDown { link } => format!("link-down:{link}"),
             Fault::CounterfeitMint { denom, amount, .. } => {
                 format!("counterfeit-mint:{amount}:{denom}")
             }
@@ -203,6 +218,8 @@ mod tests {
             .with(100, 200, Fault::ValidatorClockSkew { validator: 2, offset_ms: -30_000 })
             .with(0, 50, Fault::ChunkDrop { probability: 0.25 })
             .with(0, 50, Fault::CongestionStorm { load: 0.9 })
+            .with(0, 900, Fault::ChainHalt { chain: "chain-b".into() })
+            .with(0, 900, Fault::LinkDown { link: "chain-a<>chain-b".into() })
             .at(
                 77,
                 Fault::CounterfeitMint {

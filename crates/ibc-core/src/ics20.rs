@@ -43,13 +43,61 @@ impl FungibleTokenPacketData {
 }
 
 /// The escrow account name for a channel.
-fn escrow_account(channel_id: &ChannelId) -> String {
+pub fn escrow_account(channel_id: &ChannelId) -> String {
     format!("escrow:{channel_id}")
 }
 
 /// The voucher prefix for tokens that travelled over `port/channel`.
-fn voucher_prefix(port_id: &PortId, channel_id: &ChannelId) -> String {
+pub fn voucher_prefix(port_id: &PortId, channel_id: &ChannelId) -> String {
     format!("{port_id}/{channel_id}/")
+}
+
+/// Segment-wise voucher-prefix match: returns the base denomination when
+/// `denom` is a voucher minted over exactly `(port_id, channel_id)`.
+///
+/// Unlike a plain `starts_with` test this requires the port and channel to
+/// be whole `/`-separated segments *and* the remaining base denomination to
+/// be non-empty — a native denom whose name textually embeds
+/// `port/channel/` as a prefix with nothing after it (e.g. the literal
+/// string `"transfer/channel-0/"`) is classified as native, not as a
+/// voucher for the empty denom.
+pub fn split_voucher<'a>(
+    denom: &'a str,
+    port_id: &PortId,
+    channel_id: &ChannelId,
+) -> Option<&'a str> {
+    let mut segments = denom.splitn(3, '/');
+    let port = segments.next()?;
+    let channel = segments.next()?;
+    let base = segments.next()?;
+    (port == port_id.as_str() && channel == channel_id.as_str() && !base.is_empty()).then_some(base)
+}
+
+/// Splits one voucher-prefix layer off `denom` regardless of which
+/// port/channel minted it: `(port, channel, rest)`.
+///
+/// Used to walk stacked multi-hop prefixes
+/// (`transfer/channel-1/transfer/channel-0/base`) when rendering denom
+/// traces or auditing voucher supply; returns [`None`] for denoms that do
+/// not carry at least `port/channel/base` with a non-empty base.
+pub fn pop_voucher_prefix(denom: &str) -> Option<(&str, &str, &str)> {
+    let mut segments = denom.splitn(3, '/');
+    let port = segments.next()?;
+    let channel = segments.next()?;
+    let rest = segments.next()?;
+    (!port.is_empty() && !channel.is_empty() && !rest.is_empty()).then_some((port, channel, rest))
+}
+
+/// Strips every stacked voucher prefix off `denom`, yielding the base
+/// denomination and the number of hops it has travelled.
+pub fn base_denom(denom: &str) -> (&str, usize) {
+    let mut rest = denom;
+    let mut hops = 0;
+    while let Some((_, _, inner)) = pop_voucher_prefix(rest) {
+        rest = inner;
+        hops += 1;
+    }
+    (rest, hops)
 }
 
 /// The ICS-20 transfer application: a minimal multi-denom ledger plus the
@@ -127,13 +175,13 @@ impl TransferModule {
 
     /// The book-keeping run when this chain *sends* `data` over
     /// `(port, channel)`: burn returning vouchers, escrow native tokens.
-    fn debit_sender(
+    pub(crate) fn debit_sender(
         &mut self,
         port_id: &PortId,
         channel_id: &ChannelId,
         data: &FungibleTokenPacketData,
     ) -> Result<(), IbcError> {
-        if data.denom.starts_with(&voucher_prefix(port_id, channel_id)) {
+        if split_voucher(&data.denom, port_id, channel_id).is_some() {
             // Token is returning to its origin: burn the voucher.
             self.burn(&data.sender, &data.denom, data.amount)
         } else {
@@ -148,13 +196,13 @@ impl TransferModule {
     }
 
     /// Reverses [`Self::debit_sender`] after an error ack or a timeout.
-    fn refund_sender(
+    pub(crate) fn refund_sender(
         &mut self,
         port_id: &PortId,
         channel_id: &ChannelId,
         data: &FungibleTokenPacketData,
     ) -> Result<(), IbcError> {
-        if data.denom.starts_with(&voucher_prefix(port_id, channel_id)) {
+        if split_voucher(&data.denom, port_id, channel_id).is_some() {
             self.mint(&data.sender, &data.denom, data.amount);
             Ok(())
         } else {
@@ -166,6 +214,50 @@ impl TransferModule {
             )
         }
     }
+
+    /// The book-keeping run when this chain *receives* `denom` over
+    /// `packet`'s destination end, crediting `account`: release escrowed
+    /// tokens when the denom is returning home, mint a locally-prefixed
+    /// voucher otherwise. Returns the local denomination credited.
+    pub(crate) fn credit_receiver(
+        &mut self,
+        packet: &Packet,
+        denom: &str,
+        amount: u128,
+        account: &str,
+    ) -> Result<String, IbcError> {
+        match split_voucher(denom, &packet.source_port, &packet.source_channel) {
+            Some(base) => {
+                // Token returning home: release from escrow.
+                self.transfer_internal(
+                    &escrow_account(&packet.destination_channel),
+                    account,
+                    base,
+                    amount,
+                )?;
+                Ok(base.to_string())
+            }
+            None => {
+                // Foreign token arriving: mint a voucher with our prefix.
+                let voucher = format!(
+                    "{}{}",
+                    voucher_prefix(&packet.destination_port, &packet.destination_channel),
+                    denom
+                );
+                self.mint(account, &voucher, amount);
+                Ok(voucher)
+            }
+        }
+    }
+
+    /// Every denomination the ledger has ever held a balance in, sorted —
+    /// deterministic iteration for supply audits over the internal map.
+    pub fn denoms(&self) -> Vec<String> {
+        let mut denoms: Vec<String> = self.balances.keys().map(|(_, d)| d.clone()).collect();
+        denoms.sort();
+        denoms.dedup();
+        denoms
+    }
 }
 
 impl Module for TransferModule {
@@ -173,27 +265,8 @@ impl Module for TransferModule {
         let Some(data) = FungibleTokenPacketData::decode(&packet.payload) else {
             return Acknowledgement::Error("malformed ICS-20 packet".into());
         };
-        let incoming_prefix = voucher_prefix(&packet.source_port, &packet.source_channel);
-        let result = if let Some(base) = data.denom.strip_prefix(&incoming_prefix) {
-            // Token returning home: release from escrow.
-            self.transfer_internal(
-                &escrow_account(&packet.destination_channel),
-                &data.receiver,
-                base,
-                data.amount,
-            )
-        } else {
-            // Foreign token arriving: mint a voucher with our prefix.
-            let voucher = format!(
-                "{}{}",
-                voucher_prefix(&packet.destination_port, &packet.destination_channel),
-                data.denom
-            );
-            self.mint(&data.receiver, &voucher, data.amount);
-            Ok(())
-        };
-        match result {
-            Ok(()) => Acknowledgement::Success(b"AQ==".to_vec()),
+        match self.credit_receiver(packet, &data.denom, data.amount, &data.receiver) {
+            Ok(_) => Acknowledgement::Success(b"AQ==".to_vec()),
             Err(err) => Acknowledgement::Error(err.to_string()),
         }
     }
@@ -220,14 +293,26 @@ impl Module for TransferModule {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+
+    fn ics20(&self) -> Option<&TransferModule> {
+        Some(self)
+    }
+
+    fn ics20_mut(&mut self) -> Option<&mut TransferModule> {
+        Some(self)
+    }
 }
 
 /// Initiates an ICS-20 transfer on `handler`: debits the sender in the
 /// transfer module's ledger, then commits the packet.
 ///
+/// The port may be bound to a bare [`TransferModule`] or to any middleware
+/// stack exposing one through [`Module::ics20_mut`] (e.g. the multi-hop
+/// forward middleware).
+///
 /// # Errors
 ///
-/// [`IbcError::UnboundPort`] when no [`TransferModule`] is bound to
+/// [`IbcError::UnboundPort`] when no ICS-20 ledger is reachable behind
 /// `port_id`; ledger or channel errors otherwise.
 #[allow(clippy::too_many_arguments)]
 pub fn send_transfer<S: ProvableStore>(
@@ -251,10 +336,7 @@ pub fn send_transfer<S: ProvableStore>(
     {
         let module =
             handler.module_mut(port_id).ok_or_else(|| IbcError::UnboundPort(port_id.clone()))?;
-        let transfer = module
-            .as_any_mut()
-            .downcast_mut::<TransferModule>()
-            .ok_or_else(|| IbcError::UnboundPort(port_id.clone()))?;
+        let transfer = module.ics20_mut().ok_or_else(|| IbcError::UnboundPort(port_id.clone()))?;
         transfer.debit_sender(port_id, channel_id, &data)?;
     }
     match handler.send_packet(port_id, channel_id, data.encode(), timeout) {
@@ -262,8 +344,7 @@ pub fn send_transfer<S: ProvableStore>(
         Err(err) => {
             // Undo the debit if the packet could not be committed.
             let module = handler.module_mut(port_id).expect("module bound above");
-            let transfer =
-                module.as_any_mut().downcast_mut::<TransferModule>().expect("checked above");
+            let transfer = module.ics20_mut().expect("checked above");
             transfer
                 .refund_sender(port_id, channel_id, &data)
                 .expect("refund of a just-made debit cannot fail");
@@ -396,5 +477,76 @@ mod tests {
         module.mint("a", "x", 5);
         assert!(module.burn("a", "x", 6).is_err());
         assert_eq!(module.balance("a", "x"), 5);
+    }
+
+    #[test]
+    fn split_voucher_requires_whole_segments_and_nonempty_base() {
+        let port = PortId::transfer();
+        let chan = ChannelId::new(0);
+        assert_eq!(split_voucher("transfer/channel-0/pica", &port, &chan), Some("pica"));
+        // Stacked prefixes peel one layer at a time.
+        assert_eq!(
+            split_voucher("transfer/channel-0/transfer/channel-9/sol", &port, &chan),
+            Some("transfer/channel-9/sol")
+        );
+        // A textual prefix with an empty base is NOT a voucher.
+        assert_eq!(split_voucher("transfer/channel-0/", &port, &chan), None);
+        // Wrong channel segment, missing segments, plain denoms.
+        assert_eq!(split_voucher("transfer/channel-1/pica", &port, &chan), None);
+        assert_eq!(split_voucher("transfer/channel-0", &port, &chan), None);
+        assert_eq!(split_voucher("pica", &port, &chan), None);
+    }
+
+    #[test]
+    fn native_denom_textually_embedding_prefix_is_escrowed_not_burned() {
+        // Regression: a *native* denom whose name textually starts with
+        // `port/channel/` but carries no base used to satisfy the old
+        // `starts_with` voucher test and be burned (losing the tokens
+        // instead of escrowing them).
+        let mut module = TransferModule::new();
+        let weird_native = "transfer/channel-0/";
+        module.mint("alice", weird_native, 10);
+        let data = FungibleTokenPacketData {
+            denom: weird_native.into(),
+            amount: 10,
+            sender: "alice".into(),
+            receiver: "bob".into(),
+            memo: String::new(),
+        };
+        module.debit_sender(&PortId::transfer(), &ChannelId::new(0), &data).unwrap();
+        assert_eq!(
+            module.balance(&escrow_account(&ChannelId::new(0)), weird_native),
+            10,
+            "native denom must be escrowed, not burned as a voucher"
+        );
+        module.refund_sender(&PortId::transfer(), &ChannelId::new(0), &data).unwrap();
+        assert_eq!(module.balance("alice", weird_native), 10);
+    }
+
+    #[test]
+    fn recv_of_prefix_only_denom_mints_voucher_not_empty_base() {
+        // Inbound packets get the same segment-wise treatment: a denom
+        // equal to the incoming prefix with an empty base is treated as a
+        // foreign token (stack our prefix) rather than unescrowing `""`.
+        let mut module = TransferModule::new();
+        let data = FungibleTokenPacketData {
+            denom: "transfer/channel-0/".into(),
+            amount: 5,
+            sender: "alice".into(),
+            receiver: "bob".into(),
+            memo: String::new(),
+        };
+        let ack = module.on_recv_packet(&packet(data.encode()));
+        assert!(ack.is_success(), "{ack:?}");
+        assert_eq!(module.balance("bob", "transfer/channel-7/transfer/channel-0/"), 5);
+        assert_eq!(module.balance("bob", ""), 0);
+    }
+
+    #[test]
+    fn base_denom_walks_stacked_prefixes() {
+        assert_eq!(base_denom("transfer/channel-2/transfer/channel-0/wsol"), ("wsol", 2));
+        assert_eq!(base_denom("transfer/channel-0/pica"), ("pica", 1));
+        assert_eq!(base_denom("wsol"), ("wsol", 0));
+        assert_eq!(base_denom("transfer/channel-0/"), ("transfer/channel-0/", 0));
     }
 }

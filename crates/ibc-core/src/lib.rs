@@ -58,6 +58,7 @@ pub mod channel;
 pub mod client;
 pub mod connection;
 pub mod events;
+pub mod forward;
 pub mod handler;
 pub mod ics20;
 pub mod path;
@@ -69,6 +70,7 @@ pub use channel::{Acknowledgement, ChannelEnd, ChannelState, Ordering, Packet, T
 pub use client::{ConsensusState, LightClient};
 pub use connection::{ConnectionEnd, ConnectionState};
 pub use events::IbcEvent;
+pub use forward::{ForwardKind, ForwardMetadata, ForwardMiddleware, ForwardRequest, InFlightHop};
 pub use handler::{
     HandlerConfig, HostTime, IbcHandler, ProofData, SelfConsensusProof, SelfHistory,
 };

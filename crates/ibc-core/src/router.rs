@@ -48,6 +48,21 @@ pub trait Module {
 
     /// Read-only downcast support (invariant checkers, reporting).
     fn as_any(&self) -> &dyn std::any::Any;
+
+    /// The ICS-20 ledger this module fronts, if any.
+    ///
+    /// Middleware that wraps a [`crate::ics20::TransferModule`] (e.g. the
+    /// multi-hop forward middleware) forwards this to the wrapped ledger,
+    /// so [`crate::ics20::send_transfer`] and invariant checkers work
+    /// through any stack of wrappers, not just a bare transfer module.
+    fn ics20(&self) -> Option<&crate::ics20::TransferModule> {
+        None
+    }
+
+    /// Mutable access to the ICS-20 ledger this module fronts, if any.
+    fn ics20_mut(&mut self) -> Option<&mut crate::ics20::TransferModule> {
+        None
+    }
 }
 
 /// A no-op module for control channels and tests: acknowledges every packet

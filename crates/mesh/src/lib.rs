@@ -1,0 +1,35 @@
+//! Multi-chain topology and multi-hop packet routing over the IBC stack.
+//!
+//! The two-chain [`testnet`](../testnet) harness answers "does the guest
+//! integration work"; this crate answers "does it compose": N
+//! counterparty-style chains as nodes, IBC connections/channels as edges,
+//! and a fleet of per-link relayers as scheduled actors on one shared
+//! simulated clock. On top of the topology sit:
+//!
+//! - **multi-hop ICS-20 forwarding** — the hop list rides in the packet
+//!   memo ([`ibc_core::forward`]); each intermediate hop escrows or mints
+//!   with stacked voucher prefixes and unwinds on failure, refunding
+//!   backwards hop by hop;
+//! - **a routing table** ([`RoutingTable`]) picking paths by policy:
+//!   fewest hops, cheapest relay fees, or avoid-chain;
+//! - **route-level observability** — one telemetry route trace linking
+//!   every per-hop packet trace, with delivered/refunded verdicts and
+//!   settlement latency;
+//! - **chaos integration** — faults scoped to a chain or a single link
+//!   (halt the middle chain of A→B→C and the refunds must unwind).
+//!
+//! Everything is deterministic: the same [`MeshConfig`] (same seed)
+//! replays the same run, byte for byte.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod mesh;
+pub mod routing;
+pub mod topology;
+
+pub use link::Link;
+pub use mesh::{Mesh, MeshError, Node, RouteStatus};
+pub use routing::{PathPolicy, RouteHop, RoutingTable};
+pub use topology::{chain_denom, chain_name, ChainSpec, HostProfile, LinkSpec, MeshConfig};

@@ -1,0 +1,1058 @@
+//! The multi-chain harness: N chains, a fleet of per-link relayers, and
+//! route-level bookkeeping, all on one shared simulated clock.
+//!
+//! [`Mesh::build`] turns a [`MeshConfig`] into live chains (each binding a
+//! [`ForwardMiddleware`]-wrapped ICS-20 ledger on the transfer port) and
+//! opens every configured link with a full handshake.
+//! [`Mesh::send_along_route`] picks a path with the routing table, encodes
+//! the remaining hops into the ICS-20 memo, and tracks the resulting
+//! route end to end: one telemetry route trace linking every per-hop
+//! packet trace, a delivered/refunded verdict, and settlement latency.
+//!
+//! Each [`Mesh::step`]:
+//! 1. dispatches IBC events into per-link relay queues, route
+//!    bookkeeping and telemetry (before outboxes drain, so a forward
+//!    leg's route correlation is registered before the leg commits),
+//! 2. drains every chain's forward-middleware outbox (committing next-hop
+//!    and refund legs),
+//! 3. produces due blocks (skipping chaos-halted chains),
+//! 4. expires in-flight packets whose destination clock passed their
+//!    timeout,
+//! 5. wakes due link relayers (skipping chaos-downed links), which
+//!    deliver recv/ack/timeout messages with real proofs and charge their
+//!    link's fee schedule.
+
+use std::collections::BTreeMap;
+
+use chaos::ChaosController;
+use counterparty_sim::{CounterpartyChain, CpHeader};
+use ibc_core::channel::{Acknowledgement, Packet, Timeout};
+use ibc_core::forward::{ForwardKind, ForwardMetadata, ForwardMiddleware, ForwardRequest};
+use ibc_core::handler::ProofData;
+use ibc_core::ics20::{self, TransferModule};
+use ibc_core::types::{IbcError, PortId};
+use ibc_core::{path, IbcEvent, Module};
+use telemetry::{names, RunReport, Telemetry, TraceId};
+
+use crate::link::{open_link, prove, Link};
+use crate::routing::{PathPolicy, RouteHop, RoutingTable};
+use crate::topology::MeshConfig;
+
+/// Errors surfaced by the mesh harness.
+#[derive(Debug)]
+pub enum MeshError {
+    /// The topology failed validation.
+    Config(String),
+    /// A named chain does not exist.
+    UnknownChain(String),
+    /// No path between the endpoints under the requested policy.
+    NoRoute {
+        /// Requested origin.
+        from: String,
+        /// Requested destination.
+        to: String,
+    },
+    /// An IBC operation failed.
+    Ibc(IbcError),
+}
+
+impl core::fmt::Display for MeshError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Config(msg) => write!(f, "invalid mesh config: {msg}"),
+            Self::UnknownChain(name) => write!(f, "unknown chain {name:?}"),
+            Self::NoRoute { from, to } => write!(f, "no route from {from} to {to}"),
+            Self::Ibc(err) => write!(f, "ibc: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+impl From<IbcError> for MeshError {
+    fn from(err: IbcError) -> Self {
+        Self::Ibc(err)
+    }
+}
+
+/// One chain of the mesh.
+pub struct Node {
+    /// Chain name (chaos faults and telemetry use it).
+    pub name: String,
+    /// Native denomination.
+    pub denom: String,
+    /// The middleware's escrow account for in-transit hops.
+    pub forward_account: String,
+    chain: CounterpartyChain,
+    block_interval_ms: u64,
+    next_block_ms: u64,
+}
+
+impl Node {
+    /// Read access to the chain.
+    pub fn chain(&self) -> &CounterpartyChain {
+        &self.chain
+    }
+
+    /// The chain's ICS-20 ledger (inside the forward middleware).
+    pub fn transfers(&self) -> &TransferModule {
+        self.chain
+            .ibc()
+            .module(&PortId::transfer())
+            .expect("mesh binds the transfer port")
+            .ics20()
+            .expect("mesh modules expose an ICS-20 ledger")
+    }
+}
+
+/// What one registered leg means for its route.
+#[derive(Clone, Copy, Debug)]
+struct LegInfo {
+    route: usize,
+    refund: bool,
+    final_leg: bool,
+}
+
+/// End-to-end status of one routed transfer.
+#[derive(Clone, Debug)]
+pub struct RouteStatus {
+    /// `route-{i}:{from}->{to}` — also the telemetry route-trace label.
+    pub label: String,
+    /// Origin node index.
+    pub origin: usize,
+    /// Destination node index.
+    pub dest: usize,
+    /// Final receiver account.
+    pub receiver: String,
+    /// Denomination sent (as named on the origin chain).
+    pub denom: String,
+    /// Amount sent.
+    pub amount: u128,
+    /// Telemetry route trace linking every hop.
+    pub trace: Option<TraceId>,
+    /// The final hop delivered to the receiver.
+    pub delivered: bool,
+    /// The transfer unwound back to the sender.
+    pub refunded: bool,
+    /// Simulation time the route started.
+    pub sent_ms: u64,
+    /// Simulation time it settled (delivered or refunded).
+    pub settled_ms: Option<u64>,
+}
+
+impl RouteStatus {
+    /// Whether the route reached a terminal state.
+    pub fn settled(&self) -> bool {
+        self.delivered || self.refunded
+    }
+
+    /// Start-to-settlement latency, when settled.
+    pub fn latency_ms(&self) -> Option<u64> {
+        self.settled_ms.map(|settled| settled.saturating_sub(self.sent_ms))
+    }
+}
+
+/// One proven message awaiting submission to a link's far end.
+enum RelayMsg {
+    Recv { packet: Packet, proof: ProofData },
+    Ack { packet: Packet, ack: Acknowledgement, proof: ProofData },
+    Timeout { packet: Packet, proof: ProofData },
+}
+
+/// One relay direction's proven work, read from the source chain before
+/// any submission mutates state.
+#[derive(Default)]
+struct Prepared {
+    /// The header the proofs were taken at (None: source unprovable).
+    header: Option<CpHeader>,
+    msgs: Vec<RelayMsg>,
+    errors: u64,
+}
+
+/// Mutably borrows two distinct slice elements.
+fn pair<T>(slice: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert_ne!(i, j, "a link needs two distinct chains");
+    if i < j {
+        let (lo, hi) = slice.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = slice.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+fn middleware_mut<'c>(
+    chain: &'c mut CounterpartyChain,
+    port: &PortId,
+) -> &'c mut ForwardMiddleware {
+    chain
+        .ibc_mut()
+        .module_mut(port)
+        .expect("mesh binds the transfer port")
+        .as_any_mut()
+        .downcast_mut::<ForwardMiddleware>()
+        .expect("mesh binds ForwardMiddleware on the transfer port")
+}
+
+fn middleware<'c>(chain: &'c CounterpartyChain, port: &PortId) -> &'c ForwardMiddleware {
+    chain
+        .ibc()
+        .module(port)
+        .expect("mesh binds the transfer port")
+        .as_any()
+        .downcast_ref::<ForwardMiddleware>()
+        .expect("mesh binds ForwardMiddleware on the transfer port")
+}
+
+/// The live mesh.
+pub struct Mesh {
+    config: MeshConfig,
+    port: PortId,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    routing: RoutingTable,
+    /// `(node, local channel)` → link index, for event dispatch.
+    channel_links: BTreeMap<(usize, String), usize>,
+    /// `(sender node, source channel, sequence)` → leg bookkeeping.
+    legs: BTreeMap<(usize, String, u64), LegInfo>,
+    /// Per node: incoming legs `(source channel, sequence)` whose next
+    /// hop has been queued but not yet committed, with their route.
+    pending_forward: Vec<Vec<((String, u64), usize)>>,
+    routes: Vec<RouteStatus>,
+    chaos: ChaosController,
+    telemetry: Telemetry,
+    now_ms: u64,
+    stuck_refunds: u64,
+    relay_errors: u64,
+}
+
+impl Mesh {
+    /// Boots every chain and opens every link of `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::Config`] for malformed topologies; [`MeshError::Ibc`]
+    /// when a handshake fails.
+    pub fn build(config: MeshConfig) -> Result<Self, MeshError> {
+        config.validate().map_err(MeshError::Config)?;
+        let telemetry = Telemetry::recording();
+        let port = PortId::transfer();
+
+        let mut nodes: Vec<Node> = Vec::with_capacity(config.chains.len());
+        for (i, spec) in config.chains.iter().enumerate() {
+            let chain_config = spec.profile.chain_config();
+            // Mixed then clamped: the chain constructor scales its seed,
+            // so give it headroom while keeping per-chain streams apart.
+            let seed =
+                (config.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) & 0xFFFF_FFFF;
+            let mut chain = CounterpartyChain::new(chain_config, seed);
+            let forward_account = format!("{}:forward", spec.name);
+            chain.ibc_mut().bind_port(
+                port.clone(),
+                Box::new(ForwardMiddleware::new(TransferModule::new(), forward_account.clone())),
+            );
+            nodes.push(Node {
+                name: spec.name.clone(),
+                denom: spec.denom.clone(),
+                forward_account,
+                chain,
+                block_interval_ms: chain_config.block_interval_ms,
+                next_block_ms: 0,
+            });
+        }
+
+        let mut routing = RoutingTable::new(config.chains.iter().map(|c| c.name.clone()).collect());
+        let mut links = Vec::with_capacity(config.links.len());
+        let mut channel_links = BTreeMap::new();
+        let mut clock_ms = 0;
+        for spec in &config.links {
+            let ia = config.chain_index(&spec.a).expect("validated");
+            let ib = config.chain_index(&spec.b).expect("validated");
+            let ends = {
+                let (a, b) = pair(&mut nodes, ia, ib);
+                open_link(&mut a.chain, &mut b.chain, &mut clock_ms)?
+            };
+            routing.add_edge(ia, ib, spec.fee.message_cost());
+            channel_links.insert((ia, ends.a_channel.as_str().to_string()), links.len());
+            channel_links.insert((ib, ends.b_channel.as_str().to_string()), links.len());
+            links.push(Link {
+                label: spec.label(),
+                a: ia,
+                b: ib,
+                a_channel: ends.a_channel,
+                b_channel: ends.b_channel,
+                a_client: ends.a_client,
+                b_client: ends.b_client,
+                fee: spec.fee,
+                relay_interval_ms: spec.relay_interval_ms,
+                next_relay_ms: 0,
+                fees_charged: 0,
+                deliveries: 0,
+                client_updates: 0,
+                from_a: Default::default(),
+                from_b: Default::default(),
+            });
+        }
+
+        // Handshake noise must not reach event dispatch.
+        for node in &mut nodes {
+            node.chain.ibc_mut().drain_events();
+        }
+        let now_ms = clock_ms;
+        for node in &mut nodes {
+            node.next_block_ms = now_ms + node.block_interval_ms;
+        }
+
+        let pending_forward = vec![Vec::new(); nodes.len()];
+        let chaos = ChaosController::new(config.chaos.clone());
+        Ok(Self {
+            config,
+            port,
+            nodes,
+            links,
+            routing,
+            channel_links,
+            legs: BTreeMap::new(),
+            pending_forward,
+            routes: Vec::new(),
+            chaos,
+            telemetry,
+            now_ms,
+            stuck_refunds: 0,
+            relay_errors: 0,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The configuration the mesh was built from.
+    pub fn config(&self) -> &MeshConfig {
+        &self.config
+    }
+
+    /// All chains, in config order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All links, in config order.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Every routed transfer started so far.
+    pub fn routes(&self) -> &[RouteStatus] {
+        &self.routes
+    }
+
+    /// The routing table.
+    pub fn routing(&self) -> &RoutingTable {
+        &self.routing
+    }
+
+    /// The observability sink.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Current simulation time.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Refund legs that could not even be committed (funds parked in a
+    /// forward account; zero in healthy runs).
+    pub fn stuck_refunds(&self) -> u64 {
+        self.stuck_refunds
+    }
+
+    /// Relay submissions that failed for reasons other than duplicates
+    /// or expiry races.
+    pub fn relay_errors(&self) -> u64 {
+        self.relay_errors
+    }
+
+    /// Index of the named chain.
+    pub fn node_index(&self, chain: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.name == chain)
+    }
+
+    /// The named chain.
+    pub fn node(&self, chain: &str) -> Option<&Node> {
+        self.nodes.iter().find(|n| n.name == chain)
+    }
+
+    fn require(&self, chain: &str) -> Result<usize, MeshError> {
+        self.node_index(chain).ok_or_else(|| MeshError::UnknownChain(chain.to_string()))
+    }
+
+    /// `account`'s balance of `denom` on `chain` (0 for unknown chains).
+    pub fn balance(&self, chain: &str, account: &str, denom: &str) -> u128 {
+        self.node(chain).map_or(0, |n| n.transfers().balance(account, denom))
+    }
+
+    /// Mints `amount` of `denom` to `account` on `chain` (faucet).
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::UnknownChain`].
+    pub fn mint(
+        &mut self,
+        chain: &str,
+        account: &str,
+        denom: &str,
+        amount: u128,
+    ) -> Result<(), MeshError> {
+        let index = self.require(chain)?;
+        middleware_mut(&mut self.nodes[index].chain, &self.port)
+            .ics20_mut()
+            .expect("middleware wraps an ICS-20 ledger")
+            .mint(account, denom, amount);
+        Ok(())
+    }
+
+    /// Total supply of every voucher denomination (one or more stacked
+    /// prefixes) on `chain` — zero once all routes have settled cleanly.
+    pub fn voucher_outstanding(&self, chain: &str) -> u128 {
+        let Some(node) = self.node(chain) else { return 0 };
+        let transfers = node.transfers();
+        transfers
+            .denoms()
+            .iter()
+            .filter(|denom| ics20::base_denom(denom).1 > 0)
+            .map(|denom| transfers.total_supply(denom))
+            .sum()
+    }
+
+    /// Forwarded legs still awaiting ack or timeout, across all chains.
+    pub fn total_in_flight(&self) -> usize {
+        self.nodes.iter().map(|n| middleware(&n.chain, &self.port).in_flight_len()).sum()
+    }
+
+    /// The telemetry run report for this mesh run.
+    pub fn run_report(&self, scenario: &str) -> RunReport {
+        self.telemetry.run_report(scenario, self.config.seed, self.now_ms)
+    }
+
+    // ------------------------------------------------------------------
+    // Routing
+    // ------------------------------------------------------------------
+
+    /// Starts a routed transfer and returns its route index (into
+    /// [`Mesh::routes`]). The path is chosen by `policy`; hops beyond the
+    /// first ride in the ICS-20 memo as nested forward metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::UnknownChain`], [`MeshError::NoRoute`] (also for
+    /// `from == to`), or the origin chain rejecting the send.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_along_route(
+        &mut self,
+        from: &str,
+        to: &str,
+        sender: &str,
+        receiver: &str,
+        denom: &str,
+        amount: u128,
+        policy: &PathPolicy,
+    ) -> Result<usize, MeshError> {
+        let origin = self.require(from)?;
+        let dest = self.require(to)?;
+        let hops = self
+            .routing
+            .route(from, to, policy)
+            .filter(|hops| !hops.is_empty())
+            .ok_or_else(|| MeshError::NoRoute { from: from.to_string(), to: to.to_string() })?;
+
+        let memo = self.route_memo(&hops, receiver);
+        let first_channel = self.links[hops[0].edge].channel_of(origin).clone();
+        let first_receiver = if hops.len() == 1 {
+            receiver.to_string()
+        } else {
+            self.nodes[hops[0].to].forward_account.clone()
+        };
+        let timeout = Timeout::at_time(self.now_ms + self.config.hop_timeout_ms);
+        let packet = ics20::send_transfer(
+            self.nodes[origin].chain.ibc_mut(),
+            &self.port,
+            &first_channel,
+            denom,
+            amount,
+            sender,
+            &first_receiver,
+            &memo,
+            timeout,
+        )?;
+
+        let route = self.routes.len();
+        let label = format!("route-{route}:{from}->{to}");
+        let trace = self.telemetry.trace_for_route(&label);
+        if let Some(trace) = trace {
+            self.telemetry.event(
+                self.now_ms,
+                names::ROUTE_START,
+                &[trace],
+                &[
+                    ("from", from.into()),
+                    ("to", to.into()),
+                    ("hops", hops.len().into()),
+                    ("denom", denom.into()),
+                ],
+            );
+        }
+        self.routes.push(RouteStatus {
+            label,
+            origin,
+            dest,
+            receiver: receiver.to_string(),
+            denom: denom.to_string(),
+            amount,
+            trace,
+            delivered: false,
+            refunded: false,
+            sent_ms: self.now_ms,
+            settled_ms: None,
+        });
+        self.legs.insert(
+            (origin, first_channel.as_str().to_string(), packet.sequence),
+            LegInfo { route, refund: false, final_leg: hops.len() == 1 },
+        );
+        Ok(route)
+    }
+
+    /// Nested forward metadata for `hops[1..]`, rendered as a memo
+    /// (empty for direct transfers).
+    fn route_memo(&self, hops: &[RouteHop], receiver: &str) -> String {
+        let mut meta: Option<ForwardMetadata> = None;
+        for (index, hop) in hops.iter().enumerate().skip(1).rev() {
+            let channel = self.links[hop.edge].channel_of(hop.from);
+            let hop_receiver = if index + 1 == hops.len() {
+                receiver.to_string()
+            } else {
+                self.nodes[hop.to].forward_account.clone()
+            };
+            let mut m = ForwardMetadata::new(hop_receiver, channel);
+            if let Some(rest) = meta.take() {
+                m = m.with_next(rest);
+            }
+            meta = Some(m);
+        }
+        meta.map(|m| m.to_memo()).unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------------
+    // Stepping
+    // ------------------------------------------------------------------
+
+    /// Advances the mesh one step.
+    pub fn step(&mut self) {
+        self.now_ms += self.config.step_ms;
+        let now = self.now_ms;
+        self.dispatch_events(now);
+        self.drain_outboxes(now);
+        self.produce_blocks(now);
+        self.expire_pending(now);
+        self.relay_links(now);
+    }
+
+    /// Runs for `duration_ms` of simulated time.
+    pub fn run_for(&mut self, duration_ms: u64) {
+        let until = self.now_ms + duration_ms;
+        while self.now_ms < until {
+            self.step();
+        }
+    }
+
+    /// Runs until `route` settles (delivered or refunded) or `timeout_ms`
+    /// of simulated time passes; returns whether it settled.
+    pub fn run_until_settled(&mut self, route: usize, timeout_ms: u64) -> bool {
+        let until = self.now_ms + timeout_ms;
+        while self.now_ms < until && !self.routes[route].settled() {
+            self.step();
+        }
+        self.routes[route].settled()
+    }
+
+    /// Phase 2: commit every queued next-hop / refund transfer.
+    fn drain_outboxes(&mut self, now: u64) {
+        for i in 0..self.nodes.len() {
+            if self.chaos.chain_halted(&self.nodes[i].name, now) {
+                continue;
+            }
+            loop {
+                let requests = middleware_mut(&mut self.nodes[i].chain, &self.port).take_requests();
+                if requests.is_empty() {
+                    break;
+                }
+                for request in requests {
+                    self.send_request(i, request, now);
+                }
+            }
+        }
+    }
+
+    /// Commits one middleware request on `node`, wiring the new leg into
+    /// its route's bookkeeping.
+    fn send_request(&mut self, node: usize, request: ForwardRequest, now: u64) {
+        let route = match &request.kind {
+            ForwardKind::Forward { incoming_channel, incoming_sequence } => {
+                let key = (incoming_channel.as_str().to_string(), *incoming_sequence);
+                let pending = &mut self.pending_forward[node];
+                pending.iter().position(|(k, _)| *k == key).map(|pos| pending.remove(pos).1)
+            }
+            ForwardKind::Refund { failed_channel, failed_sequence } => self
+                .legs
+                .get(&(node, failed_channel.as_str().to_string(), *failed_sequence))
+                .map(|leg| leg.route),
+        };
+        let is_refund = matches!(request.kind, ForwardKind::Refund { .. });
+        let timeout = Timeout::at_time(now + self.config.hop_timeout_ms);
+        let sender = self.nodes[node].forward_account.clone();
+        let sent = ics20::send_transfer(
+            self.nodes[node].chain.ibc_mut(),
+            &request.port,
+            &request.channel,
+            &request.denom,
+            request.amount,
+            &sender,
+            &request.receiver,
+            &request.memo,
+            timeout,
+        );
+        match sent {
+            Ok(packet) => {
+                if let Some(hop) = request.in_flight {
+                    middleware_mut(&mut self.nodes[node].chain, &self.port).register_in_flight(
+                        &request.channel,
+                        packet.sequence,
+                        hop,
+                    );
+                }
+                if let Some(route) = route {
+                    self.legs.insert(
+                        (node, request.channel.as_str().to_string(), packet.sequence),
+                        LegInfo {
+                            route,
+                            refund: is_refund,
+                            final_leg: !is_refund && request.memo.is_empty(),
+                        },
+                    );
+                }
+            }
+            Err(_) => {
+                // The commit rolled back, so the forward account still
+                // holds the funds. Forward legs unwind toward the origin;
+                // a refund leg that cannot move leaves them parked.
+                self.telemetry.counter_add("mesh.send_errors", 1);
+                match request.in_flight {
+                    Some(hop) => middleware_mut(&mut self.nodes[node].chain, &self.port)
+                        .fail_forward(hop, request.kind),
+                    None => self.stuck_refunds += 1,
+                }
+            }
+        }
+    }
+
+    /// Phase 3: commit blocks on chains whose interval elapsed and whose
+    /// state changed (or whose keepalive is due, so peers can prove
+    /// timeouts against a fresh consensus timestamp).
+    fn produce_blocks(&mut self, now: u64) {
+        for node in &mut self.nodes {
+            if self.chaos.chain_halted(&node.name, now) {
+                continue;
+            }
+            if now < node.next_block_ms {
+                continue;
+            }
+            node.next_block_ms = now + node.block_interval_ms;
+            let (root_changed, keepalive_due) = match node.chain.latest_header() {
+                Some(header) => (
+                    header.app_hash != node.chain.ibc().root(),
+                    now >= header.timestamp_ms + self.config.keepalive_ms,
+                ),
+                None => (true, true),
+            };
+            if root_changed || keepalive_due {
+                node.chain.produce_block(now);
+            }
+        }
+    }
+
+    /// Phase 1: route each chain's IBC events into link queues, route
+    /// bookkeeping and telemetry.
+    fn dispatch_events(&mut self, now: u64) {
+        for i in 0..self.nodes.len() {
+            let events = self.nodes[i].chain.ibc_mut().drain_events();
+            for event in events {
+                match event {
+                    IbcEvent::SendPacket { packet } => self.on_send(i, packet, now),
+                    IbcEvent::RecvPacket { packet } => self.on_recv(i, packet, now),
+                    IbcEvent::WriteAcknowledgement { packet, ack } => {
+                        self.on_ack_written(i, packet, ack, now);
+                    }
+                    IbcEvent::AcknowledgePacket { packet } => {
+                        self.emit_packet_event(names::PACKET_ACK, i, &packet, now);
+                    }
+                    IbcEvent::TimeoutPacket { packet } => self.on_timeout(i, packet, now),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Emits one packet-lifecycle event, linked to the packet trace (keyed
+    /// by the *sending* chain) and, when the leg belongs to a route, the
+    /// route trace.
+    fn emit_packet_event(&self, name: &str, origin: usize, packet: &Packet, now: u64) {
+        if !self.telemetry.is_recording() {
+            return;
+        }
+        let mut traces = Vec::new();
+        if let Some(trace) = self.telemetry.trace_for_packet(
+            &self.nodes[origin].name,
+            packet.source_channel.as_str(),
+            packet.sequence,
+        ) {
+            traces.push(trace);
+        }
+        if let Some(leg) =
+            self.legs.get(&(origin, packet.source_channel.as_str().to_string(), packet.sequence))
+        {
+            if let Some(route_trace) = self.routes[leg.route].trace {
+                traces.push(route_trace);
+            }
+        }
+        self.telemetry.event(
+            now,
+            name,
+            &traces,
+            &[
+                ("chain", self.nodes[origin].name.as_str().into()),
+                ("src_channel", packet.source_channel.as_str().into()),
+                ("dst_channel", packet.destination_channel.as_str().into()),
+                ("sequence", packet.sequence.into()),
+            ],
+        );
+    }
+
+    fn on_send(&mut self, i: usize, packet: Packet, now: u64) {
+        self.telemetry.counter_add("mesh.packets.sent", 1);
+        self.emit_packet_event(names::PACKET_SEND, i, &packet, now);
+        if let Some(&li) = self.channel_links.get(&(i, packet.source_channel.as_str().to_string()))
+        {
+            let link = &mut self.links[li];
+            let flow = if link.a == i { &mut link.from_a } else { &mut link.from_b };
+            flow.to_recv.push(packet);
+        }
+    }
+
+    fn on_recv(&mut self, i: usize, packet: Packet, now: u64) {
+        self.telemetry.counter_add("mesh.packets.delivered", 1);
+        let Some(&li) =
+            self.channel_links.get(&(i, packet.destination_channel.as_str().to_string()))
+        else {
+            return;
+        };
+        let peer = self.links[li].peer_of(i);
+        self.emit_packet_event(names::PACKET_RECV, peer, &packet, now);
+
+        let key = (peer, packet.source_channel.as_str().to_string(), packet.sequence);
+        let Some(leg) = self.legs.get(&key).copied() else { return };
+        let chain_field: telemetry::FieldValue = self.nodes[i].name.as_str().into();
+        let route = &mut self.routes[leg.route];
+        let route_traces: Vec<TraceId> = route.trace.into_iter().collect();
+        if leg.refund {
+            if i == route.origin {
+                if !route.refunded {
+                    route.refunded = true;
+                    route.settled_ms = Some(now);
+                    self.telemetry.counter_add("mesh.routes.refunded", 1);
+                    self.telemetry.event(
+                        now,
+                        names::ROUTE_REFUNDED,
+                        &route_traces,
+                        &[("chain", chain_field)],
+                    );
+                }
+            } else {
+                // An intermediate hop taking custody of the refund; the
+                // middleware queues the next leg backwards.
+                self.telemetry.event(
+                    now,
+                    names::PACKET_FORWARD,
+                    &route_traces,
+                    &[("chain", chain_field), ("direction", "backward".into())],
+                );
+            }
+        } else if leg.final_leg {
+            if !route.delivered {
+                route.delivered = true;
+                route.settled_ms = Some(now);
+                self.telemetry.counter_add("mesh.routes.delivered", 1);
+                self.telemetry.event(
+                    now,
+                    names::ROUTE_DELIVERED,
+                    &route_traces,
+                    &[("chain", chain_field)],
+                );
+            }
+        } else {
+            // Intermediate forward hop: the middleware queued the next
+            // leg; remember the route so the committed leg inherits it.
+            self.telemetry.event(
+                now,
+                names::PACKET_FORWARD,
+                &route_traces,
+                &[("chain", chain_field), ("direction", "forward".into())],
+            );
+            self.pending_forward[i]
+                .push(((packet.source_channel.as_str().to_string(), packet.sequence), leg.route));
+        }
+    }
+
+    /// An origin leg timing out refunds the sender in place (the ICS-20
+    /// module reverses the debit; there is no separate refund packet), so
+    /// the route settles here. Intermediate legs instead unwind through
+    /// the middleware's refund transfers.
+    fn on_timeout(&mut self, i: usize, packet: Packet, now: u64) {
+        self.telemetry.counter_add("mesh.packets.timed_out", 1);
+        self.emit_packet_event(names::PACKET_TIMEOUT, i, &packet, now);
+        let key = (i, packet.source_channel.as_str().to_string(), packet.sequence);
+        let Some(leg) = self.legs.get(&key).copied() else { return };
+        let route = &mut self.routes[leg.route];
+        if !leg.refund && i == route.origin && !route.settled() {
+            route.refunded = true;
+            route.settled_ms = Some(now);
+            let route_traces: Vec<TraceId> = route.trace.into_iter().collect();
+            self.telemetry.counter_add("mesh.routes.refunded", 1);
+            self.telemetry.event(
+                now,
+                names::ROUTE_REFUNDED,
+                &route_traces,
+                &[("chain", self.nodes[i].name.as_str().into())],
+            );
+        }
+    }
+
+    fn on_ack_written(&mut self, i: usize, packet: Packet, ack: Acknowledgement, now: u64) {
+        let Some(&li) =
+            self.channel_links.get(&(i, packet.destination_channel.as_str().to_string()))
+        else {
+            return;
+        };
+        let peer = self.links[li].peer_of(i);
+        self.emit_packet_event(names::PACKET_ACK_WRITTEN, peer, &packet, now);
+        let link = &mut self.links[li];
+        let flow = if link.a == i { &mut link.from_a } else { &mut link.from_b };
+        flow.to_ack.push((packet, ack));
+    }
+
+    /// Phase 4: packets whose destination clock passed their timeout move
+    /// from the recv queue to the reverse direction's timeout queue (the
+    /// proof of non-receipt comes from the destination).
+    fn expire_pending(&mut self, _now: u64) {
+        for link in &mut self.links {
+            for (src, dst) in [(link.a, link.b), (link.b, link.a)] {
+                let Some(header) = self.nodes[dst].chain.latest_header() else { continue };
+                let (height, timestamp) = (header.height, header.timestamp_ms);
+                let (flow, reverse) = if src == link.a {
+                    (&mut link.from_a, &mut link.from_b)
+                } else {
+                    (&mut link.from_b, &mut link.from_a)
+                };
+                if flow.to_recv.is_empty() {
+                    continue;
+                }
+                let pending = std::mem::take(&mut flow.to_recv);
+                for packet in pending {
+                    if packet.timeout.has_expired(height, timestamp) {
+                        reverse.to_timeout.push(packet);
+                    } else {
+                        flow.to_recv.push(packet);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Phase 5: wake due link relayers. Per link, *all* proofs for both
+    /// directions are prepared first (pure reads), and only then are
+    /// client updates and messages submitted: a submission mutates the
+    /// destination's store, and collecting proofs up front keeps one
+    /// direction's client update from invalidating the other direction's
+    /// source-side proofs within the same tick.
+    fn relay_links(&mut self, now: u64) {
+        for li in 0..self.links.len() {
+            if now < self.links[li].next_relay_ms {
+                continue;
+            }
+            self.links[li].next_relay_ms = now + self.links[li].relay_interval_ms;
+            if self.chaos.link_down(&self.links[li].label, now) {
+                continue;
+            }
+            let (a, b) = (self.links[li].a, self.links[li].b);
+            if self.chaos.chain_halted(&self.nodes[a].name, now)
+                || self.chaos.chain_halted(&self.nodes[b].name, now)
+            {
+                continue;
+            }
+            if self.links[li].backlog() == 0 {
+                continue;
+            }
+            let from_a = self.prepare_direction(li, true);
+            let from_b = self.prepare_direction(li, false);
+            self.submit_direction(li, true, from_a);
+            self.submit_direction(li, false, from_b);
+        }
+    }
+
+    /// Drains one direction's queues into proven messages, without
+    /// touching either chain's state. When the source store has moved
+    /// past its latest committed header the queues are left untouched for
+    /// the next tick (a fresh block restores provability).
+    fn prepare_direction(&mut self, li: usize, from_a: bool) -> Prepared {
+        let link = &mut self.links[li];
+        let src_i = if from_a { link.a } else { link.b };
+        let flow = if from_a { &mut link.from_a } else { &mut link.from_b };
+        let src = &self.nodes[src_i].chain;
+        let mut prepared = Prepared::default();
+
+        let Some(header) = src.latest_header().cloned() else { return prepared };
+        if header.app_hash != src.ibc().root() {
+            return prepared;
+        }
+
+        for packet in std::mem::take(&mut flow.to_recv) {
+            let key = path::packet_commitment(
+                &packet.source_port,
+                &packet.source_channel,
+                packet.sequence,
+            );
+            match prove(src, &key) {
+                Ok(proof) => prepared.msgs.push(RelayMsg::Recv { packet, proof }),
+                Err(_) => prepared.errors += 1,
+            }
+        }
+        for (packet, ack) in std::mem::take(&mut flow.to_ack) {
+            let key = path::packet_ack(
+                &packet.destination_port,
+                &packet.destination_channel,
+                packet.sequence,
+            );
+            match prove(src, &key) {
+                Ok(proof) => prepared.msgs.push(RelayMsg::Ack { packet, ack, proof }),
+                Err(_) => prepared.errors += 1,
+            }
+        }
+        // Timeouts additionally need the proven consensus state itself to
+        // be past the expiry; until then the packet stays queued.
+        for packet in std::mem::take(&mut flow.to_timeout) {
+            if !packet.timeout.has_expired(header.height, header.timestamp_ms) {
+                flow.to_timeout.push(packet);
+                continue;
+            }
+            let key = path::packet_receipt(
+                &packet.destination_port,
+                &packet.destination_channel,
+                packet.sequence,
+            );
+            match prove(src, &key) {
+                Ok(proof) => prepared.msgs.push(RelayMsg::Timeout { packet, proof }),
+                Err(_) => prepared.errors += 1,
+            }
+        }
+        prepared.header = Some(header);
+        prepared
+    }
+
+    /// Submits one direction's prepared messages: a client update first
+    /// when the destination's view is stale (and there is something to
+    /// verify against it), then every message.
+    fn submit_direction(&mut self, li: usize, from_a: bool, prepared: Prepared) {
+        let mut fees = 0u64;
+        let mut deliveries = 0u64;
+        let mut client_updates = 0u64;
+        let mut errors = prepared.errors;
+
+        let link = &mut self.links[li];
+        let dst_i = if from_a { link.b } else { link.a };
+        let client = if from_a { link.b_client.clone() } else { link.a_client.clone() };
+        let fee = link.fee;
+        let dst = &mut self.nodes[dst_i].chain;
+
+        if let (Some(header), false) = (&prepared.header, prepared.msgs.is_empty()) {
+            let latest = dst.ibc().client(&client).expect("link clients exist").latest_height();
+            if header.height > latest {
+                if dst.ibc_mut().update_client(&client, &header.encode()).is_ok() {
+                    fees += fee.update_cost(header.signatures.len() as u64);
+                    client_updates += 1;
+                } else {
+                    errors += 1;
+                }
+            }
+        }
+
+        let mut expired = Vec::new();
+        for msg in prepared.msgs {
+            match msg {
+                RelayMsg::Recv { packet, proof } => {
+                    let host_time = dst.host_time();
+                    match dst.ibc_mut().recv_packet(&packet, proof, host_time) {
+                        Ok(_) => {
+                            fees += fee.message_cost();
+                            deliveries += 1;
+                        }
+                        // Expired in the gap since the last expiry scan:
+                        // prove the timeout from this side next tick.
+                        Err(IbcError::Timeout(_)) => expired.push(packet),
+                        Err(IbcError::DuplicatePacket) => {}
+                        Err(_) => errors += 1,
+                    }
+                }
+                RelayMsg::Ack { packet, ack, proof } => {
+                    match dst.ibc_mut().acknowledge_packet(&packet, &ack, proof) {
+                        Ok(()) => fees += fee.message_cost(),
+                        Err(IbcError::DuplicatePacket) => {}
+                        Err(_) => errors += 1,
+                    }
+                }
+                RelayMsg::Timeout { packet, proof } => {
+                    match dst.ibc_mut().timeout_packet(&packet, proof) {
+                        Ok(()) => fees += fee.message_cost(),
+                        Err(IbcError::DuplicatePacket) => {}
+                        Err(_) => errors += 1,
+                    }
+                }
+            }
+        }
+        // Packets the destination rejected as expired wait for a timeout
+        // proof *from* the destination, i.e. the reverse direction.
+        let reverse = if from_a { &mut link.from_b } else { &mut link.from_a };
+        reverse.to_timeout.extend(expired);
+
+        link.fees_charged += fees;
+        link.deliveries += deliveries;
+        link.client_updates += client_updates;
+        self.relay_errors += errors;
+        if fees > 0 {
+            self.telemetry.counter_add("mesh.fees", fees);
+        }
+        if errors > 0 {
+            self.telemetry.counter_add("mesh.relay.errors", errors);
+        }
+    }
+}
+
+impl core::fmt::Debug for Mesh {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Mesh")
+            .field("chains", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("routes", &self.routes.len())
+            .field("now_ms", &self.now_ms)
+            .finish()
+    }
+}

@@ -1,0 +1,137 @@
+//! Relayer fleets: several relayers sharing one pair of chains, and the
+//! per-link fee schedules a multi-chain mesh prices its routes with.
+//!
+//! The paper's deployment ran a single relayer; production IBC topologies
+//! run several per link (for liveness) across many links (for reach). A
+//! [`RelayerFleet`] holds the *extra* relayers of a 2-chain testnet —
+//! `testnet::Testnet::add_relayer` pushes into one and ticks it inside
+//! `step()` — while [`LinkFee`] expresses what relaying one message or
+//! one light-client update costs on a given mesh link, which is what the
+//! mesh routing table's cheapest-fee policy minimises.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use counterparty_sim::CounterpartyChain;
+use guest_chain::GuestContract;
+use host_sim::HostChain;
+use serde::{Deserialize, Serialize};
+
+use crate::relayer::Relayer;
+
+/// Extra relayers on one guest↔counterparty link, ticked in harness step
+/// order after the primary. An empty fleet is provably inert: the harness
+/// behaves bit-identically to one without fleet wiring.
+#[derive(Debug, Default)]
+pub struct RelayerFleet {
+    relayers: Vec<Relayer>,
+}
+
+impl RelayerFleet {
+    /// An empty fleet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a relayer; returns its index within the fleet.
+    pub fn add(&mut self, relayer: Relayer) -> usize {
+        self.relayers.push(relayer);
+        self.relayers.len() - 1
+    }
+
+    /// Number of relayers in the fleet.
+    pub fn len(&self) -> usize {
+        self.relayers.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relayers.is_empty()
+    }
+
+    /// The relayers, in insertion order.
+    pub fn relayers(&self) -> &[Relayer] {
+        &self.relayers
+    }
+
+    /// Mutable access to one relayer.
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut Relayer> {
+        self.relayers.get_mut(index)
+    }
+
+    /// Ticks every relayer once, in insertion order.
+    pub fn tick(
+        &mut self,
+        host: &mut HostChain,
+        cp: &mut CounterpartyChain,
+        contract: &Rc<RefCell<GuestContract>>,
+    ) {
+        for relayer in &mut self.relayers {
+            relayer.tick(host, cp, contract);
+        }
+    }
+}
+
+/// What relaying costs on one mesh link, in abstract fee units the
+/// routing table can compare across links.
+///
+/// Counterparty-to-counterparty links have no host-chain fee market, so
+/// costs here are flat schedules: a per-message charge for packet
+/// deliveries (recv/ack/timeout) and a per-signature charge for light
+/// client updates (verification cost scales with the validator count —
+/// the same shape that makes guest-bound updates expensive in the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkFee {
+    /// Fee units per relayed packet message.
+    pub per_message: u64,
+    /// Fee units per header signature verified in a client update.
+    pub per_signature: u64,
+}
+
+impl LinkFee {
+    /// A free link (both charges zero).
+    pub const FREE: Self = Self { per_message: 0, per_signature: 0 };
+
+    /// A flat per-message schedule with free client updates.
+    pub const fn per_message(fee: u64) -> Self {
+        Self { per_message: fee, per_signature: 0 }
+    }
+
+    /// Cost of delivering one packet message.
+    pub const fn message_cost(&self) -> u64 {
+        self.per_message
+    }
+
+    /// Cost of one client update carrying `signatures` signatures.
+    pub const fn update_cost(&self, signatures: u64) -> u64 {
+        self.per_signature * signatures
+    }
+}
+
+impl Default for LinkFee {
+    fn default() -> Self {
+        Self::FREE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_fleet_is_inert() {
+        let fleet = RelayerFleet::new();
+        assert!(fleet.is_empty());
+        assert_eq!(fleet.len(), 0);
+        assert!(fleet.relayers().is_empty());
+    }
+
+    #[test]
+    fn link_fee_schedules() {
+        assert_eq!(LinkFee::FREE.message_cost(), 0);
+        assert_eq!(LinkFee::per_message(7).message_cost(), 7);
+        let fee = LinkFee { per_message: 3, per_signature: 2 };
+        assert_eq!(fee.update_cost(10), 20);
+        assert_eq!(LinkFee::default(), LinkFee::FREE);
+    }
+}

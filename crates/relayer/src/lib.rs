@@ -37,10 +37,12 @@
 pub mod bootstrap;
 pub mod chunking;
 pub mod fees;
+pub mod fleet;
 pub mod records;
 mod relayer;
 
 pub use bootstrap::{connect_chains, finalise_guest_block, Endpoints};
 pub use fees::FeeStrategy;
+pub use fleet::{LinkFee, RelayerFleet};
 pub use records::{JobKind, JobRecord};
 pub use relayer::{ChunkFaults, Relayer, RelayerConfig, RESUBMIT_AFTER_SLOTS};

@@ -59,8 +59,8 @@ pub use ids::{SpanId, TraceId};
 pub use journal::{FieldValue, Fields, JournalRecord, RecordKind};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, DEFAULT_BUCKETS};
 pub use report::{
-    render_packet_trace, PacketTraceReport, RunMeta, RunReport, SpanReport, TraceEvent,
-    ViolationReport,
+    render_packet_trace, render_route_trace, PacketTraceReport, RouteTraceReport, RunMeta,
+    RunReport, SpanReport, TraceEvent, ViolationReport,
 };
 
 /// Canonical event and span names, shared by every instrumented crate so
@@ -93,6 +93,14 @@ pub mod names {
     pub const CHUNK_RESUBMIT: &str = "relayer.chunk.resubmit";
     /// Invariant violation detected by the chaos suite.
     pub const INVARIANT_VIOLATION: &str = "invariant.violation";
+    /// A multi-hop route started (first leg committed on the origin).
+    pub const ROUTE_START: &str = "route.start";
+    /// An intermediate hop forwarded a route's funds onto its next leg.
+    pub const PACKET_FORWARD: &str = "packet.forward";
+    /// A multi-hop route delivered its funds to the final receiver.
+    pub const ROUTE_DELIVERED: &str = "route.delivered";
+    /// A multi-hop route failed and its refund reached the origin sender.
+    pub const ROUTE_REFUNDED: &str = "route.refunded";
 }
 
 #[derive(Clone, Debug)]
@@ -108,6 +116,7 @@ struct Inner {
     next_trace: u64,
     next_span: u64,
     packet_traces: BTreeMap<(String, String, u64), TraceId>,
+    route_traces: BTreeMap<String, TraceId>,
     spans: BTreeMap<u64, SpanData>,
     journal: Vec<JournalRecord>,
     metrics: MetricsRegistry,
@@ -157,6 +166,30 @@ impl Telemetry {
         inner.next_trace += 1;
         inner.packet_traces.insert(key, trace);
         Some(trace)
+    }
+
+    /// Returns (allocating on first sight) the trace id of a multi-hop
+    /// *route* — one end-to-end lifecycle spanning every per-hop packet.
+    /// `label` is the harness's stable route identity (e.g.
+    /// `route-3:chain-a->chain-c`); per-hop packet traces are tied in by
+    /// emitting their lifecycle events against both trace ids.
+    pub fn trace_for_route(&self, label: &str) -> Option<TraceId> {
+        let inner = self.inner.as_ref()?;
+        let mut inner = inner.borrow_mut();
+        if let Some(trace) = inner.route_traces.get(label) {
+            return Some(*trace);
+        }
+        let trace = TraceId(inner.next_trace);
+        inner.next_trace += 1;
+        inner.route_traces.insert(label.to_string(), trace);
+        Some(trace)
+    }
+
+    /// Looks up a route trace without allocating one.
+    pub fn lookup_route_trace(&self, label: &str) -> Option<TraceId> {
+        let inner = self.inner.as_ref()?;
+        let inner = inner.borrow();
+        inner.route_traces.get(label).copied()
     }
 
     /// Looks up a packet trace without allocating one.
@@ -332,6 +365,7 @@ impl Telemetry {
                 meta,
                 metrics: MetricsSnapshot::default(),
                 packets: Vec::new(),
+                routes: Vec::new(),
                 violations: Vec::new(),
                 journal_len: 0,
             };
@@ -400,10 +434,45 @@ impl Telemetry {
         }
         packets.sort_by_key(|p| p.trace);
 
+        let mut routes = Vec::with_capacity(inner.route_traces.len());
+        for (label, trace) in &inner.route_traces {
+            let events = events_by_trace.remove(&trace.0).unwrap_or_default();
+            let spans = spans_by_trace.remove(&trace.0).unwrap_or_default();
+            let mut first_ms = u64::MAX;
+            let mut last_ms = 0;
+            for event in &events {
+                first_ms = first_ms.min(event.at_ms);
+                last_ms = last_ms.max(event.at_ms);
+            }
+            for span in &spans {
+                first_ms = first_ms.min(span.start_ms);
+                last_ms = last_ms.max(span.end_ms.unwrap_or(span.start_ms));
+            }
+            if first_ms == u64::MAX {
+                first_ms = 0;
+            }
+            let legs = events.iter().filter(|e| e.name == names::PACKET_SEND).count() as u64;
+            let delivered = events.iter().any(|e| e.name == names::ROUTE_DELIVERED);
+            let refunded = events.iter().any(|e| e.name == names::ROUTE_REFUNDED);
+            routes.push(RouteTraceReport {
+                trace: trace.0,
+                label: label.clone(),
+                first_ms,
+                last_ms,
+                legs,
+                delivered,
+                refunded,
+                events,
+                spans,
+            });
+        }
+        routes.sort_by_key(|r| r.trace);
+
         RunReport {
             meta,
             metrics: inner.metrics.snapshot(),
             packets,
+            routes,
             violations: inner.violations.clone(),
             journal_len: inner.journal.len() as u64,
         }
@@ -499,6 +568,40 @@ mod tests {
         assert_eq!(histogram.nan_count, 1);
         assert_eq!(histogram.mean(), 2.0);
         assert!(histogram.sum.is_finite());
+    }
+
+    #[test]
+    fn route_traces_link_per_hop_packets() {
+        let telemetry = Telemetry::recording();
+        let route = telemetry.trace_for_route("route-0:a->c").unwrap();
+        assert_eq!(telemetry.trace_for_route("route-0:a->c"), Some(route));
+        assert_eq!(telemetry.lookup_route_trace("route-0:a->c"), Some(route));
+        assert_eq!(telemetry.lookup_route_trace("route-9:nope"), None);
+
+        // Two legs, each with its own packet trace; every lifecycle event
+        // is emitted against both the leg's and the route's trace.
+        let leg_a = telemetry.trace_for_packet("chain-a", "channel-0", 1).unwrap();
+        let leg_b = telemetry.trace_for_packet("chain-b", "channel-1", 1).unwrap();
+        telemetry.event(10, names::ROUTE_START, &[route], &[]);
+        telemetry.event(10, names::PACKET_SEND, &[leg_a, route], &[]);
+        telemetry.event(20, names::PACKET_RECV, &[leg_a, route], &[]);
+        telemetry.event(20, names::PACKET_FORWARD, &[leg_a, route], &[]);
+        telemetry.event(21, names::PACKET_SEND, &[leg_b, route], &[]);
+        telemetry.event(35, names::PACKET_RECV, &[leg_b, route], &[]);
+        telemetry.event(35, names::ROUTE_DELIVERED, &[route], &[]);
+
+        let report = telemetry.run_report("t", 0, 100);
+        assert_eq!(report.packets.len(), 2);
+        let route = report.route("route-0:a->c").expect("route reported");
+        assert_eq!(route.legs, 2, "one packet.send per leg");
+        assert!(route.delivered);
+        assert!(!route.refunded);
+        assert_eq!((route.first_ms, route.last_ms), (10, 35));
+        assert_eq!(report.slowest_route().unwrap().label, "route-0:a->c");
+        // The rendering interleaves both legs on one timeline.
+        let rendered = render_route_trace(route);
+        assert!(rendered.contains("2 legs"));
+        assert!(rendered.contains(names::PACKET_FORWARD));
     }
 
     #[test]

@@ -74,6 +74,40 @@ pub struct PacketTraceReport {
     pub spans: Vec<SpanReport>,
 }
 
+/// The end-to-end lifecycle of one multi-hop route: a single trace
+/// linking every per-hop packet trace of an `A→B→…→Z` transfer (and of
+/// its backward refund legs, when the route failed).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RouteTraceReport {
+    /// Trace id.
+    pub trace: u64,
+    /// Stable route label assigned by the harness.
+    pub label: String,
+    /// First journal activity, simulated ms.
+    pub first_ms: u64,
+    /// Last journal activity, simulated ms.
+    pub last_ms: u64,
+    /// Number of packet legs committed for this route (forward and
+    /// refund legs alike).
+    pub legs: u64,
+    /// Whether the funds reached the final receiver.
+    pub delivered: bool,
+    /// Whether the route failed and the refund reached the origin sender.
+    pub refunded: bool,
+    /// Point events, in journal order — the union of every linked leg's
+    /// lifecycle plus the route-level milestones.
+    pub events: Vec<TraceEvent>,
+    /// Linked spans, in start order.
+    pub spans: Vec<SpanReport>,
+}
+
+impl RouteTraceReport {
+    /// End-to-end latency in milliseconds.
+    pub fn latency_ms(&self) -> u64 {
+        self.last_ms.saturating_sub(self.first_ms)
+    }
+}
+
 /// One invariant violation with its forensic context.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ViolationReport {
@@ -99,6 +133,10 @@ pub struct RunReport {
     pub metrics: MetricsSnapshot,
     /// Per-packet lifecycle traces, by trace id.
     pub packets: Vec<PacketTraceReport>,
+    /// End-to-end multi-hop route traces, by trace id (empty for
+    /// single-link runs; `default` keeps older artifacts readable).
+    #[serde(default)]
+    pub routes: Vec<RouteTraceReport>,
     /// Invariant violations with linked traces.
     pub violations: Vec<ViolationReport>,
     /// Total journal records emitted.
@@ -123,6 +161,16 @@ impl RunReport {
             .find(|p| p.origin == origin && p.channel == channel && p.sequence == sequence)
     }
 
+    /// Looks up a route trace by its label.
+    pub fn route(&self, label: &str) -> Option<&RouteTraceReport> {
+        self.routes.iter().find(|r| r.label == label)
+    }
+
+    /// The route trace with the longest end-to-end latency, if any.
+    pub fn slowest_route(&self) -> Option<&RouteTraceReport> {
+        self.routes.iter().max_by_key(|r| (r.latency_ms(), r.trace))
+    }
+
     /// Renders the human-readable summary (the text twin of
     /// [`RunReport::to_json`]).
     pub fn render_text(&self) -> String {
@@ -141,6 +189,14 @@ impl RunReport {
             self.packets.iter().filter(|p| p.completed).count(),
             self.violations.len(),
         ));
+        if !self.routes.is_empty() {
+            out.push_str(&format!(
+                "  routes: {} ({} delivered, {} refunded)\n",
+                self.routes.len(),
+                self.routes.iter().filter(|r| r.delivered).count(),
+                self.routes.iter().filter(|r| r.refunded).count(),
+            ));
+        }
         if !self.metrics.counters.is_empty() {
             out.push_str("  counters:\n");
             for (name, value) in &self.metrics.counters {
@@ -227,6 +283,53 @@ pub fn render_packet_trace(packet: &PacketTraceReport) -> String {
         rows.push((event.at_ms, format!("event {}{}", event.name, fields)));
     }
     for span in &packet.spans {
+        let duration = match span.duration_ms() {
+            Some(ms) => format!("{:.1} s", ms as f64 / 1_000.0),
+            None => "open at run end".to_string(),
+        };
+        rows.push((span.start_ms, format!("span  {} ({duration})", span.name)));
+    }
+    rows.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    for (at_ms, line) in rows {
+        out.push_str(&format!(
+            "  +{:>9.1} s  {line}\n",
+            at_ms.saturating_sub(base) as f64 / 1_000.0
+        ));
+    }
+    out
+}
+
+/// Pretty-prints one multi-hop route's end-to-end lifecycle: every leg's
+/// packet events interleaved on one timeline (used by `trace_explorer`).
+pub fn render_route_trace(route: &RouteTraceReport) -> String {
+    let mut out = String::new();
+    let outcome = if route.delivered {
+        "delivered"
+    } else if route.refunded {
+        "refunded"
+    } else {
+        "in flight"
+    };
+    out.push_str(&format!(
+        "route {} (trace {}) — {} legs, {:.1} s end-to-end ({outcome})\n",
+        route.label,
+        route.trace,
+        route.legs,
+        route.latency_ms() as f64 / 1_000.0,
+    ));
+    let base = route.first_ms;
+    let mut rows: Vec<(u64, String)> = Vec::new();
+    for event in &route.events {
+        let fields = if event.fields.is_empty() {
+            String::new()
+        } else {
+            let rendered: Vec<String> =
+                event.fields.0.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("  [{}]", rendered.join(" "))
+        };
+        rows.push((event.at_ms, format!("event {}{}", event.name, fields)));
+    }
+    for span in &route.spans {
         let duration = match span.duration_ms() {
             Some(ms) => format!("{:.1} s", ms as f64 / 1_000.0),
             None => "open at run end".to_string(),

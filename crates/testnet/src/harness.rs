@@ -17,7 +17,7 @@ use guest_chain::{
 use host_sim::{rent, FeePolicy, HostChain, Instruction, Pubkey, Transaction};
 use ibc_core::channel::Timeout;
 use ibc_core::ics20::TransferModule;
-use relayer::{connect_chains, Endpoints, Relayer};
+use relayer::{connect_chains, Endpoints, Relayer, RelayerFleet};
 use sim_crypto::rng::SplitMix64;
 use sim_crypto::schnorr::Keypair;
 use telemetry::{RunReport, Telemetry};
@@ -60,6 +60,10 @@ pub struct Testnet {
     pub contract: Rc<RefCell<GuestContract>>,
     /// The relayer.
     pub relayer: Relayer,
+    /// Extra relayers added with [`Testnet::add_relayer`], ticked right
+    /// after the primary inside [`Testnet::step`]. Empty by default, so a
+    /// single-relayer run is bit-identical to the seed harness.
+    pub extra_relayers: RelayerFleet,
     /// End-to-end send measurements (Fig. 2 / Fig. 3).
     pub send_records: Vec<SendRecord>,
     /// Validator signature measurements (Table I).
@@ -200,6 +204,7 @@ impl Testnet {
             cp,
             contract,
             relayer,
+            extra_relayers: RelayerFleet::new(),
             send_records: Vec::new(),
             sign_records: Vec::new(),
             config,
@@ -245,6 +250,25 @@ impl Testnet {
     /// The established link's identifiers.
     pub fn endpoints(&self) -> &Endpoints {
         &self.endpoints
+    }
+
+    /// Adds an extra relayer to the deployment and returns its index in
+    /// [`Testnet::extra_relayers`].
+    ///
+    /// The relayer gets its own funded fee payer and the same
+    /// configuration, endpoints and telemetry sink as the primary; it is
+    /// ticked inside [`Testnet::step`] right after the primary (and obeys
+    /// the same chaos relayer-halt windows). Duplicate deliveries between
+    /// competing relayers are absorbed by the IBC handlers' replay
+    /// protection, exactly as on a real link.
+    pub fn add_relayer(&mut self) -> usize {
+        let index = self.extra_relayers.len();
+        let payer = Pubkey::from_label(&format!("extra-relayer-payer-{index}"));
+        self.host.bank_mut().airdrop(payer, 500 * host_sim::LAMPORTS_PER_SOL);
+        let mut relayer =
+            Relayer::new(self.config.relayer, payer, self.program_id, self.endpoints.clone());
+        relayer.set_telemetry(self.telemetry.clone());
+        self.extra_relayers.add(relayer)
     }
 
     /// Runs the simulation for `duration_ms` of simulated time.
@@ -407,6 +431,7 @@ impl Testnet {
         }
         if !self.chaos.relayer_halted(now) {
             self.relayer.tick(&mut self.host, &mut self.cp, &self.contract);
+            self.extra_relayers.tick(&mut self.host, &mut self.cp, &self.contract);
         }
 
         // 9. Audit the safety invariants at every finalised guest block,

@@ -2,21 +2,47 @@
 //! pretty-print one packet's complete lifecycle as telemetry saw it —
 //! `send_packet`, the chunked light-client update spans that carried its
 //! finality proof, delivery on the counterparty, and the acknowledgement.
+//! Then boot a three-chain mesh and render a multi-hop route the same way:
+//! one linked lifecycle spanning every leg.
 //!
 //! ```text
-//! cargo run --release --example trace_explorer
+//! cargo run --release --example trace_explorer -- [--seed N] [--days N]
 //! ```
 
-use be_my_guest::telemetry::render_packet_trace;
+use be_my_guest::mesh::{Mesh, MeshConfig, PathPolicy};
+use be_my_guest::telemetry::{render_packet_trace, render_route_trace};
 use be_my_guest::testnet::{Testnet, TestnetConfig};
 
+const DAY_MS: u64 = 24 * 60 * 60 * 1_000;
+
 fn main() {
+    let mut seed = 2026u64;
+    let mut days = 1u64;
+    let args: Vec<String> = std::env::args().collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => {
+                if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                    seed = v;
+                }
+            }
+            "--days" => {
+                if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                    days = v;
+                }
+            }
+            _ => {}
+        }
+    }
+    let days = days.clamp(1, 30);
+
     // Light traffic so individual packets are easy to follow.
-    let mut config = TestnetConfig::small(2026);
+    let mut config = TestnetConfig::small(seed);
     config.workload.outbound_mean_gap_ms = 3 * 60 * 1_000;
     config.workload.inbound_mean_gap_ms = 5 * 60 * 1_000;
     let mut net = Testnet::build(config);
-    net.run_for(30 * 60 * 1_000); // half a simulated hour
+    net.run_for(days * DAY_MS);
 
     let report = net.run_report("trace-explorer");
     println!("{}", report.render_text());
@@ -40,4 +66,29 @@ fn main() {
         "(looked up again as {}/{}#{} → trace {})",
         by_key.origin, by_key.channel, by_key.sequence, by_key.trace
     );
+
+    // Now the multi-hop view: a chain-a → chain-b → chain-c transfer over
+    // a 3-chain line mesh. The route trace links every leg's packet trace,
+    // so the rendering shows one timeline across all three chains.
+    let mut mesh = Mesh::build(MeshConfig::line(3, seed)).expect("3-chain line builds");
+    mesh.mint("chain-a", "alice", "tok-a", 1_000).expect("chain-a exists");
+    let route = mesh
+        .send_along_route(
+            "chain-a",
+            "chain-c",
+            "alice",
+            "carol",
+            "tok-a",
+            250,
+            &PathPolicy::FewestHops,
+        )
+        .expect("the 2-hop route resolves");
+    mesh.run_until_settled(route, 60 * 60 * 1_000);
+    mesh.run_for(10 * 60 * 1_000); // drain the ack tail
+
+    let mesh_report = mesh.run_report("trace-explorer-mesh");
+    let label = &mesh.routes()[route].label;
+    let summary = mesh_report.routes.iter().find(|r| &r.label == label).expect("route trace");
+    println!("\nmulti-hop route, end to end:");
+    println!("{}", render_route_trace(summary));
 }

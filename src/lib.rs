@@ -12,6 +12,7 @@
 //! * [`chaos`] — deterministic fault injection and invariant checking,
 //! * [`telemetry`] — deterministic tracing, metrics and run reports,
 //! * [`testnet`] — the discrete-event simulation harness,
+//! * [`mesh`] — multi-chain topologies and multi-hop packet routing,
 //! * [`sim_crypto`] — hashing and signatures.
 //!
 //! Runnable walk-throughs live in `examples/`; start with
@@ -22,6 +23,7 @@ pub use counterparty_sim;
 pub use guest_chain;
 pub use host_sim;
 pub use ibc_core;
+pub use mesh;
 pub use relayer;
 pub use sealable_trie;
 pub use sim_crypto;

@@ -1,11 +1,12 @@
 //! §III-C: "Relayers … are permissionless and can be run by anyone." Two
 //! independent relayers serve the same link; safety must hold — every
 //! packet delivered exactly once, no corrupted staging, the loser of each
-//! race fails gracefully.
+//! race fails gracefully. The second relayer is first-class harness
+//! support: `Testnet::add_relayer` gives it a funded payer and ticks it
+//! inside `net.step()`.
 
-use be_my_guest::host_sim::Pubkey;
 use be_my_guest::ibc_core::ics20::TransferModule;
-use be_my_guest::relayer::{JobKind, Relayer, RelayerConfig};
+use be_my_guest::relayer::JobKind;
 use be_my_guest::testnet::{Testnet, TestnetConfig, CP_DENOM, GUEST_USER};
 
 #[test]
@@ -15,26 +16,19 @@ fn two_relayers_race_without_violating_safety() {
     config.workload.outbound_mean_gap_ms = 80_000;
     let mut net = Testnet::build(config);
 
-    // A second, independent relayer with its own fee payer. It sees the
-    // same host blocks (and therefore the same guest events); counterparty
-    // events are drained by whichever relayer polls first.
-    let second_payer = Pubkey::from_label("second-relayer");
-    net.host.bank_mut().airdrop(second_payer, 500_000_000_000);
-    let mut second = Relayer::new(
-        RelayerConfig::default(),
-        second_payer,
-        Pubkey::from_label("guest-program"),
-        net.endpoints().clone(),
-    );
+    // A second, independent relayer with its own fee payer, ticked by the
+    // harness right after the primary. It sees the same host blocks (and
+    // therefore the same guest events); counterparty events are drained by
+    // whichever relayer polls first.
+    let second = net.add_relayer();
+    assert_eq!(second, 0, "first extra relayer");
+    assert_eq!(net.extra_relayers.len(), 1);
 
-    for _ in 0..(20 * 60 * 1000 / 400) {
-        net.step();
-        second.tick(&mut net.host, &mut net.cp, &net.contract);
-    }
+    net.run_for(20 * 60 * 1000);
 
     // Work happened, split across both relayers.
     let first_jobs = net.relayer.records().len();
-    let second_jobs = second.records().len();
+    let second_jobs = net.extra_relayers.relayers()[second].records().len();
     assert!(first_jobs + second_jobs > 0, "the link is being served");
 
     // Deliveries happened exactly once each: the guest's voucher balance
@@ -70,7 +64,7 @@ fn two_relayers_race_without_violating_safety() {
     // Both relayers made at least some client updates (both watch the
     // host event stream), and any lost races are visible as failed jobs —
     // never as corrupted state.
-    let updates: usize = [net.relayer.records(), second.records()]
+    let updates: usize = [net.relayer.records(), net.extra_relayers.relayers()[second].records()]
         .iter()
         .map(|r| r.iter().filter(|j| j.kind == JobKind::ClientUpdate).count())
         .sum();
