@@ -80,4 +80,42 @@ print(f"mesh run report OK: {len(routes)} route traces, "
       f"{len(multi_hop)} multi-hop, all invariants hold")
 PY
 
+echo "==> monitor eval (chaos-scored detection quality, paper outage MTTD)"
+cargo run --release --offline -p bench --bin monitor_eval -- \
+    --quiet --json BENCH_monitor_eval.json
+cargo run --release --offline -p bench --bin monitor_eval -- \
+    --quiet --json BENCH_monitor_eval.rerun.json
+cmp BENCH_monitor_eval.json BENCH_monitor_eval.rerun.json \
+    || { echo "monitor_eval: same-seed reruns differ — eval is not deterministic"; exit 1; }
+rm BENCH_monitor_eval.rerun.json
+python3 - <<'PY'
+import json, sys
+
+with open("BENCH_monitor_eval.json") as f:
+    bench = json.load(f)
+values = {k: v for s in bench["sections"] for k, v in s["values"].items()}
+
+if values.get("kinds_detected") != values.get("kinds_total"):
+    sys.exit(f"monitor_eval: only {values.get('kinds_detected')} of "
+             f"{values.get('kinds_total')} fault kinds detected")
+if values.get("paper_outage_detected", 0) < 1:
+    sys.exit("monitor_eval: client-staleness never fired during the "
+             "paper day-11 outage")
+mttd = values.get("paper_outage_mttd_ms")
+budget = values.get("paper_mttd_budget_ms")
+outage = values.get("paper_outage_duration_ms")
+if mttd is None or mttd > budget:
+    sys.exit(f"monitor_eval: paper outage MTTD {mttd} ms exceeds the "
+             f"worst-case budget {budget} ms")
+if mttd * 2 > outage:
+    sys.exit(f"monitor_eval: MTTD {mttd} ms is not well below the "
+             f"{outage} ms outage — detection would not beat the fault")
+if values.get("paper_precision") != 1.0:
+    sys.exit(f"monitor_eval: paper-run staleness precision "
+             f"{values.get('paper_precision')} != 1.0 (false alarms)")
+print(f"monitor eval OK: {values['kinds_detected']}/{values['kinds_total']} "
+      f"fault kinds detected; paper outage MTTD {mttd/60000:.1f} min "
+      f"(budget {budget/60000:.1f} min, outage {outage/60000:.1f} min)")
+PY
+
 echo "CI green."

@@ -183,10 +183,12 @@ impl HostChain {
     /// never touches the RNG streams, so a recording run stays
     /// byte-identical to a disabled one.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
-        telemetry.register_histogram(
-            "host.slot.load",
-            &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98],
-        );
+        telemetry
+            .register_histogram(
+                "host.slot.load",
+                &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98],
+            )
+            .expect("slot-load bounds are strictly ascending");
         self.telemetry = telemetry;
     }
 

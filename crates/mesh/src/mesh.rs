@@ -32,6 +32,10 @@ use ibc_core::handler::ProofData;
 use ibc_core::ics20::{self, TransferModule};
 use ibc_core::types::{IbcError, PortId};
 use ibc_core::{path, IbcEvent, Module};
+use monitor::{
+    AlertRecord, Monitor, MonitorConfig, StalenessDetector, StuckPacketDetector,
+    SupplyDriftDetector,
+};
 use telemetry::{names, RunReport, Telemetry, TraceId};
 
 use crate::link::{open_link, prove, Link};
@@ -224,6 +228,8 @@ pub struct Mesh {
     now_ms: u64,
     stuck_refunds: u64,
     relay_errors: u64,
+    /// Online health monitor (installed by [`Mesh::enable_monitor`]).
+    monitor: Option<Monitor>,
 }
 
 impl Mesh {
@@ -320,7 +326,38 @@ impl Mesh {
             now_ms,
             stuck_refunds: 0,
             relay_errors: 0,
+            monitor: None,
         })
+    }
+
+    /// Installs an online health monitor over the mesh: a per-chain head
+    /// staleness watchdog (`chain.staleness` over `mesh.{name}.head`
+    /// gauges), the stuck-packet detector over per-leg lifecycle traces,
+    /// and the voucher supply-drift check (`mesh.supply.drift`). Idempotent
+    /// in effect — installing again replaces the battery and its state.
+    pub fn enable_monitor(&mut self, config: MonitorConfig) {
+        let targets = self
+            .nodes
+            .iter()
+            .map(|node| (format!("mesh.{}.head", node.name), config.head_staleness_slo_ms))
+            .collect();
+        let mut monitor = Monitor::new(config.clone());
+        monitor
+            .push(StalenessDetector::named("chain.staleness", targets))
+            .push(StuckPacketDetector::new(config.stuck_packet_slo_ms))
+            .push(SupplyDriftDetector::new(vec!["mesh.supply.drift".into()]));
+        self.monitor = Some(monitor);
+    }
+
+    /// The health monitor, when enabled.
+    pub fn monitor(&self) -> Option<&Monitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Every alert the monitor fired so far (empty when monitoring is
+    /// disabled).
+    pub fn alert_records(&self) -> &[AlertRecord] {
+        self.monitor.as_ref().map(|m| m.alert_records()).unwrap_or(&[])
     }
 
     // ------------------------------------------------------------------
@@ -556,6 +593,62 @@ impl Mesh {
         self.produce_blocks(now);
         self.expire_pending(now);
         self.relay_links(now);
+        if self.monitor.is_some() {
+            self.publish_health_gauges(now);
+            // Split borrow: the monitor only reads the shared telemetry.
+            let telemetry = self.telemetry.clone();
+            if let Some(monitor) = self.monitor.as_mut() {
+                monitor.tick(now, &telemetry);
+            }
+        }
+    }
+
+    /// Publishes the gauges the mesh detector battery watches: per-chain
+    /// head heights and the pairwise voucher supply drift.
+    fn publish_health_gauges(&self, now: u64) {
+        if !self.telemetry.is_recording() {
+            return;
+        }
+        for node in &self.nodes {
+            self.telemetry.gauge_set_at(
+                now,
+                &format!("mesh.{}.head", node.name),
+                node.chain.height() as f64,
+            );
+        }
+        self.telemetry.gauge_set_at(now, "mesh.supply.drift", self.supply_drift() as f64);
+    }
+
+    /// Voucher units in circulation beyond their escrow backing, summed
+    /// over every link and direction. Each voucher denomination on a
+    /// receiving chain is matched segment-wise against the link's local
+    /// channel and its one-hop-back backing (`escrow:{channel}` of the
+    /// inner denomination on the sending chain) — stacked multi-hop
+    /// prefixes unwind one layer per link, so a clean mesh always nets to
+    /// zero and only an unbacked mint (or a conservation bug) shows up.
+    pub fn supply_drift(&self) -> u128 {
+        let mut drift = 0u128;
+        for link in &self.links {
+            let pairs = [
+                (link.a, &link.a_channel, link.b, &link.b_channel),
+                (link.b, &link.b_channel, link.a, &link.a_channel),
+            ];
+            for (sender, sender_channel, receiver, receiver_channel) in pairs {
+                let receiver_bank = self.nodes[receiver].transfers();
+                let sender_bank = self.nodes[sender].transfers();
+                let escrow = ics20::escrow_account(sender_channel);
+                for denom in receiver_bank.denoms() {
+                    let Some(rest) = ics20::split_voucher(&denom, &self.port, receiver_channel)
+                    else {
+                        continue;
+                    };
+                    let minted = receiver_bank.total_supply(&denom);
+                    let backing = sender_bank.balance(&escrow, rest);
+                    drift += minted.saturating_sub(backing);
+                }
+            }
+        }
+        drift
     }
 
     /// Runs for `duration_ms` of simulated time.

@@ -203,21 +203,23 @@ impl Relayer {
     /// links *every* queued intent's packet — which is what makes a relay
     /// stall visible as a long light-client-update span on those traces).
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
-        telemetry.register_histogram(
-            "relayer.job.latency_ms",
-            &[
-                1_000.0,
-                5_000.0,
-                10_000.0,
-                20_000.0,
-                30_000.0,
-                60_000.0,
-                120_000.0,
-                300_000.0,
-                900_000.0,
-                3_600_000.0,
-            ],
-        );
+        telemetry
+            .register_histogram(
+                "relayer.job.latency_ms",
+                &[
+                    1_000.0,
+                    5_000.0,
+                    10_000.0,
+                    20_000.0,
+                    30_000.0,
+                    60_000.0,
+                    120_000.0,
+                    300_000.0,
+                    900_000.0,
+                    3_600_000.0,
+                ],
+            )
+            .expect("job-latency bounds are strictly ascending");
         self.telemetry = telemetry;
     }
 
@@ -260,6 +262,11 @@ impl Relayer {
     /// Packets sent by the guest still awaiting relay to the counterparty.
     pub fn backlog(&self) -> usize {
         self.pending_guest_packets.len() + self.intents.len()
+    }
+
+    /// The host account this relayer pays fees from.
+    pub fn payer(&self) -> Pubkey {
+        self.payer
     }
 
     /// The endpoints this relayer serves.

@@ -57,10 +57,14 @@ mod report;
 pub use artifact::{Artifact, OutputOptions, Section};
 pub use ids::{SpanId, TraceId};
 pub use journal::{FieldValue, Fields, JournalRecord, RecordKind};
-pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, DEFAULT_BUCKETS};
+pub use metrics::{
+    validate_bounds, GaugeSeries, Histogram, HistogramBoundsError, MetricsRegistry,
+    MetricsSnapshot, DEFAULT_BUCKETS, GAUGE_SERIES_CAP,
+};
 pub use report::{
-    render_packet_trace, render_route_trace, PacketTraceReport, RouteTraceReport, RunMeta,
-    RunReport, SpanReport, TraceEvent, ViolationReport,
+    render_packet_trace, render_packet_trace_with_alerts, render_route_trace,
+    render_route_trace_with_alerts, AlertTransitionReport, HealthRow, PacketTraceReport,
+    RouteTraceReport, RunMeta, RunReport, SpanReport, TraceEvent, ViolationReport,
 };
 
 /// Canonical event and span names, shared by every instrumented crate so
@@ -101,6 +105,12 @@ pub mod names {
     pub const ROUTE_DELIVERED: &str = "route.delivered";
     /// A multi-hop route failed and its refund reached the origin sender.
     pub const ROUTE_REFUNDED: &str = "route.refunded";
+    /// A monitor alert entered its debounce window (first unhealthy tick).
+    pub const ALERT_PENDING: &str = "alert.pending";
+    /// A monitor alert fired (unhealthy past the debounce window).
+    pub const ALERT_FIRING: &str = "alert.firing";
+    /// A firing monitor alert resolved (healthy past the hold-down).
+    pub const ALERT_RESOLVED: &str = "alert.resolved";
 }
 
 #[derive(Clone, Debug)]
@@ -109,6 +119,16 @@ struct SpanData {
     traces: Vec<u64>,
     start_ms: u64,
     end_ms: Option<u64>,
+}
+
+/// Incrementally-maintained lifecycle state of one trace: when journal
+/// activity first touched it and whether a terminal event closed it.
+/// Kept up to date inside [`Telemetry::event`] so the stuck-packet query
+/// never has to replay the journal.
+#[derive(Clone, Copy, Debug)]
+struct TraceStatus {
+    first_ms: u64,
+    completed: bool,
 }
 
 #[derive(Debug, Default)]
@@ -121,6 +141,24 @@ struct Inner {
     journal: Vec<JournalRecord>,
     metrics: MetricsRegistry,
     violations: Vec<ViolationReport>,
+    trace_status: BTreeMap<u64, TraceStatus>,
+    alerts: Vec<AlertTransitionReport>,
+}
+
+/// One still-open packet lifecycle, as returned by
+/// [`Telemetry::open_packet_traces`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpenPacket {
+    /// Chain the packet originated on.
+    pub origin: String,
+    /// Source channel as named on the origin chain.
+    pub channel: String,
+    /// ICS-04 sequence number.
+    pub sequence: u64,
+    /// The packet's trace id.
+    pub trace: TraceId,
+    /// First journal activity on the trace, simulated ms.
+    pub first_ms: u64,
 }
 
 /// Handle to the run's telemetry sink.
@@ -208,6 +246,21 @@ impl Telemetry {
     pub fn event(&self, at_ms: u64, name: &str, traces: &[TraceId], fields: &[(&str, FieldValue)]) {
         let Some(inner) = self.inner.as_ref() else { return };
         let mut inner = inner.borrow_mut();
+        let terminal = matches!(
+            name,
+            names::PACKET_ACK
+                | names::PACKET_TIMEOUT
+                | names::ROUTE_DELIVERED
+                | names::ROUTE_REFUNDED
+        );
+        for trace in traces {
+            let status = inner
+                .trace_status
+                .entry(trace.0)
+                .or_insert(TraceStatus { first_ms: at_ms, completed: false });
+            status.first_ms = status.first_ms.min(at_ms);
+            status.completed |= terminal;
+        }
         let seq = inner.journal.len() as u64;
         inner.journal.push(JournalRecord {
             seq,
@@ -218,6 +271,31 @@ impl Telemetry {
             span: None,
             fields: Fields::from(fields),
         });
+    }
+
+    /// Packet lifecycles that saw journal activity at least `min_age_ms`
+    /// ago and were never acknowledged or timed out — the stuck-packet
+    /// detector's input. Maintained incrementally, so the query is a walk
+    /// over the trace index, not a journal replay. Deterministic order
+    /// (by origin, channel, sequence).
+    pub fn open_packet_traces(&self, now_ms: u64, min_age_ms: u64) -> Vec<OpenPacket> {
+        let Some(inner) = self.inner.as_ref() else { return Vec::new() };
+        let inner = inner.borrow();
+        let mut open = Vec::new();
+        for ((origin, channel, sequence), trace) in &inner.packet_traces {
+            let Some(status) = inner.trace_status.get(&trace.0) else { continue };
+            if status.completed || now_ms.saturating_sub(status.first_ms) < min_age_ms {
+                continue;
+            }
+            open.push(OpenPacket {
+                origin: origin.clone(),
+                channel: channel.clone(),
+                sequence: *sequence,
+                trace: *trace,
+                first_ms: status.first_ms,
+            });
+        }
+        open
     }
 
     /// Opens a span linked to `traces` and returns its id.
@@ -292,10 +370,69 @@ impl Telemetry {
         inner.borrow_mut().metrics.gauge_set(name, value);
     }
 
-    /// Registers a histogram with explicit bucket bounds.
-    pub fn register_histogram(&self, name: &str, bounds: &[f64]) {
+    /// Sets a named gauge and records the write in its bounded
+    /// timestamped series (see [`GaugeSeries`]); windowed detectors query
+    /// the series through [`Telemetry::gauge_last_change`] and
+    /// [`Telemetry::gauge_value_at`].
+    pub fn gauge_set_at(&self, at_ms: u64, name: &str, value: f64) {
         let Some(inner) = self.inner.as_ref() else { return };
-        inner.borrow_mut().metrics.register_histogram(name, bounds);
+        inner.borrow_mut().metrics.gauge_set_at(at_ms, name, value);
+    }
+
+    /// Reads a gauge's latest value (`None` when absent or disabled).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner.as_ref().and_then(|inner| inner.borrow().metrics.gauge(name))
+    }
+
+    /// When the gauge last took a *new* value, and that value. `None`
+    /// when the gauge was never written through
+    /// [`Telemetry::gauge_set_at`].
+    pub fn gauge_last_change(&self, name: &str) -> Option<(u64, f64)> {
+        let inner = self.inner.as_ref()?;
+        let inner = inner.borrow();
+        inner.metrics.gauge_series(name)?.last_change()
+    }
+
+    /// The first retained change point of the gauge's series (after any
+    /// compaction) — detectors use it to suppress warm-up false alarms.
+    pub fn gauge_first_change(&self, name: &str) -> Option<(u64, f64)> {
+        let inner = self.inner.as_ref()?;
+        let inner = inner.borrow();
+        inner.metrics.gauge_series(name)?.first()
+    }
+
+    /// The gauge's value at instant `t_ms` (step-function semantics).
+    pub fn gauge_value_at(&self, name: &str, t_ms: u64) -> Option<f64> {
+        let inner = self.inner.as_ref()?;
+        let inner = inner.borrow();
+        inner.metrics.gauge_series(name)?.value_at(t_ms)
+    }
+
+    /// Registers a histogram with explicit bucket bounds. Invalid layouts
+    /// (empty, non-finite, unsorted or duplicate bounds) are refused with
+    /// a deterministic error, tallied under the
+    /// `telemetry.errors.invalid_histogram_bounds` counter so a swallowed
+    /// `Err` still shows up in the run report.
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        bounds: &[f64],
+    ) -> Result<(), HistogramBoundsError> {
+        let Some(inner) = self.inner.as_ref() else { return Ok(()) };
+        let result = inner.borrow_mut().metrics.register_histogram(name, bounds);
+        if result.is_err() {
+            inner.borrow_mut().metrics.counter_add("telemetry.errors.invalid_histogram_bounds", 1);
+        }
+        result
+    }
+
+    /// A snapshot of one histogram (`None` when absent or disabled).
+    /// Detectors diff successive snapshots to recover windows
+    /// ([`Histogram::diff`]).
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        let inner = self.inner.as_ref()?;
+        let inner = inner.borrow();
+        inner.metrics.histogram(name).cloned()
     }
 
     /// Records a histogram observation (NaN is tallied, never folded in).
@@ -334,6 +471,53 @@ impl Telemetry {
         });
     }
 
+    /// Records one alert lifecycle transition: a journal event (named
+    /// [`names::ALERT_PENDING`] / [`names::ALERT_FIRING`] /
+    /// [`names::ALERT_RESOLVED`], linked to the packet traces the alert
+    /// implicates) plus an append-only [`AlertTransitionReport`] that
+    /// surfaces in the run report's health scorecard. The monitor crate's
+    /// state machine decides *when* to call this; telemetry only records.
+    pub fn alert(
+        &self,
+        at_ms: u64,
+        state: &str,
+        detector: &str,
+        target: &str,
+        details: &str,
+        traces: &[TraceId],
+    ) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        let name = match state {
+            "pending" => names::ALERT_PENDING,
+            "firing" => names::ALERT_FIRING,
+            "resolved" => names::ALERT_RESOLVED,
+            other => panic!("unknown alert state {other:?}"),
+        };
+        self.event(
+            at_ms,
+            name,
+            traces,
+            &[
+                ("detector", detector.into()),
+                ("target", target.into()),
+                ("details", details.into()),
+            ],
+        );
+        inner.borrow_mut().alerts.push(AlertTransitionReport {
+            at_ms,
+            detector: detector.to_string(),
+            target: target.to_string(),
+            state: state.to_string(),
+            details: details.to_string(),
+            linked_traces: traces.iter().map(|t| t.0).collect(),
+        });
+    }
+
+    /// Every alert transition recorded so far, in emission order.
+    pub fn alert_transitions(&self) -> Vec<AlertTransitionReport> {
+        self.inner.as_ref().map(|inner| inner.borrow().alerts.clone()).unwrap_or_default()
+    }
+
     /// Number of journal records so far.
     pub fn journal_len(&self) -> u64 {
         self.inner.as_ref().map(|inner| inner.borrow().journal.len() as u64).unwrap_or(0)
@@ -367,6 +551,7 @@ impl Telemetry {
                 packets: Vec::new(),
                 routes: Vec::new(),
                 violations: Vec::new(),
+                alerts: Vec::new(),
                 journal_len: 0,
             };
         };
@@ -474,6 +659,7 @@ impl Telemetry {
             packets,
             routes,
             violations: inner.violations.clone(),
+            alerts: inner.alerts.clone(),
             journal_len: inner.journal.len() as u64,
         }
     }
@@ -602,6 +788,80 @@ mod tests {
         let rendered = render_route_trace(route);
         assert!(rendered.contains("2 legs"));
         assert!(rendered.contains(names::PACKET_FORWARD));
+    }
+
+    #[test]
+    fn open_packet_traces_tracks_completion_incrementally() {
+        let telemetry = Telemetry::recording();
+        let a = telemetry.trace_for_packet("guest", "channel-0", 1).unwrap();
+        let b = telemetry.trace_for_packet("guest", "channel-0", 2).unwrap();
+        telemetry.event(100, names::PACKET_SEND, &[a], &[]);
+        telemetry.event(500, names::PACKET_SEND, &[b], &[]);
+        telemetry.event(900, names::PACKET_ACK, &[a], &[]);
+        // Only b is open; a completed, and a young packet is filtered by age.
+        let open = telemetry.open_packet_traces(1_000, 0);
+        assert_eq!(open.len(), 1);
+        assert_eq!((open[0].sequence, open[0].first_ms), (2, 500));
+        assert!(telemetry.open_packet_traces(1_000, 600).is_empty(), "b is only 500 ms old");
+        // A trace with no events yet is not "open" (no activity to age).
+        let _c = telemetry.trace_for_packet("guest", "channel-0", 3).unwrap();
+        assert_eq!(telemetry.open_packet_traces(10_000, 0).len(), 1);
+        // Disabled handles return nothing.
+        assert!(Telemetry::disabled().open_packet_traces(1_000, 0).is_empty());
+    }
+
+    #[test]
+    fn gauge_series_queries_answer_through_the_handle() {
+        let telemetry = Telemetry::recording();
+        assert_eq!(telemetry.gauge_last_change("g"), None);
+        telemetry.gauge_set_at(0, "g", 10.0);
+        telemetry.gauge_set_at(60_000, "g", 10.0);
+        telemetry.gauge_set_at(120_000, "g", 12.0);
+        assert_eq!(telemetry.gauge_last_change("g"), Some((120_000, 12.0)));
+        assert_eq!(telemetry.gauge_first_change("g"), Some((0, 10.0)));
+        assert_eq!(telemetry.gauge_value_at("g", 90_000), Some(10.0));
+        assert_eq!(telemetry.gauge("g"), Some(12.0));
+        // Plain gauge_set still records no series.
+        telemetry.gauge_set("plain", 1.0);
+        assert_eq!(telemetry.gauge_last_change("plain"), None);
+        let snapshot = telemetry.metrics_snapshot();
+        assert_eq!(snapshot.gauges["g"], 12.0);
+        assert_eq!(snapshot.gauges["plain"], 1.0);
+    }
+
+    #[test]
+    fn invalid_histogram_bounds_err_and_count() {
+        let telemetry = Telemetry::recording();
+        let err = telemetry.register_histogram("bad", &[5.0, 1.0]).unwrap_err();
+        assert_eq!(err, HistogramBoundsError::NotAscending { index: 1 });
+        assert_eq!(telemetry.counter("telemetry.errors.invalid_histogram_bounds"), 1);
+        assert!(telemetry.histogram("bad").is_none());
+        assert!(telemetry.register_histogram("good", &[1.0, 5.0]).is_ok());
+        assert!(Telemetry::disabled().register_histogram("x", &[9.0, 2.0]).is_ok(), "no-op sink");
+    }
+
+    #[test]
+    fn alerts_journal_and_report() {
+        let telemetry = Telemetry::recording();
+        let trace = telemetry.trace_for_packet("guest", "channel-0", 1).unwrap();
+        telemetry.alert(10, "pending", "client.staleness", "guest.head", "no head change", &[]);
+        telemetry.alert(70, "firing", "client.staleness", "guest.head", "stale 60 s", &[trace]);
+        telemetry.alert(200, "resolved", "client.staleness", "guest.head", "recovered", &[]);
+        let report = telemetry.run_report("t", 0, 300);
+        assert_eq!(report.alerts.len(), 3);
+        assert_eq!(report.alerts[1].linked_traces, vec![trace.0]);
+        let scorecard = report.health_scorecard();
+        assert_eq!(scorecard.len(), 1);
+        assert_eq!((scorecard[0].fired, scorecard[0].resolved, scorecard[0].active), (1, 1, false));
+        // The firing transition is an event on the linked packet trace.
+        assert!(report.packets[0].events.iter().any(|e| e.name == names::ALERT_FIRING));
+        let text = report.render_text();
+        assert!(text.contains("health scorecard"));
+        assert!(text.contains("client.staleness[guest.head]"));
+        // JSON round-trips with the new field, and old JSON (without it)
+        // still deserializes.
+        let back: RunReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(back.alerts.len(), 3);
     }
 
     #[test]

@@ -4,6 +4,14 @@
 //! tallies; the registry snapshot becomes the `metrics` section of a
 //! [`RunReport`](crate::RunReport). All state lives in `BTreeMap`s so
 //! snapshots serialize in a deterministic order.
+//!
+//! Beyond the last-write-wins gauges, the registry keeps a bounded
+//! *timestamped series* per gauge written through
+//! [`MetricsRegistry::gauge_set_at`]: the change points of the gauge as a
+//! step function of simulated time. Online detectors evaluate windows
+//! against these series ("has `guest.head` moved in the last 30 min?",
+//! "what was the payer balance 24 h ago?") without the registry having to
+//! retain every write of a multi-week run.
 
 use std::collections::BTreeMap;
 
@@ -76,6 +84,178 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// A conservative estimate of the `q`-quantile (0 when empty): the
+    /// upper bound of the bucket holding the rank-`⌈q·n⌉` observation, or
+    /// the running maximum for the overflow bucket. Deterministic and
+    /// monotone in `q`, which is all a regression detector needs.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return if index < self.bounds.len() { self.bounds[index] } else { self.max };
+            }
+        }
+        self.max
+    }
+
+    /// The observations recorded in `self` but not in `earlier` — the
+    /// window between two snapshots of the same histogram. `None` when the
+    /// bucket layouts differ or `earlier` is not a prefix of `self`.
+    ///
+    /// Bucket counts, totals and sums subtract exactly; the extrema of the
+    /// window are unknowable from two snapshots, so `min`/`max` are set to
+    /// the window's bucket-derived quantile hull (0 and the highest
+    /// non-empty bucket bound — good enough for [`Histogram::quantile`],
+    /// which only consults the buckets and `max`).
+    pub fn diff(&self, earlier: &Histogram) -> Option<Histogram> {
+        if self.bounds != earlier.bounds || self.counts.len() != earlier.counts.len() {
+            return None;
+        }
+        let mut counts = Vec::with_capacity(self.counts.len());
+        for (now, then) in self.counts.iter().zip(&earlier.counts) {
+            counts.push(now.checked_sub(*then)?);
+        }
+        let count = self.count.checked_sub(earlier.count)?;
+        let max = counts
+            .iter()
+            .enumerate()
+            .rfind(|(_, c)| **c > 0)
+            .map(|(i, _)| if i < self.bounds.len() { self.bounds[i] } else { self.max })
+            .unwrap_or(0.0);
+        Some(Histogram {
+            bounds: self.bounds.clone(),
+            counts,
+            count,
+            sum: self.sum - earlier.sum,
+            min: 0.0,
+            max,
+            nan_count: self.nan_count.saturating_sub(earlier.nan_count),
+        })
+    }
+}
+
+/// Why a histogram registration was refused.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HistogramBoundsError {
+    /// The bounds list was empty.
+    Empty,
+    /// A bound was NaN or infinite.
+    NonFinite {
+        /// Index of the offending bound.
+        index: usize,
+    },
+    /// `bounds[index] ≤ bounds[index - 1]` (unsorted or duplicate).
+    NotAscending {
+        /// Index of the offending bound.
+        index: usize,
+    },
+}
+
+impl core::fmt::Display for HistogramBoundsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Empty => write!(f, "histogram bounds are empty"),
+            Self::NonFinite { index } => {
+                write!(f, "histogram bound #{index} is not finite")
+            }
+            Self::NotAscending { index } => {
+                write!(f, "histogram bound #{index} is not strictly ascending")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistogramBoundsError {}
+
+/// Validates that `bounds` form a non-empty, finite, strictly ascending
+/// bucket layout (the precondition [`Histogram::observe`]'s bucket search
+/// silently assumes).
+pub fn validate_bounds(bounds: &[f64]) -> Result<(), HistogramBoundsError> {
+    if bounds.is_empty() {
+        return Err(HistogramBoundsError::Empty);
+    }
+    for (index, bound) in bounds.iter().enumerate() {
+        if !bound.is_finite() {
+            return Err(HistogramBoundsError::NonFinite { index });
+        }
+        if index > 0 && *bound <= bounds[index - 1] {
+            return Err(HistogramBoundsError::NotAscending { index });
+        }
+    }
+    Ok(())
+}
+
+/// Retained change points per gauge series. Long runs write gauges every
+/// slot; the series keeps only value *changes* and compacts its oldest
+/// half when the cap is hit, so a 30-day run stays bounded while the
+/// recent window — what detectors actually query — stays exact.
+pub const GAUGE_SERIES_CAP: usize = 4_096;
+
+/// The timestamped change points of one gauge, as a right-continuous step
+/// function of simulated time.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct GaugeSeries {
+    points: Vec<(u64, f64)>,
+}
+
+impl GaugeSeries {
+    /// Records a write at `at_ms`. Only value changes append a point
+    /// (re-writing the same value is free); a second change at the same
+    /// instant overwrites in place (last write wins, like the gauge map).
+    pub fn record(&mut self, at_ms: u64, value: f64) {
+        match self.points.last_mut() {
+            Some((_, last)) if last.to_bits() == value.to_bits() => return,
+            Some((at, last)) if *at == at_ms => {
+                *last = value;
+                return;
+            }
+            _ => {}
+        }
+        self.points.push((at_ms, value));
+        if self.points.len() > GAUGE_SERIES_CAP {
+            self.points.drain(..GAUGE_SERIES_CAP / 2);
+        }
+    }
+
+    /// Number of retained change points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The retained change points, ascending in time.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// The most recent change point: when the gauge last took a *new*
+    /// value, and that value.
+    pub fn last_change(&self) -> Option<(u64, f64)> {
+        self.points.last().copied()
+    }
+
+    /// The first retained change point (the series start after any
+    /// compaction).
+    pub fn first(&self) -> Option<(u64, f64)> {
+        self.points.first().copied()
+    }
+
+    /// The gauge's value at instant `t_ms` — the last change at or before
+    /// `t_ms`. `None` before the first retained point.
+    pub fn value_at(&self, t_ms: u64) -> Option<f64> {
+        let idx = self.points.partition_point(|(at, _)| *at <= t_ms);
+        idx.checked_sub(1).map(|i| self.points[i].1)
+    }
 }
 
 /// The mutable registry held inside a recording `Telemetry` handle.
@@ -83,6 +263,7 @@ impl Histogram {
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
+    series: BTreeMap<String, GaugeSeries>,
     histograms: BTreeMap<String, Histogram>,
 }
 
@@ -110,15 +291,38 @@ impl MetricsRegistry {
         *self.counters.entry(name.to_string()).or_insert(0) += delta;
     }
 
-    /// Sets a named gauge to its latest value.
+    /// Sets a named gauge to its latest value (no series point).
     pub fn gauge_set(&mut self, name: &str, value: f64) {
         self.gauges.insert(name.to_string(), value);
     }
 
+    /// Sets a named gauge *and* records the write in its timestamped
+    /// series, so detectors can evaluate windows over it. The snapshot's
+    /// `gauges` map is updated exactly as by [`MetricsRegistry::gauge_set`]
+    /// — series live alongside the snapshot, not inside it.
+    pub fn gauge_set_at(&mut self, at_ms: u64, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+        self.series.entry(name.to_string()).or_default().record(at_ms, value);
+    }
+
+    /// The timestamped series of a gauge written through
+    /// [`MetricsRegistry::gauge_set_at`].
+    pub fn gauge_series(&self, name: &str) -> Option<&GaugeSeries> {
+        self.series.get(name)
+    }
+
     /// Registers a histogram with explicit bucket bounds, replacing the
-    /// default layout if the first observation arrived earlier.
-    pub fn register_histogram(&mut self, name: &str, bounds: &[f64]) {
+    /// default layout if the first observation arrived earlier. Refuses
+    /// empty, non-finite, unsorted or duplicate bounds — the bucket search
+    /// silently misfiles observations under such layouts.
+    pub fn register_histogram(
+        &mut self,
+        name: &str,
+        bounds: &[f64],
+    ) -> Result<(), HistogramBoundsError> {
+        validate_bounds(bounds)?;
         self.histograms.entry(name.to_string()).or_insert_with(|| Histogram::new(bounds));
+        Ok(())
     }
 
     /// Records an observation, creating the histogram with
@@ -156,7 +360,9 @@ impl MetricsRegistry {
 }
 
 /// Serializable copy of every metric at one point in time; the `metrics`
-/// section of a [`RunReport`](crate::RunReport).
+/// section of a [`RunReport`](crate::RunReport). Gauge series are working
+/// state for online detectors, not results, and are deliberately *not*
+/// part of the snapshot — its shape is unchanged from earlier artifacts.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Monotone counters.
@@ -165,4 +371,109 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Fixed-bucket histograms.
     pub histograms: BTreeMap<String, Histogram>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_keeps_only_change_points() {
+        let mut series = GaugeSeries::default();
+        series.record(0, 1.0);
+        series.record(10, 1.0);
+        series.record(20, 1.0);
+        series.record(30, 2.0);
+        assert_eq!(series.points(), &[(0, 1.0), (30, 2.0)]);
+        assert_eq!(series.last_change(), Some((30, 2.0)));
+        assert_eq!(series.value_at(29), Some(1.0));
+        assert_eq!(series.value_at(30), Some(2.0));
+        assert_eq!(GaugeSeries::default().value_at(0), None);
+    }
+
+    #[test]
+    fn series_same_instant_last_write_wins() {
+        let mut series = GaugeSeries::default();
+        series.record(5, 1.0);
+        series.record(5, 2.0);
+        assert_eq!(series.points(), &[(5, 2.0)]);
+    }
+
+    #[test]
+    fn series_compacts_at_cap() {
+        let mut series = GaugeSeries::default();
+        for i in 0..(GAUGE_SERIES_CAP as u64 + 1) {
+            series.record(i, i as f64);
+        }
+        assert_eq!(series.len(), GAUGE_SERIES_CAP / 2 + 1);
+        // The recent window survives compaction exactly.
+        assert_eq!(series.last_change(), Some((GAUGE_SERIES_CAP as u64, GAUGE_SERIES_CAP as f64)));
+        assert_eq!(series.first().unwrap().0, GAUGE_SERIES_CAP as u64 / 2);
+    }
+
+    #[test]
+    fn gauge_set_keeps_snapshot_backward_compatible() {
+        let mut registry = MetricsRegistry::default();
+        registry.gauge_set("plain", 1.0);
+        registry.gauge_set_at(100, "tracked", 2.0);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.gauges["plain"], 1.0);
+        assert_eq!(snapshot.gauges["tracked"], 2.0);
+        assert!(registry.gauge_series("plain").is_none(), "plain writes stay series-free");
+        assert_eq!(registry.gauge_series("tracked").unwrap().last_change(), Some((100, 2.0)));
+    }
+
+    #[test]
+    fn bad_histogram_bounds_are_refused() {
+        let mut registry = MetricsRegistry::default();
+        assert_eq!(registry.register_histogram("h", &[]), Err(HistogramBoundsError::Empty));
+        assert_eq!(
+            registry.register_histogram("h", &[1.0, 1.0]),
+            Err(HistogramBoundsError::NotAscending { index: 1 })
+        );
+        assert_eq!(
+            registry.register_histogram("h", &[2.0, 1.0]),
+            Err(HistogramBoundsError::NotAscending { index: 1 })
+        );
+        assert_eq!(
+            registry.register_histogram("h", &[1.0, f64::NAN]),
+            Err(HistogramBoundsError::NonFinite { index: 1 })
+        );
+        assert!(registry.histogram("h").is_none(), "refused layouts register nothing");
+        assert!(registry.register_histogram("h", &[1.0, 2.0]).is_ok());
+        assert_eq!(registry.histogram("h").unwrap().bounds, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn quantile_is_a_bucket_upper_bound() {
+        let mut histogram = Histogram::new(&[10.0, 100.0, 1_000.0]);
+        for _ in 0..90 {
+            histogram.observe(5.0);
+        }
+        for _ in 0..10 {
+            histogram.observe(500.0);
+        }
+        assert_eq!(histogram.quantile(0.5), 10.0);
+        assert_eq!(histogram.quantile(0.95), 1_000.0);
+        assert_eq!(Histogram::new(&[1.0]).quantile(0.5), 0.0);
+        // Overflow bucket reports the running max.
+        let mut small = Histogram::new(&[1.0]);
+        small.observe(7.5);
+        assert_eq!(small.quantile(0.99), 7.5);
+    }
+
+    #[test]
+    fn diff_recovers_the_window() {
+        let mut histogram = Histogram::new(&[10.0, 100.0]);
+        histogram.observe(5.0);
+        let earlier = histogram.clone();
+        histogram.observe(50.0);
+        histogram.observe(50.0);
+        let window = histogram.diff(&earlier).expect("same layout");
+        assert_eq!(window.count, 2);
+        assert_eq!(window.counts, vec![0, 2, 0]);
+        assert_eq!(window.quantile(0.5), 100.0);
+        assert!(histogram.diff(&Histogram::new(&[1.0])).is_none(), "layout mismatch");
+        assert!(earlier.diff(&histogram).is_none(), "reversed order underflows");
+    }
 }

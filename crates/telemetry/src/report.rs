@@ -123,8 +123,26 @@ pub struct ViolationReport {
     pub linked_traces: Vec<u64>,
 }
 
-/// The aggregated output of one run: metadata, metrics, packet traces
-/// and invariant violations.
+/// One monitor-alert lifecycle transition (pending → firing → resolved),
+/// recorded by [`crate::Telemetry::alert`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlertTransitionReport {
+    /// Simulated time of the transition.
+    pub at_ms: u64,
+    /// Detector that owns the alert (e.g. `client.staleness`).
+    pub detector: String,
+    /// What the detector is watching (e.g. `guest.head`).
+    pub target: String,
+    /// `pending`, `firing` or `resolved`.
+    pub state: String,
+    /// Human-readable diagnosis captured at the transition.
+    pub details: String,
+    /// Trace ids of the packet lifecycles the alert implicates.
+    pub linked_traces: Vec<u64>,
+}
+
+/// The aggregated output of one run: metadata, metrics, packet traces,
+/// invariant violations and monitor-alert transitions.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RunReport {
     /// Run identity.
@@ -139,6 +157,10 @@ pub struct RunReport {
     pub routes: Vec<RouteTraceReport>,
     /// Invariant violations with linked traces.
     pub violations: Vec<ViolationReport>,
+    /// Monitor-alert lifecycle transitions, in emission order (empty
+    /// when no monitor ran; `default` keeps older artifacts readable).
+    #[serde(default)]
+    pub alerts: Vec<AlertTransitionReport>,
     /// Total journal records emitted.
     pub journal_len: u64,
 }
@@ -169,6 +191,44 @@ impl RunReport {
     /// The route trace with the longest end-to-end latency, if any.
     pub fn slowest_route(&self) -> Option<&RouteTraceReport> {
         self.routes.iter().max_by_key(|r| (r.latency_ms(), r.trace))
+    }
+
+    /// Alert transitions recorded by one detector, in emission order.
+    pub fn alerts_for(&self, detector: &str) -> Vec<&AlertTransitionReport> {
+        self.alerts.iter().filter(|a| a.detector == detector).collect()
+    }
+
+    /// The health scorecard: per `(detector, target)` pair, how often the
+    /// alert fired, how often it resolved, and whether it was still
+    /// firing when the run ended. Deterministic order (by detector, then
+    /// target).
+    pub fn health_scorecard(&self) -> Vec<HealthRow> {
+        let mut rows: std::collections::BTreeMap<(String, String), HealthRow> =
+            std::collections::BTreeMap::new();
+        for alert in &self.alerts {
+            let row =
+                rows.entry((alert.detector.clone(), alert.target.clone())).or_insert_with(|| {
+                    HealthRow {
+                        detector: alert.detector.clone(),
+                        target: alert.target.clone(),
+                        fired: 0,
+                        resolved: 0,
+                        active: false,
+                    }
+                });
+            match alert.state.as_str() {
+                "firing" => {
+                    row.fired += 1;
+                    row.active = true;
+                }
+                "resolved" => {
+                    row.resolved += 1;
+                    row.active = false;
+                }
+                _ => {}
+            }
+        }
+        rows.into_values().collect()
     }
 
     /// Renders the human-readable summary (the text twin of
@@ -237,6 +297,27 @@ impl RunReport {
                 slowest.spans.len(),
             ));
         }
+        let scorecard = self.health_scorecard();
+        if !scorecard.is_empty() {
+            out.push_str("  health scorecard:\n");
+            for row in &scorecard {
+                out.push_str(&format!(
+                    "    {:<42} fired {}×  resolved {}×  {}\n",
+                    format!("{}[{}]", row.detector, row.target),
+                    row.fired,
+                    row.resolved,
+                    if row.active { "FIRING at run end" } else { "healthy at run end" },
+                ));
+            }
+            for alert in &self.alerts {
+                if alert.state == "firing" {
+                    out.push_str(&format!(
+                        "    alert @{} ms: {}[{}] {}\n",
+                        alert.at_ms, alert.detector, alert.target, alert.details,
+                    ));
+                }
+            }
+        }
         for violation in &self.violations {
             out.push_str(&format!(
                 "  violation @{} ms: {} [faults: {}] [traces: {}] {}\n",
@@ -256,8 +337,45 @@ impl RunReport {
     }
 }
 
+/// One row of [`RunReport::health_scorecard`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthRow {
+    /// Detector name.
+    pub detector: String,
+    /// Watched target.
+    pub target: String,
+    /// Number of firing transitions.
+    pub fired: u64,
+    /// Number of resolved transitions.
+    pub resolved: u64,
+    /// Whether the alert was still firing when the run ended.
+    pub active: bool,
+}
+
+/// Alert rows to weave into a lifecycle timeline: the firing/resolved
+/// transitions whose `linked_traces` implicate `trace`. Pending
+/// transitions are debounce bookkeeping and stay out of the rendering.
+fn alert_rows(alerts: &[AlertTransitionReport], trace: u64) -> Vec<(u64, String)> {
+    alerts
+        .iter()
+        .filter(|a| a.state != "pending" && a.linked_traces.contains(&trace))
+        .map(|a| {
+            (a.at_ms, format!("alert {} {}[{}] — {}", a.state, a.detector, a.target, a.details))
+        })
+        .collect()
+}
+
 /// Pretty-prints one packet's lifecycle (used by `trace_explorer`).
 pub fn render_packet_trace(packet: &PacketTraceReport) -> String {
+    render_packet_trace_with_alerts(packet, &[])
+}
+
+/// [`render_packet_trace`], with the monitor-alert transitions that
+/// implicate this packet woven into the same timeline.
+pub fn render_packet_trace_with_alerts(
+    packet: &PacketTraceReport,
+    alerts: &[AlertTransitionReport],
+) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "packet {}/{}#{} (trace {}) — {} → {} ms ({}){}\n",
@@ -273,6 +391,11 @@ pub fn render_packet_trace(packet: &PacketTraceReport) -> String {
     let base = packet.first_ms;
     let mut rows: Vec<(u64, String)> = Vec::new();
     for event in &packet.events {
+        // When weaving formatted alert rows in, drop the raw alert.*
+        // journal events — they would repeat every transition verbatim.
+        if !alerts.is_empty() && event.name.starts_with("alert.") {
+            continue;
+        }
         let fields = if event.fields.is_empty() {
             String::new()
         } else {
@@ -289,6 +412,7 @@ pub fn render_packet_trace(packet: &PacketTraceReport) -> String {
         };
         rows.push((span.start_ms, format!("span  {} ({duration})", span.name)));
     }
+    rows.extend(alert_rows(alerts, packet.trace));
     rows.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
     for (at_ms, line) in rows {
         out.push_str(&format!(
@@ -302,6 +426,15 @@ pub fn render_packet_trace(packet: &PacketTraceReport) -> String {
 /// Pretty-prints one multi-hop route's end-to-end lifecycle: every leg's
 /// packet events interleaved on one timeline (used by `trace_explorer`).
 pub fn render_route_trace(route: &RouteTraceReport) -> String {
+    render_route_trace_with_alerts(route, &[])
+}
+
+/// [`render_route_trace`], with the monitor-alert transitions that
+/// implicate this route woven into the same timeline.
+pub fn render_route_trace_with_alerts(
+    route: &RouteTraceReport,
+    alerts: &[AlertTransitionReport],
+) -> String {
     let mut out = String::new();
     let outcome = if route.delivered {
         "delivered"
@@ -320,6 +453,9 @@ pub fn render_route_trace(route: &RouteTraceReport) -> String {
     let base = route.first_ms;
     let mut rows: Vec<(u64, String)> = Vec::new();
     for event in &route.events {
+        if !alerts.is_empty() && event.name.starts_with("alert.") {
+            continue;
+        }
         let fields = if event.fields.is_empty() {
             String::new()
         } else {
@@ -336,6 +472,7 @@ pub fn render_route_trace(route: &RouteTraceReport) -> String {
         };
         rows.push((span.start_ms, format!("span  {} ({duration})", span.name)));
     }
+    rows.extend(alert_rows(alerts, route.trace));
     rows.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
     for (at_ms, line) in rows {
         out.push_str(&format!(

@@ -4,6 +4,7 @@
 use chaos::{ChaosPlan, Fault, InvariantConfig};
 use guest_chain::GuestConfig;
 use host_sim::{CongestionModel, FeePolicy, HostProfile};
+use monitor::MonitorConfig;
 use relayer::RelayerConfig;
 
 /// Milliseconds per hour (convenience).
@@ -230,6 +231,10 @@ pub struct TestnetConfig {
     pub chaos: ChaosPlan,
     /// Tuning of the invariant audit that runs alongside the simulation.
     pub invariants: InvariantConfig,
+    /// Online health monitoring (detector battery + alert lifecycle). A
+    /// healthy run journals no alert events, so enabling the monitor does
+    /// not disturb baseline outputs beyond extra gauge series.
+    pub monitor: MonitorConfig,
 }
 
 impl TestnetConfig {
@@ -259,6 +264,7 @@ impl TestnetConfig {
             rogue: None,
             chaos: paper_outage_plan(20240901),
             invariants: InvariantConfig::default(),
+            monitor: MonitorConfig::paper(),
         }
     }
 
@@ -284,6 +290,7 @@ impl TestnetConfig {
             rogue: None,
             chaos: ChaosPlan::default(),
             invariants: InvariantConfig::default(),
+            monitor: MonitorConfig::small(),
         }
     }
 }

@@ -17,6 +17,7 @@ use guest_chain::{
 use host_sim::{rent, FeePolicy, HostChain, Instruction, Pubkey, Transaction};
 use ibc_core::channel::Timeout;
 use ibc_core::ics20::TransferModule;
+use monitor::{AlertRecord, Monitor};
 use relayer::{connect_chains, Endpoints, Relayer, RelayerFleet};
 use sim_crypto::rng::SplitMix64;
 use sim_crypto::schnorr::Keypair;
@@ -100,6 +101,8 @@ pub struct Testnet {
     next_audit_ms: u64,
     /// The run's shared observability sink (every component holds a clone).
     telemetry: Telemetry,
+    /// Online health monitor (`None` when disabled in the config).
+    monitor: Option<Monitor>,
 }
 
 impl Testnet {
@@ -112,6 +115,30 @@ impl Testnet {
         // One shared sink; every component records into the same ordered
         // journal, which is what lets a packet's trace cross chains.
         let telemetry = Telemetry::recording();
+        // Send-to-finality latency (Fig. 2's x-axis, the deployment's
+        // headline health signal). Roughly geometric bounds from seconds
+        // (the small profile's backstopped finality) to hours (the paper
+        // profile's on-demand block gaps), so the latency-regression
+        // detector sees multi-bucket movement on a real stall.
+        telemetry
+            .register_histogram(
+                "send.finality_ms",
+                &[
+                    2_500.0,
+                    5_000.0,
+                    10_000.0,
+                    15_000.0,
+                    30_000.0,
+                    60_000.0,
+                    120_000.0,
+                    300_000.0,
+                    600_000.0,
+                    1_800_000.0,
+                    3_600_000.0,
+                    7_200_000.0,
+                ],
+            )
+            .expect("sorted bounds");
         let mut host = HostChain::with_profile(config.host_profile, config.congestion, config.seed);
         host.set_telemetry(telemetry.clone());
         let program_id = Pubkey::from_label(GUEST_PROGRAM);
@@ -199,6 +226,7 @@ impl Testnet {
         let mut rng = SplitMix64::new(config.seed ^ 0x7e57);
         let first_out = Self::sample_exp(&mut rng, config.workload.outbound_mean_gap_ms);
         let first_in = Self::sample_exp(&mut rng, config.workload.inbound_mean_gap_ms);
+        let monitor = config.monitor.enabled.then(|| Monitor::standard(config.monitor.clone()));
         Self {
             host,
             cp,
@@ -233,12 +261,29 @@ impl Testnet {
             invariants,
             next_audit_ms: 60_000,
             telemetry,
+            monitor,
         }
+    }
+
+    /// The configuration the deployment was built from.
+    pub fn config(&self) -> &TestnetConfig {
+        &self.config
     }
 
     /// The run's shared telemetry sink.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The online health monitor, when enabled.
+    pub fn monitor(&self) -> Option<&Monitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Every alert the monitor fired so far (empty when monitoring is
+    /// disabled).
+    pub fn alert_records(&self) -> &[AlertRecord] {
+        self.monitor.as_ref().map(|m| m.alert_records()).unwrap_or(&[])
     }
 
     /// Aggregates the telemetry collected so far into a structured run
@@ -381,6 +426,8 @@ impl Testnet {
                     for record in &mut self.send_records {
                         if record.finalised_ms.is_none() && record.sent_ms <= block.timestamp_ms {
                             record.finalised_ms = Some(now);
+                            self.telemetry
+                                .observe("send.finality_ms", (now - record.sent_ms) as f64);
                         }
                     }
                     self.submitted_signs.remove(&block.height);
@@ -440,15 +487,81 @@ impl Testnet {
         if finalised_seen || now >= self.next_audit_ms {
             self.next_audit_ms = now + 60_000;
             self.check_invariants(now);
+            self.publish_supply_drift(now);
         }
 
         // 10. Flush harness-level gauges (metrics only — no journal
-        // records at slot cadence) and keep memory bounded on long runs.
+        // records at slot cadence), let the health monitor evaluate, and
+        // keep memory bounded on long runs.
         if self.telemetry.is_recording() {
             self.telemetry.gauge_set("relayer.backlog", self.relayer.backlog() as f64);
-            self.telemetry.gauge_set("guest.head", self.contract.borrow().head_height() as f64);
+            self.telemetry.gauge_set_at(
+                now,
+                "guest.head",
+                self.contract.borrow().head_height() as f64,
+            );
+            self.telemetry.gauge_set_at(now, "cp.head", self.cp.height() as f64);
+            if let Ok(client) = self.cp.ibc().client(&self.endpoints.guest_client_on_cp) {
+                self.telemetry.gauge_set_at(
+                    now,
+                    "client.guest_on_cp",
+                    client.latest_height() as f64,
+                );
+            }
+            if let Ok(client) =
+                self.contract.borrow().ibc().client(&self.endpoints.cp_client_on_guest)
+            {
+                self.telemetry.gauge_set_at(
+                    now,
+                    "client.cp_on_guest",
+                    client.latest_height() as f64,
+                );
+            }
+            self.telemetry.gauge_set_at(
+                now,
+                "relayer.payer.balance",
+                self.host.bank().balance(&self.relayer.payer()) as f64,
+            );
+        }
+        if let Some(monitor) = self.monitor.as_mut() {
+            monitor.tick(now, &self.telemetry);
         }
         self.host.prune_blocks(512);
+    }
+
+    /// Publishes the ICS-20 conservation drift as a gauge: the number of
+    /// voucher units in circulation beyond their escrow backing, summed
+    /// over both transfer directions. Zero in every honest run; positive
+    /// the audit cadence after a counterfeit mint — which is what the
+    /// `supply.drift` detector alerts on.
+    fn publish_supply_drift(&self, now: u64) {
+        if !self.telemetry.is_recording() {
+            return;
+        }
+        let contract = self.contract.borrow();
+        let guest_bank = contract
+            .ibc()
+            .module(&self.endpoints.port)
+            .and_then(|m| m.as_any().downcast_ref::<TransferModule>());
+        let cp_bank = self
+            .cp
+            .ibc()
+            .module(&self.endpoints.port)
+            .and_then(|m| m.as_any().downcast_ref::<TransferModule>());
+        let (Some(guest_bank), Some(cp_bank)) = (guest_bank, cp_bank) else { return };
+
+        let outbound_voucher =
+            format!("{}/{}/{}", self.endpoints.port, self.endpoints.cp_channel, GUEST_DENOM);
+        let escrowed =
+            guest_bank.balance(&format!("escrow:{}", self.endpoints.guest_channel), GUEST_DENOM);
+        let mut drift = cp_bank.total_supply(&outbound_voucher).saturating_sub(escrowed);
+
+        let inbound_voucher =
+            format!("{}/{}/{}", self.endpoints.port, self.endpoints.guest_channel, CP_DENOM);
+        let escrowed = cp_bank.balance(&format!("escrow:{}", self.endpoints.cp_channel), CP_DENOM);
+        drift += guest_bank.total_supply(&inbound_voucher).saturating_sub(escrowed);
+
+        self.telemetry.gauge_set_at(now, "supply.drift", drift as f64);
     }
 
     /// Applies a one-shot fault (currently: counterfeit voucher mints on

@@ -44,6 +44,10 @@ pub use harness::{Testnet, CP_DENOM, CP_USER, GUEST_DENOM, GUEST_USER};
 pub use metrics::{
     cdf, correlation, fraction_below, histogram, quantile, SendRecord, SignRecord, Summary,
 };
+pub use monitor::{
+    fault_kind, relevant_detectors, score, AlertRecord, EvalReport, EventScore, KindScore, Monitor,
+    MonitorConfig, ALL_FAULT_KINDS,
+};
 pub use telemetry::{
     render_packet_trace, Artifact, FieldValue, MetricsSnapshot, OutputOptions, PacketTraceReport,
     RunReport, Section, Telemetry, TraceId,

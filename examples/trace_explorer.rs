@@ -5,19 +5,25 @@
 //! Then boot a three-chain mesh and render a multi-hop route the same way:
 //! one linked lifecycle spanning every leg.
 //!
+//! With `--alerts`, a mid-run validator outage is injected and the online
+//! monitor's firing/resolved alert transitions are woven inline into the
+//! affected packet's timeline.
+//!
 //! ```text
-//! cargo run --release --example trace_explorer -- [--seed N] [--days N]
+//! cargo run --release --example trace_explorer -- [--seed N] [--days N] [--alerts]
 //! ```
 
 use be_my_guest::mesh::{Mesh, MeshConfig, PathPolicy};
-use be_my_guest::telemetry::{render_packet_trace, render_route_trace};
-use be_my_guest::testnet::{Testnet, TestnetConfig};
+use be_my_guest::telemetry::{render_packet_trace_with_alerts, render_route_trace_with_alerts};
+use be_my_guest::testnet::{ChaosPlan, Fault, Testnet, TestnetConfig};
 
-const DAY_MS: u64 = 24 * 60 * 60 * 1_000;
+const HOUR_MS: u64 = 60 * 60 * 1_000;
+const DAY_MS: u64 = 24 * HOUR_MS;
 
 fn main() {
     let mut seed = 2026u64;
     let mut days = 1u64;
+    let mut with_alerts = false;
     let args: Vec<String> = std::env::args().collect();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -32,6 +38,7 @@ fn main() {
                     days = v;
                 }
             }
+            "--alerts" => with_alerts = true,
             _ => {}
         }
     }
@@ -41,26 +48,49 @@ fn main() {
     let mut config = TestnetConfig::small(seed);
     config.workload.outbound_mean_gap_ms = 3 * 60 * 1_000;
     config.workload.inbound_mean_gap_ms = 5 * 60 * 1_000;
+    if with_alerts {
+        // Crash two of the four equal-stake validators for four hours:
+        // quorum drops below 2/3, guest finality halts, and the monitor's
+        // staleness and stuck-packet detectors walk their alert lifecycle
+        // while packets wait out the outage.
+        let outage = (4 * HOUR_MS, 8 * HOUR_MS);
+        config.chaos = ChaosPlan::new(seed)
+            .with(outage.0, outage.1, Fault::ValidatorCrash { validator: 0 })
+            .with(outage.0, outage.1, Fault::ValidatorCrash { validator: 1 });
+    }
     let mut net = Testnet::build(config);
     net.run_for(days * DAY_MS);
 
     let report = net.run_report("trace-explorer");
     println!("{}", report.render_text());
 
-    // Walk the slowest packet's lifecycle end to end: every event the
-    // journal recorded for it plus every relayer job span linked to it.
-    let Some(packet) = report.slowest_packet() else {
+    // Walk one packet's lifecycle end to end: every event the journal
+    // recorded for it plus every relayer job span linked to it. With
+    // --alerts, prefer a packet implicated by a firing alert — the one the
+    // outage actually stalled — and weave the transitions into its
+    // timeline; otherwise take the slowest.
+    let implicated = report
+        .alerts
+        .iter()
+        .filter(|a| a.state == "firing")
+        .flat_map(|a| a.linked_traces.iter())
+        .find_map(|t| report.packets.iter().find(|p| p.trace == *t));
+    let Some(packet) = implicated.or_else(|| report.slowest_packet()) else {
         eprintln!("no packets completed — run longer or lower the workload gaps");
         std::process::exit(1);
     };
-    println!("slowest packet, end to end:");
-    println!("{}", render_packet_trace(packet));
+    if implicated.is_some() {
+        println!("packet implicated by a firing alert, end to end:");
+    } else {
+        println!("slowest packet, end to end:");
+    }
+    println!("{}", render_packet_trace_with_alerts(packet, &report.alerts));
 
     // The same trace is addressable by (origin, channel, sequence) — the
     // identity a packet keeps across both chains and the relayer.
     let by_key = report
         .packet(&packet.origin, &packet.channel, packet.sequence)
-        .expect("the slowest packet is indexed by origin, channel and sequence");
+        .expect("the chosen packet is indexed by origin, channel and sequence");
     assert_eq!(by_key.trace, packet.trace);
     println!(
         "(looked up again as {}/{}#{} → trace {})",
@@ -90,5 +120,5 @@ fn main() {
     let label = &mesh.routes()[route].label;
     let summary = mesh_report.routes.iter().find(|r| &r.label == label).expect("route trace");
     println!("\nmulti-hop route, end to end:");
-    println!("{}", render_route_trace(summary));
+    println!("{}", render_route_trace_with_alerts(summary, &mesh_report.alerts));
 }
