@@ -118,4 +118,53 @@ print(f"monitor eval OK: {values['kinds_detected']}/{values['kinds_total']} "
       f"(budget {budget/60000:.1f} min, outage {outage/60000:.1f} min)")
 PY
 
+echo "==> throughput (heavy-traffic workload engine on the discrete-event path)"
+cargo run --release --offline -p bench --bin throughput -- \
+    --users 1000 --gap-ms 30000 --hours 2 --seed 2026 \
+    --quiet --json BENCH_throughput.json
+cargo run --release --offline -p bench --bin throughput -- \
+    --users 1000 --gap-ms 30000 --hours 2 --seed 2026 \
+    --quiet --json BENCH_throughput.rerun.json
+python3 - <<'PY'
+import json, sys
+
+def values(path):
+    with open(path) as f:
+        bench = json.load(f)
+    return {k: v for s in bench["sections"] for k, v in s["values"].items()}
+
+vals = values("BENCH_throughput.json")
+rerun = values("BENCH_throughput.rerun.json")
+
+# Wall-clock timings legitimately differ between runs; everything the
+# simulation itself produced must not.
+timing = ("_wall_ms", "_sim_wall_ratio", "packets_per_sec", "sim_wall_ratio", "_speedup",
+          "event_loop_speedup")
+sim_keys = [k for k in vals if not k.endswith(timing)]
+diffs = [k for k in sim_keys if vals.get(k) != rerun.get(k)]
+if diffs:
+    sys.exit(f"throughput: same-seed reruns differ on {diffs} — "
+             "the heavy-traffic path is not deterministic")
+
+if vals.get("determinism_ok") != 1:
+    sys.exit("throughput: in-bench double runs produced different telemetry reports")
+if vals.get("delivered_total", 0) < 300:
+    sys.exit(f"throughput: only {vals.get('delivered_total')} packets delivered "
+             "end to end — the heavy-traffic floor is 300")
+if vals.get("packets_per_sec", 0) < 50:
+    sys.exit(f"throughput: {vals.get('packets_per_sec'):.0f} packets/s is below "
+             "the 50/s floor — the hot path has regressed")
+if vals.get("event_loop_speedup", 0) < 1.0:
+    sys.exit(f"throughput: quiet-stretch speedup {vals.get('event_loop_speedup'):.2f}x "
+             "< 1.0 — the discrete-event loop no longer beats per-slot polling")
+if vals.get("loaded_speedup", 0) < 0.75:
+    sys.exit(f"throughput: loaded speedup {vals.get('loaded_speedup'):.2f}x < 0.75 — "
+             "the event loop fell behind the polling loop under load")
+print(f"throughput OK: {vals['delivered_total']:.0f} delivered at "
+      f"{vals['packets_per_sec']:.0f} packets/s (sim/wall {vals['sim_wall_ratio']:.0f}x), "
+      f"speedup {vals['event_loop_speedup']:.2f}x quiet / {vals['loaded_speedup']:.2f}x loaded, "
+      "deterministic")
+PY
+rm BENCH_throughput.rerun.json
+
 echo "CI green."

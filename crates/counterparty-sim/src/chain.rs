@@ -54,14 +54,31 @@ pub struct CounterpartyChain {
     rng: SplitMix64,
     headers: Vec<CpHeader>,
     telemetry: Telemetry,
+    /// Bounded `(height, trie)` history snapshotted at block production —
+    /// the proof-at-height service a full node offers relayers. Proofs
+    /// generated from live state stop verifying against a header's
+    /// app-hash as soon as later transactions touch the proof path, which
+    /// under sustained traffic is always.
+    proof_snapshots: std::collections::VecDeque<(u64, Trie)>,
 }
+
+/// Snapshot history depth. Covers the gap between a guest-side client
+/// update landing and the relayer proving packets at that height, even
+/// when several counterparty blocks commit in between.
+const PROOF_SNAPSHOT_HISTORY: usize = 32;
 
 impl CounterpartyChain {
     /// Spins up a chain with `config.num_validators` deterministic
     /// validators.
     pub fn new(config: CounterpartyConfig, seed: u64) -> Self {
+        // Wrapping: full 64-bit stream seeds are valid; for the small
+        // seeds older callers passed this is the same arithmetic.
         let candidate_pool: Vec<Keypair> = (0..config.num_validators as u64 * 2)
-            .map(|i| Keypair::from_seed(0xC0DE_0000 + seed * 10_000 + i))
+            .map(|i| {
+                Keypair::from_seed(
+                    0xC0DE_0000u64.wrapping_add(seed.wrapping_mul(10_000)).wrapping_add(i),
+                )
+            })
             .collect();
         let validators = candidate_pool[..config.num_validators].to_vec();
         Self {
@@ -76,10 +93,19 @@ impl CounterpartyChain {
             height: 0,
             time_ms: 0,
             config,
-            rng: SplitMix64::new(seed ^ 0x5eed),
+            rng: sim_crypto::rng::seed_stream(seed, "counterparty.blocks"),
             headers: Vec::new(),
             telemetry: Telemetry::disabled(),
+            proof_snapshots: std::collections::VecDeque::new(),
         }
+    }
+
+    /// Merkle proof of `key` as of block `height` — the proof-at-height
+    /// query a full node answers for relayers. `None` when the height's
+    /// snapshot has been evicted or the key cannot be proven there.
+    pub fn prove_at(&self, height: u64, key: &[u8]) -> Option<sealable_trie::Proof> {
+        let (_, trie) = self.proof_snapshots.iter().rev().find(|(h, _)| *h == height)?;
+        trie.prove(key).ok()
     }
 
     /// Installs an observability sink. Counterparty-side packet lifecycle
@@ -137,6 +163,11 @@ impl CounterpartyChain {
         self.height += 1;
         self.time_ms = now_ms.max(self.time_ms + 1);
         let app_hash = self.ibc.root();
+        // Snapshot the state this header commits to for prove_at.
+        self.proof_snapshots.push_back((self.height, self.ibc.store().clone()));
+        while self.proof_snapshots.len() > PROOF_SNAPSHOT_HISTORY {
+            self.proof_snapshots.pop_front();
+        }
 
         // Epoch boundary: announce a reshuffled validator set, signed by
         // the *current* set (Tendermint-style).

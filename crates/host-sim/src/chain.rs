@@ -172,7 +172,7 @@ impl HostChain {
             busy: false,
             congestion,
             disturbance: Disturbance::default(),
-            chaos_rng: SplitMix64::new(seed ^ 0xD157_0000_0000_0001),
+            chaos_rng: sim_crypto::rng::seed_stream(seed, "host.disturbance"),
             blocks: Vec::new(),
             telemetry: Telemetry::disabled(),
         }
@@ -336,11 +336,33 @@ impl HostChain {
         self.blocks.last()
     }
 
-    /// Drops blocks older than `keep_last` to bound simulation memory.
+    /// Drops old blocks to bound simulation memory, keeping at least the
+    /// most recent `keep_last`.
+    ///
+    /// Pruning is amortised: nothing happens until the buffer holds twice
+    /// `keep_last` blocks, then it is trimmed back in one drain. Calling
+    /// this every slot is therefore O(1) amortised instead of a
+    /// one-element memmove per slot.
     pub fn prune_blocks(&mut self, keep_last: usize) {
-        if self.blocks.len() > keep_last {
+        if self.blocks.len() >= keep_last.saturating_mul(2).max(1) {
             self.blocks.drain(..self.blocks.len() - keep_last);
         }
+    }
+
+    /// Jumps the slot clock to `target_ms` without producing blocks — the
+    /// discrete-event driver's idle fast-forward.
+    ///
+    /// Only sensible while the chain is idle (empty mempool): skipped
+    /// slots draw no jitter or congestion samples, so a fast-forwarded
+    /// run is *not* stream-identical to one that polled every slot — it
+    /// is its own deterministic timeline. No-op when `target_ms` is not
+    /// in the future.
+    pub fn fast_forward_to(&mut self, target_ms: TimeMs) {
+        if target_ms <= self.time_ms {
+            return;
+        }
+        self.slot += (target_ms - self.time_ms) / self.profile.slot_millis;
+        self.time_ms = target_ms;
     }
 }
 

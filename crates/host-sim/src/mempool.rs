@@ -1,4 +1,13 @@
 //! The pending-transaction pool and priority ordering.
+//!
+//! The pool is priority-indexed: transactions are kept in a `BTreeMap`
+//! keyed by `(fee class, fee descending, submission id)`, so draining a
+//! slot walks the index in order instead of re-sorting the whole pool
+//! every slot. Under heavy traffic the pool holds thousands of waiting
+//! transactions while a slot selects a few dozen — the old per-drain
+//! sort was the harness's hottest allocation site.
+
+use std::collections::BTreeMap;
 
 use crate::transaction::{FeePolicy, Transaction};
 use crate::types::TimeMs;
@@ -27,8 +36,13 @@ enum Class {
     Base,
 }
 
+/// Index key: class rank, then fee descending, then submission order.
+/// `BTreeMap` iteration order over these keys IS the scheduling order.
+type PoolKey = (u8, core::cmp::Reverse<u64>, u64);
+
 impl Class {
-    /// Scheduling key: lower sorts earlier (rank, then fee descending).
+    /// Scheduling key prefix: lower sorts earlier (rank, then fee
+    /// descending).
     fn sort_key(&self) -> (u8, core::cmp::Reverse<u64>) {
         match self {
             Class::Bundle(tip) => (0, core::cmp::Reverse(*tip)),
@@ -46,12 +60,22 @@ impl PendingTx {
             FeePolicy::BaseOnly => Class::Base,
         }
     }
+
+    fn pool_key(&self) -> PoolKey {
+        let (rank, fee) = self.class().sort_key();
+        (rank, fee, self.id)
+    }
 }
 
-/// A FIFO pool with fee-based ordering on drain.
+/// A priority-indexed pool: ordering is maintained on insert, drains
+/// walk the index.
 #[derive(Debug, Default)]
 pub struct Mempool {
-    pending: Vec<PendingTx>,
+    /// Every pending transaction, in scheduling order.
+    ordered: BTreeMap<PoolKey, PendingTx>,
+    /// Bundle id → member keys, so a bundle is gathered without scanning
+    /// the pool.
+    bundles: BTreeMap<u64, Vec<PoolKey>>,
     next_id: u64,
     next_bundle: u64,
 }
@@ -66,7 +90,7 @@ impl Mempool {
     pub fn submit(&mut self, tx: Transaction, now_ms: TimeMs) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        self.pending.push(PendingTx { id, tx, submitted_ms: now_ms, bundle: None });
+        self.insert(PendingTx { id, tx, submitted_ms: now_ms, bundle: None });
         id
     }
 
@@ -81,7 +105,7 @@ impl Mempool {
             .map(|tx| {
                 let id = self.next_id;
                 self.next_id += 1;
-                self.pending.push(PendingTx { id, tx, submitted_ms: now_ms, bundle: Some(bundle) });
+                self.insert(PendingTx { id, tx, submitted_ms: now_ms, bundle: Some(bundle) });
                 id
             })
             .collect()
@@ -91,17 +115,25 @@ impl Mempool {
     /// (and thus its submission-order priority within its fee class). Used
     /// when block production drops a selected transaction.
     pub fn requeue(&mut self, tx: PendingTx) {
-        self.pending.push(tx);
+        self.insert(tx);
+    }
+
+    fn insert(&mut self, pending: PendingTx) {
+        let key = pending.pool_key();
+        if let Some(bundle) = pending.bundle {
+            self.bundles.entry(bundle).or_default().push(key);
+        }
+        self.ordered.insert(key, pending);
     }
 
     /// Number of pending transactions.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.ordered.len()
     }
 
     /// Whether the pool is empty.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.ordered.is_empty()
     }
 
     /// Selects transactions for the next slot.
@@ -120,39 +152,25 @@ impl Mempool {
         floor_micro_lamports: u64,
         include_base: bool,
     ) -> Vec<PendingTx> {
-        // Stable order: class priority, then submission order.
-        let mut order: Vec<usize> = (0..self.pending.len()).collect();
-        order.sort_by(|&a, &b| {
-            let (pa, pb) = (&self.pending[a], &self.pending[b]);
-            pa.class().sort_key().cmp(&pb.class().sort_key()).then(pa.id.cmp(&pb.id))
-        });
-
-        let mut selected_ids = Vec::new();
+        let mut selected_keys: Vec<PoolKey> = Vec::new();
         let mut used_cu = 0u64;
-        let mut skipped_bundles: Vec<u64> = Vec::new();
-        let mut idx = 0;
-        while idx < order.len() {
-            let entry = &self.pending[order[idx]];
+        // Bundles already decided this drain (selected or skipped).
+        let mut handled_bundles: Vec<u64> = Vec::new();
+
+        for (&key, entry) in &self.ordered {
             match entry.class() {
                 Class::Bundle(_) => {
                     let bundle_id = entry.bundle.expect("bundle class has bundle id");
-                    if skipped_bundles.contains(&bundle_id) {
-                        idx += 1;
+                    if handled_bundles.contains(&bundle_id) {
                         continue;
                     }
-                    // Gather the whole bundle.
-                    let members: Vec<usize> = (0..self.pending.len())
-                        .filter(|&i| self.pending[i].bundle == Some(bundle_id))
-                        .collect();
+                    handled_bundles.push(bundle_id);
+                    let members = &self.bundles[&bundle_id];
                     let bundle_cu: u64 =
-                        members.iter().map(|&i| self.pending[i].tx.compute_budget).sum();
+                        members.iter().map(|k| self.ordered[k].tx.compute_budget).sum();
                     if used_cu + bundle_cu <= capacity_cu {
                         used_cu += bundle_cu;
-                        for i in members {
-                            selected_ids.push(self.pending[i].id);
-                        }
-                    } else {
-                        skipped_bundles.push(bundle_id);
+                        selected_keys.extend(members.iter().copied());
                     }
                 }
                 Class::Priority(price) => {
@@ -160,30 +178,34 @@ impl Mempool {
                         && used_cu + entry.tx.compute_budget <= capacity_cu
                     {
                         used_cu += entry.tx.compute_budget;
-                        selected_ids.push(entry.id);
+                        selected_keys.push(key);
                     }
                 }
                 Class::Base => {
                     if include_base && used_cu + entry.tx.compute_budget <= capacity_cu {
                         used_cu += entry.tx.compute_budget;
-                        selected_ids.push(entry.id);
+                        selected_keys.push(key);
                     }
                 }
             }
-            idx += 1;
         }
 
-        let mut selected: Vec<PendingTx> = Vec::with_capacity(selected_ids.len());
-        self.pending.retain(|p| {
-            if selected_ids.contains(&p.id) {
-                selected.push(p.clone());
-                false
-            } else {
-                true
+        let mut selected: Vec<PendingTx> = Vec::with_capacity(selected_keys.len());
+        for key in selected_keys {
+            let pending = self.ordered.remove(&key).expect("selected key is pending");
+            if let Some(bundle) = pending.bundle {
+                if let Some(members) = self.bundles.get_mut(&bundle) {
+                    members.retain(|k| *k != key);
+                    if members.is_empty() {
+                        self.bundles.remove(&bundle);
+                    }
+                }
             }
-        });
+            selected.push(pending);
+        }
         // Execute in selection order: bundles by tip then members by id,
-        // priority by price, base by arrival.
+        // priority by price, base by arrival. Only the selected few sort —
+        // never the whole pool.
         selected.sort_by(|a, b| {
             a.class()
                 .sort_key()
@@ -287,5 +309,67 @@ mod tests {
         let drained = pool.drain_for_slot(150, 0, true);
         assert_eq!(drained.len(), 1);
         assert!(matches!(drained[0].tx.fee_policy, FeePolicy::Bundle { tip_lamports: 7 }));
+    }
+
+    #[test]
+    fn index_preserves_price_then_arrival_order() {
+        // The priority index must hand out transactions by (price desc,
+        // arrival id asc) no matter the submission order — the invariant
+        // the old per-drain sort provided, now maintained on insert.
+        let mut pool = Mempool::new();
+        let prices = [40, 990, 40, 5, 990, 120];
+        let mut ids = Vec::new();
+        for price in prices {
+            ids.push(pool.submit(tx(FeePolicy::Priority { micro_lamports_per_cu: price }, 10), 0));
+        }
+        let drained = pool.drain_for_slot(10_000, 0, true);
+        let order: Vec<(u64, u64)> = drained
+            .iter()
+            .map(|p| match p.tx.fee_policy {
+                FeePolicy::Priority { micro_lamports_per_cu } => (micro_lamports_per_cu, p.id),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(
+            order,
+            [(990, ids[1]), (990, ids[4]), (120, ids[5]), (40, ids[0]), (40, ids[2]), (5, ids[3])],
+            "price descending, then arrival order within a price"
+        );
+    }
+
+    #[test]
+    fn requeue_restores_index_position() {
+        let mut pool = Mempool::new();
+        let first = pool.submit(tx(FeePolicy::Priority { micro_lamports_per_cu: 70 }, 100), 0);
+        pool.submit(tx(FeePolicy::Priority { micro_lamports_per_cu: 70 }, 100), 5);
+        let drained = pool.drain_for_slot(10_000, 0, true);
+        assert_eq!(drained.len(), 2);
+        // Production drops the first tx; it goes back with its old id…
+        let dropped = drained.into_iter().find(|p| p.id == first).unwrap();
+        pool.requeue(dropped);
+        pool.submit(tx(FeePolicy::Priority { micro_lamports_per_cu: 70 }, 100), 9);
+        // …and still drains ahead of the younger same-price transaction.
+        let redrained = pool.drain_for_slot(10_000, 0, true);
+        assert_eq!(redrained[0].id, first, "requeued tx keeps its arrival priority");
+    }
+
+    #[test]
+    fn requeued_bundle_member_keeps_atomicity() {
+        let mut pool = Mempool::new();
+        pool.submit_bundle(
+            vec![
+                tx(FeePolicy::Bundle { tip_lamports: 3 }, 400),
+                tx(FeePolicy::Bundle { tip_lamports: 3 }, 400),
+            ],
+            0,
+        );
+        let drained = pool.drain_for_slot(1_000, 0, true);
+        assert_eq!(drained.len(), 2);
+        // Both members bounce back; the bundle must re-form atomically.
+        for member in drained {
+            pool.requeue(member);
+        }
+        assert!(pool.drain_for_slot(500, 0, true).is_empty(), "partial bundle never runs");
+        assert_eq!(pool.drain_for_slot(1_000, 0, true).len(), 2);
     }
 }

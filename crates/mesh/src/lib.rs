@@ -30,6 +30,6 @@ pub mod routing;
 pub mod topology;
 
 pub use link::Link;
-pub use mesh::{Mesh, MeshError, Node, RouteStatus};
+pub use mesh::{Mesh, MeshError, Node, RouteStatus, TrafficOutcome};
 pub use routing::{PathPolicy, RouteHop, RoutingTable};
 pub use topology::{chain_denom, chain_name, ChainSpec, HostProfile, LinkSpec, MeshConfig};

@@ -156,6 +156,23 @@ impl RouteStatus {
     }
 }
 
+/// Tally of one [`Mesh::run_with_traffic`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficOutcome {
+    /// Arrivals that became routed transfers.
+    pub sent: u64,
+    /// Arrivals skipped because the user's balance was exhausted.
+    pub skipped_broke: u64,
+    /// Arrivals with no path to the drawn destination.
+    pub unroutable: u64,
+    /// Routes that reached their receiver.
+    pub delivered: u64,
+    /// Routes that unwound back to their sender.
+    pub refunded: u64,
+    /// Forwarded legs still pending when the drain window closed.
+    pub in_flight: usize,
+}
+
 /// One proven message awaiting submission to a link's far end.
 enum RelayMsg {
     Recv { packet: Packet, proof: ProofData },
@@ -247,10 +264,10 @@ impl Mesh {
         let mut nodes: Vec<Node> = Vec::with_capacity(config.chains.len());
         for (i, spec) in config.chains.iter().enumerate() {
             let chain_config = spec.profile.chain_config();
-            // Mixed then clamped: the chain constructor scales its seed,
-            // so give it headroom while keeping per-chain streams apart.
+            // Labelled stream per chain keeps the per-chain RNG timelines
+            // apart without ad-hoc xor constants.
             let seed =
-                (config.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) & 0xFFFF_FFFF;
+                sim_crypto::rng::seed_stream(config.seed, &format!("mesh.chain.{i}")).next_u64();
             let mut chain = CounterpartyChain::new(chain_config, seed);
             let forward_account = format!("{}:forward", spec.name);
             chain.ibc_mut().bind_port(
@@ -667,6 +684,96 @@ impl Mesh {
             self.step();
         }
         self.routes[route].settled()
+    }
+
+    /// Drives the mesh with a [`workload`] traffic stream for
+    /// `duration_ms` of simulated time, then keeps stepping for up to
+    /// `drain_ms` so in-flight routes can settle.
+    ///
+    /// Each user lives on a fixed home chain (round-robin by user id) and
+    /// is pre-funded with the workload's `initial_balance` of that chain's
+    /// native denom. Every arrival moves the sampled amount from the
+    /// user's home chain to a destination drawn from a dedicated
+    /// `(seed, "mesh.traffic.routes")` stream, so the whole run is a pure
+    /// function of `(topology, traffic, seed)`. Arrivals whose sampled
+    /// amount came back zero (broke user) are skipped, mirroring the
+    /// testnet harness.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::Config`] when the topology has fewer than two chains;
+    /// mint failures cannot occur for chains the mesh itself built.
+    pub fn run_with_traffic(
+        &mut self,
+        traffic: &workload::TrafficConfig,
+        seed: u64,
+        duration_ms: u64,
+        drain_ms: u64,
+    ) -> Result<TrafficOutcome, MeshError> {
+        if self.nodes.len() < 2 {
+            return Err(MeshError::Config("traffic runs need at least two chains".to_string()));
+        }
+        let mut generator = workload::TrafficGenerator::new(traffic.clone(), seed);
+        let mut route_rng = sim_crypto::rng::seed_stream(seed, "mesh.traffic.routes");
+        let chains = self.nodes.len();
+        for user in 0..traffic.users {
+            let home = user as usize % chains;
+            let (name, denom) = (self.nodes[home].name.clone(), self.nodes[home].denom.clone());
+            self.mint(&name, &generator.population().name(user), &denom, traffic.initial_balance)?;
+        }
+
+        let start_route = self.routes.len();
+        let mut outcome = TrafficOutcome::default();
+        let until = self.now_ms + duration_ms;
+        let mut pending: Option<workload::Arrival> = Some(generator.next_arrival());
+        let offset = self.now_ms;
+        while self.now_ms < until {
+            // Fire every arrival due by the *end* of this step, then step.
+            let due = self.now_ms + self.config.step_ms;
+            while pending.as_ref().is_some_and(|a| offset + a.at_ms <= due) {
+                let arrival = pending.take().expect("checked above");
+                pending = Some(generator.next_arrival());
+                // Destination draw happens even for skipped arrivals so
+                // the route stream stays aligned with the arrival stream.
+                let home = arrival.user as usize % chains;
+                let hop = 1 + route_rng.next_below(chains as u64 - 1) as usize;
+                let dest = (home + hop) % chains;
+                if arrival.amount == 0 {
+                    outcome.skipped_broke += 1;
+                    continue;
+                }
+                let (from, denom) = (self.nodes[home].name.clone(), self.nodes[home].denom.clone());
+                let to = self.nodes[dest].name.clone();
+                let user = generator.population().name(arrival.user);
+                match self.send_along_route(
+                    &from,
+                    &to,
+                    &user,
+                    &user,
+                    &denom,
+                    arrival.amount,
+                    &PathPolicy::FewestHops,
+                ) {
+                    Ok(_) => outcome.sent += 1,
+                    Err(_) => outcome.unroutable += 1,
+                }
+            }
+            self.step();
+        }
+        // Settle what is still in flight (no new arrivals).
+        let drain_until = self.now_ms + drain_ms;
+        while self.now_ms < drain_until && self.routes[start_route..].iter().any(|r| !r.settled()) {
+            self.step();
+        }
+        for route in &self.routes[start_route..] {
+            if route.delivered {
+                outcome.delivered += 1;
+            } else if route.refunded {
+                outcome.refunded += 1;
+            }
+        }
+        outcome.in_flight = self.total_in_flight();
+        Ok(outcome)
     }
 
     /// Phase 2: commit every queued next-hop / refund transfer.

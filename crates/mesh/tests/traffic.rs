@@ -1,0 +1,41 @@
+//! Workload-driven mesh runs: the heavy-traffic generator feeding
+//! `run_with_traffic` must deliver transfers, conserve supply, and
+//! replay byte-identically under the same seed.
+
+use mesh::{Mesh, MeshConfig, TrafficOutcome};
+use workload::TrafficConfig;
+
+fn run(seed: u64) -> (TrafficOutcome, String) {
+    let mut config = MeshConfig::ring(4, seed);
+    config.hop_timeout_ms = 120_000;
+    let mut net = Mesh::build(config).unwrap();
+    // ~1 arrival / 20 s over 10 minutes of sim time: ~30 transfers.
+    let traffic = TrafficConfig::steady(40, 20_000);
+    let outcome = net.run_with_traffic(&traffic, seed, 10 * 60 * 1_000, 10 * 60 * 1_000).unwrap();
+    assert_eq!(net.supply_drift(), 0, "traffic must not mint unbacked vouchers");
+    (outcome, net.run_report("traffic").to_json())
+}
+
+#[test]
+fn traffic_runs_deliver_and_settle() {
+    let (outcome, _) = run(42);
+    assert!(outcome.sent >= 10, "expected a steady stream, got {outcome:?}");
+    assert_eq!(outcome.delivered, outcome.sent, "clean mesh delivers every route");
+    assert_eq!(outcome.refunded, 0);
+    assert_eq!(outcome.in_flight, 0, "drain window must settle all legs");
+}
+
+#[test]
+fn same_seed_traffic_replays_byte_identically() {
+    let (outcome_a, report_a) = run(2026);
+    let (outcome_b, report_b) = run(2026);
+    assert_eq!(outcome_a, outcome_b);
+    assert_eq!(report_a, report_b, "same seed must reproduce the identical run report");
+}
+
+#[test]
+fn different_seeds_produce_different_schedules() {
+    let (_, report_a) = run(1);
+    let (_, report_b) = run(7);
+    assert_ne!(report_a, report_b);
+}

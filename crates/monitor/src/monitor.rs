@@ -73,6 +73,11 @@ impl Monitor {
                 10,
                 &config,
             ))
+            // On-chain job failures (a reordered chunk makes the staged
+            // calldata finalise wrong, the program rejects it, the job
+            // re-queues the instruction): near-zero when healthy, a
+            // sustained burst under chunk-stream corruption.
+            .push(RateSpikeDetector::named("relayer.retries", "relayer.tx.retries", 10, &config))
             // Host-RPC inclusion health: a missed inclusion requeues the tx
             // for a later slot, so it never shows up in relayer retries or
             // job latency — but the chain counts every miss, and a healthy

@@ -231,7 +231,8 @@ impl Relayer {
         match faults {
             Some(faults) if !faults.is_inert() => {
                 if self.chunk_rng.is_none() {
-                    self.chunk_rng = Some(SplitMix64::new(faults.seed ^ 0xC4A0_5000_0000_0002));
+                    self.chunk_rng =
+                        Some(sim_crypto::rng::seed_stream(faults.seed, "relayer.chunk_faults"));
                 }
                 self.chunk_faults = Some(faults);
             }
@@ -262,6 +263,22 @@ impl Relayer {
     /// Packets sent by the guest still awaiting relay to the counterparty.
     pub fn backlog(&self) -> usize {
         self.pending_guest_packets.len() + self.intents.len()
+    }
+
+    /// Guest-sent packets waiting for a finalised header to prove under.
+    pub fn pending_packets(&self) -> usize {
+        self.pending_guest_packets.len()
+    }
+
+    /// Queued guest-bound work items (deliveries, acks, timeouts).
+    pub fn pending_intents(&self) -> usize {
+        self.intents.len()
+    }
+
+    /// Whether a guest-bound job is mid-flight (activated off the intent
+    /// queue, so [`Relayer::backlog`] no longer counts it).
+    pub fn job_in_flight(&self) -> bool {
+        self.active.is_some()
     }
 
     /// The host account this relayer pays fees from.
@@ -445,6 +462,9 @@ impl Relayer {
     fn close_cp_update_wait(&mut self, now_ms: u64) {
         let Some(span) = self.cp_update_span.take() else { return };
         self.telemetry.span_end(now_ms, span);
+        // Set-backed dedup: a heavy-traffic backlog makes the linear
+        // `contains` scan quadratic per finalised block.
+        let mut seen = std::collections::HashSet::new();
         let mut leftover = Vec::new();
         for packet in &self.pending_guest_packets {
             if let Some(trace) = self.telemetry.trace_for_packet(
@@ -452,7 +472,7 @@ impl Relayer {
                 packet.source_channel.as_str(),
                 packet.sequence,
             ) {
-                if !leftover.contains(&trace) {
+                if seen.insert(trace) {
                     leftover.push(trace);
                 }
             }
@@ -463,7 +483,7 @@ impl Relayer {
                 packet.source_channel.as_str(),
                 packet.sequence,
             ) {
-                if !leftover.contains(&trace) {
+                if seen.insert(trace) {
                     leftover.push(trace);
                 }
             }
@@ -494,7 +514,11 @@ impl Relayer {
             );
             // Only deliverable if the commitment is inside this block's
             // state root (it may have been sent after block creation).
-            let Ok(proof) = store.prove(&key) else {
+            // Prefer the node's proof-at-height service: under sustained
+            // traffic the live trie has already moved past this block, so
+            // a proof from current state would no longer verify.
+            let proof = guest.prove_at(block.height, &key).or_else(|| store.prove(&key).ok());
+            let Some(proof) = proof else {
                 remaining.push(packet);
                 continue;
             };
@@ -529,7 +553,8 @@ impl Relayer {
                 &packet.destination_channel,
                 packet.sequence,
             );
-            let Ok(proof) = store.prove(&key) else {
+            let proof = guest.prove_at(block.height, &key).or_else(|| store.prove(&key).ok());
+            let Some(proof) = proof else {
                 remaining.push((packet, ack));
                 continue;
             };
@@ -682,7 +707,11 @@ impl Relayer {
                     &packet.source_channel,
                     packet.sequence,
                 );
-                let Ok(proof) = cp.ibc().store().prove(&key) else {
+                // Prove at the trusted height; live state has usually
+                // moved past it under sustained traffic.
+                let proof =
+                    cp.prove_at(proof_height, &key).or_else(|| cp.ibc().store().prove(&key).ok());
+                let Some(proof) = proof else {
                     self.failed_jobs += 1;
                     return true;
                 };
@@ -702,7 +731,9 @@ impl Relayer {
                     &packet.destination_channel,
                     packet.sequence,
                 );
-                let Ok(proof) = cp.ibc().store().prove(&key) else {
+                let proof =
+                    cp.prove_at(proof_height, &key).or_else(|| cp.ibc().store().prove(&key).ok());
+                let Some(proof) = proof else {
                     self.failed_jobs += 1;
                     return true;
                 };
@@ -726,7 +757,9 @@ impl Relayer {
                     &packet.destination_channel,
                     packet.sequence,
                 );
-                let Ok(proof) = cp.ibc().store().prove(&key) else {
+                let proof =
+                    cp.prove_at(proof_height, &key).or_else(|| cp.ibc().store().prove(&key).ok());
+                let Some(proof) = proof else {
                     self.failed_jobs += 1;
                     return true;
                 };

@@ -575,12 +575,16 @@ impl Telemetry {
         let mut spans_by_trace: BTreeMap<u64, Vec<SpanReport>> = BTreeMap::new();
         for (id, data) in &inner.spans {
             for trace in &data.traces {
+                // Each per-trace copy records only its owning trace: a
+                // relayer sweep span can link thousands of packets, and
+                // embedding the full cross-reference list in every copy
+                // made the report quadratic in batch size.
                 spans_by_trace.entry(*trace).or_default().push(SpanReport {
                     id: *id,
                     name: data.name.clone(),
                     start_ms: data.start_ms,
                     end_ms: data.end_ms,
-                    traces: data.traces.clone(),
+                    traces: vec![*trace],
                 });
             }
         }

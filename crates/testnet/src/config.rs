@@ -220,6 +220,11 @@ pub struct TestnetConfig {
     pub client_fees: ClientFeeMix,
     /// Packet workload.
     pub workload: Workload,
+    /// Heavy-traffic model: a seeded user population driving arrivals
+    /// through a time-varying curve (flash crowds, airdrop storms,
+    /// diurnal cycles). `None` keeps the legacy two-stream Poisson
+    /// workload above, byte-identical to previous releases.
+    pub traffic: Option<workload::TrafficConfig>,
     /// Grace period after which every active validator signs an
     /// unfinalised block regardless of diligence.
     pub safety_net_ms: u64,
@@ -260,6 +265,7 @@ impl TestnetConfig {
             validators: paper_validators(),
             client_fees: ClientFeeMix::default(),
             workload: Workload::default(),
+            traffic: None,
             safety_net_ms: 20_000,
             rogue: None,
             chaos: paper_outage_plan(20240901),
@@ -286,6 +292,7 @@ impl TestnetConfig {
             validators: (0..4).map(|_| ValidatorProfile::reliable(100)).collect(),
             client_fees: ClientFeeMix::default(),
             workload: Workload { outbound_mean_gap_ms: 60_000, inbound_mean_gap_ms: 90_000 },
+            traffic: None,
             safety_net_ms: 15_000,
             rogue: None,
             chaos: ChaosPlan::default(),

@@ -6,7 +6,7 @@
 //! measurements fall out of one run.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use chaos::{ChaosController, CheckContext, Fault, InvariantSuite, InvariantViolation};
@@ -19,9 +19,10 @@ use ibc_core::channel::Timeout;
 use ibc_core::ics20::TransferModule;
 use monitor::{AlertRecord, Monitor};
 use relayer::{connect_chains, Endpoints, Relayer, RelayerFleet};
-use sim_crypto::rng::SplitMix64;
+use sim_crypto::rng::{seed_stream, SplitMix64};
 use sim_crypto::schnorr::Keypair;
 use telemetry::{RunReport, Telemetry};
+use workload::{Arrival, Direction, EventQueue, TrafficGenerator};
 
 use crate::config::TestnetConfig;
 use crate::metrics::{SendRecord, SignRecord};
@@ -73,8 +74,14 @@ pub struct Testnet {
     keypairs: Vec<Keypair>,
     endpoints: Endpoints,
     rng: SplitMix64,
-    schedule: BTreeMap<(u64, u64), Action>,
-    schedule_seq: u64,
+    /// Timed actions (validator signatures, safety nets), popped in
+    /// `(time, scheduling order)` — the discrete-event core.
+    schedule: EventQueue<Action>,
+    /// Heavy-traffic generator (`None`: the legacy two-stream Poisson
+    /// workload below drives arrivals).
+    traffic: Option<TrafficGenerator>,
+    /// The next generated arrival, buffered until its timestamp is due.
+    pending_arrival: Option<Arrival>,
     next_outbound_ms: u64,
     next_inbound_ms: u64,
     next_cp_check_ms: u64,
@@ -187,7 +194,8 @@ impl Testnet {
         debug_assert!(rent::deposit_usd(host_sim::MAX_ACCOUNT_SIZE) > 14_000.0);
 
         // Counterparty chain + the one-time IBC handshake.
-        let mut cp = CounterpartyChain::new(config.counterparty, config.seed ^ 0xC913);
+        let cp_seed = seed_stream(config.seed, "testnet.counterparty").next_u64();
+        let mut cp = CounterpartyChain::new(config.counterparty, cp_seed);
         cp.set_telemetry(telemetry.clone());
         let mut clock = 0u64;
         let mut height = 0u64;
@@ -223,10 +231,54 @@ impl Testnet {
         let invariant_config = config.invariants;
         let mut invariants = InvariantSuite::new(invariant_config);
         invariants.set_telemetry(telemetry.clone());
-        let mut rng = SplitMix64::new(config.seed ^ 0x7e57);
+        let mut rng = seed_stream(config.seed, "testnet.workload");
         let first_out = Self::sample_exp(&mut rng, config.workload.outbound_mean_gap_ms);
         let first_in = Self::sample_exp(&mut rng, config.workload.inbound_mean_gap_ms);
         let monitor = config.monitor.enabled.then(|| Monitor::standard(config.monitor.clone()));
+
+        // Heavy-traffic mode: a seeded user population replaces the two
+        // Poisson streams. Every user gets a funded ledger account on both
+        // sides (the population mirrors the balances for amount clamping),
+        // and the fee payer is topped up for populations that send tens of
+        // thousands of paid transfers.
+        let traffic = config.traffic.as_ref().map(|traffic_config| {
+            let generator = TrafficGenerator::new(traffic_config.clone(), config.seed);
+            host.bank_mut().airdrop(client_payer, 1_000_000 * host_sim::LAMPORTS_PER_SOL);
+            {
+                let mut guard = contract.borrow_mut();
+                let module = guard
+                    .ibc_mut()
+                    .module_mut(&endpoints.port)
+                    .expect("transfer module bound")
+                    .as_any_mut()
+                    .downcast_mut::<TransferModule>()
+                    .expect("ICS-20 module");
+                for user in 0..generator.config().users {
+                    module.mint(
+                        &generator.population().name(user),
+                        GUEST_DENOM,
+                        generator.config().initial_balance,
+                    );
+                }
+            }
+            {
+                let module = cp
+                    .ibc_mut()
+                    .module_mut(&endpoints.port)
+                    .expect("transfer module bound")
+                    .as_any_mut()
+                    .downcast_mut::<TransferModule>()
+                    .expect("ICS-20 module");
+                for user in 0..generator.config().users {
+                    module.mint(
+                        &generator.population().name(user),
+                        CP_DENOM,
+                        generator.config().initial_balance,
+                    );
+                }
+            }
+            generator
+        });
         Self {
             host,
             cp,
@@ -239,8 +291,9 @@ impl Testnet {
             keypairs,
             endpoints,
             rng,
-            schedule: BTreeMap::new(),
-            schedule_seq: 0,
+            schedule: EventQueue::new(),
+            traffic,
+            pending_arrival: None,
             next_outbound_ms: first_out,
             next_inbound_ms: first_in,
             next_cp_check_ms: 0,
@@ -322,6 +375,73 @@ impl Testnet {
         while self.host.now_ms() < deadline {
             self.step();
         }
+    }
+
+    /// Runs for `duration_ms` of simulated time on the discrete-event
+    /// fast path: provably idle stretches — empty mempool, no relayer
+    /// backlog, no gossip, nothing scheduled — are crossed in one clock
+    /// jump instead of being polled slot by slot.
+    ///
+    /// Semantics match [`Testnet::run_for`] except that skipped slots
+    /// draw no host jitter/congestion samples (the fast path is its own
+    /// deterministic timeline, not stream-identical to the polled one)
+    /// and periodic work (audits, gauge flushes, monitor ticks,
+    /// counterparty keepalives, chaos one-shots) lands at the 60 s audit
+    /// heartbeat during idle stretches instead of at every slot. Same
+    /// seed and config ⇒ byte-identical runs.
+    pub fn run_heavy_for(&mut self, duration_ms: u64) {
+        let deadline = self.host.now_ms() + duration_ms;
+        let slot_ms = self.config.host_profile.slot_millis;
+        while self.host.now_ms() < deadline {
+            let now = self.host.now_ms();
+            let busy = self.host.mempool_len() > 0
+                || self.relayer.backlog() > 0
+                || self.relayer.job_in_flight()
+                || self
+                    .extra_relayers
+                    .relayers()
+                    .iter()
+                    .any(|r| r.backlog() > 0 || r.job_in_flight())
+                || !self.gossip.is_empty();
+            if !busy {
+                // The earliest instant anything new can happen; the audit
+                // heartbeat bounds every jump at 60 s. The counterparty
+                // keepalive only produces a block when its root changed
+                // (impossible while provably idle) or 60 s elapsed, so an
+                // unchanged root lets the jump ride through the 3 s check
+                // cadence to the real next production instant.
+                let cp_due = if self.cp.ibc().root() == self.last_cp_header_root {
+                    self.next_cp_check_ms.max(self.last_cp_header_ms + 60_000)
+                } else {
+                    self.next_cp_check_ms
+                };
+                let mut next = self.next_audit_ms.min(cp_due).min(deadline);
+                if let Some(at) = self.schedule.next_at() {
+                    next = next.min(at);
+                }
+                match self.next_arrival_at() {
+                    Some(at) => next = next.min(at),
+                    None => next = next.min(self.next_outbound_ms).min(self.next_inbound_ms),
+                }
+                // Land one slot short so the next produced block covers
+                // the due instant.
+                if next > now + slot_ms {
+                    self.host.fast_forward_to(next - slot_ms);
+                }
+            }
+            self.step();
+        }
+    }
+
+    /// The heavy-traffic generator, when the config enables one.
+    pub fn traffic(&self) -> Option<&TrafficGenerator> {
+        self.traffic.as_ref()
+    }
+
+    /// Current host mempool depth (benchmarks sample this to report
+    /// queue-depth percentiles under load).
+    pub fn host_mempool_len(&self) -> usize {
+        self.host.mempool_len()
     }
 
     /// Violations detected by the invariant suite so far.
@@ -436,24 +556,37 @@ impl Testnet {
             }
         }
 
-        // 4. Fire due scheduled actions.
-        let due: Vec<(u64, u64)> =
-            self.schedule.range(..=(now, u64::MAX)).map(|(k, _)| *k).collect();
-        for key in due {
-            let action = self.schedule.remove(&key).expect("just listed");
+        // 4. Fire due scheduled actions, in (time, scheduling) order.
+        // Nothing fired here schedules new work due at `now`, so one due
+        // sweep is exhaustive.
+        while let Some((_, action)) = self.schedule.pop_due(now) {
             self.fire(action, now);
         }
 
         // 5. Workload arrivals.
-        if now >= self.next_outbound_ms {
-            self.submit_outbound_transfer(now);
-            let gap = Self::sample_exp(&mut self.rng, self.config.workload.outbound_mean_gap_ms);
-            self.next_outbound_ms = now + gap;
-        }
-        if now >= self.next_inbound_ms {
-            self.submit_inbound_transfer(now);
-            let gap = Self::sample_exp(&mut self.rng, self.config.workload.inbound_mean_gap_ms);
-            self.next_inbound_ms = now + gap;
+        if self.traffic.is_some() {
+            while self.next_arrival_at().is_some_and(|at| at <= now) {
+                let arrival = self.pending_arrival.take().expect("just peeked");
+                // Broke users generate zero-amount draws; nothing to send.
+                if arrival.amount > 0 {
+                    match arrival.direction {
+                        Direction::Outbound => self.submit_traffic_outbound(&arrival, now),
+                        Direction::Inbound => self.submit_traffic_inbound(&arrival, now),
+                    }
+                }
+            }
+        } else {
+            if now >= self.next_outbound_ms {
+                self.submit_outbound_transfer(now);
+                let gap =
+                    Self::sample_exp(&mut self.rng, self.config.workload.outbound_mean_gap_ms);
+                self.next_outbound_ms = now + gap;
+            }
+            if now >= self.next_inbound_ms {
+                self.submit_inbound_transfer(now);
+                let gap = Self::sample_exp(&mut self.rng, self.config.workload.inbound_mean_gap_ms);
+                self.next_inbound_ms = now + gap;
+            }
         }
 
         // 6. Counterparty block production: commit when its state changed
@@ -595,9 +728,7 @@ impl Testnet {
     }
 
     fn schedule(&mut self, at_ms: u64, action: Action) {
-        let key = (at_ms, self.schedule_seq);
-        self.schedule_seq += 1;
-        self.schedule.insert(key, action);
+        self.schedule.schedule(at_ms, action);
     }
 
     /// On a fresh guest block: schedule each active validator's signature
@@ -605,7 +736,10 @@ impl Testnet {
     /// safety-net check.
     fn on_new_guest_block(&mut self, height: u64, block_ms: u64, now: u64) {
         let epoch = self.contract.borrow().current_epoch().clone();
-        for (index, profile) in self.config.validators.clone().iter().enumerate() {
+        for index in 0..self.config.validators.len() {
+            // Profiles are Copy: indexing beats cloning the whole set on
+            // every block, the harness's hottest allocation.
+            let profile = self.config.validators[index];
             if !profile.active || !epoch.contains(&self.keypairs[index].public()) {
                 continue;
             }
@@ -702,8 +836,8 @@ impl Testnet {
                     return;
                 }
                 // Liveness backstop: every available validator signs now.
-                let profiles = self.config.validators.clone();
-                for (index, profile) in profiles.iter().enumerate() {
+                for index in 0..self.config.validators.len() {
+                    let profile = self.config.validators[index];
                     if !profile.active {
                         continue;
                     }
@@ -793,6 +927,72 @@ impl Testnet {
             _ => self.host.submit(tx),
         };
         self.send_tx_inflight.insert(id, use_bundle);
+    }
+
+    /// Timestamp of the buffered next traffic arrival (generating it on
+    /// demand); `None` in legacy-workload mode.
+    fn next_arrival_at(&mut self) -> Option<u64> {
+        let generator = self.traffic.as_mut()?;
+        if self.pending_arrival.is_none() {
+            self.pending_arrival = Some(generator.next_arrival());
+        }
+        self.pending_arrival.as_ref().map(|arrival| arrival.at_ms)
+    }
+
+    /// Submits one generated guest→counterparty transfer: the population
+    /// user escrows its own tokens, with the generator's amount and memo.
+    fn submit_traffic_outbound(&mut self, arrival: &Arrival, now: u64) {
+        self.outbound_counter += 1;
+        let use_bundle = self.rng.next_f64() < self.config.client_fees.bundle_fraction;
+        let policy = if use_bundle {
+            self.config.client_fees.bundle
+        } else {
+            self.config.client_fees.priority
+        };
+        let sender = self.traffic.as_ref().expect("traffic mode").population().name(arrival.user);
+        let op = GuestOp::SendTransfer {
+            port: self.endpoints.port.clone(),
+            channel: self.endpoints.guest_channel.clone(),
+            denom: GUEST_DENOM.to_string(),
+            amount: arrival.amount,
+            sender,
+            receiver: CP_USER.to_string(),
+            memo: arrival.memo.clone(),
+            timeout: Timeout::at_time(now + 24 * 60 * 60 * 1_000),
+        };
+        let tx = Transaction::build_for(
+            &self.config.host_profile,
+            self.client_payer,
+            1,
+            vec![Instruction::new(
+                self.program_id,
+                vec![Pubkey::from_label("guest-state")],
+                GuestInstruction::Inline { op }.encode(),
+            )],
+            policy,
+        )
+        .expect("transfer op fits a transaction");
+        let id = match policy {
+            FeePolicy::Bundle { .. } => self.host.submit_bundle(vec![tx])[0],
+            _ => self.host.submit(tx),
+        };
+        self.send_tx_inflight.insert(id, use_bundle);
+    }
+
+    /// Submits one generated counterparty→guest transfer.
+    fn submit_traffic_inbound(&mut self, arrival: &Arrival, now: u64) {
+        let sender = self.traffic.as_ref().expect("traffic mode").population().name(arrival.user);
+        let _ = ibc_core::ics20::send_transfer(
+            self.cp.ibc_mut(),
+            &self.endpoints.port,
+            &self.endpoints.cp_channel,
+            CP_DENOM,
+            arrival.amount,
+            &sender,
+            GUEST_USER,
+            &arrival.memo,
+            Timeout::at_time(now + 24 * 60 * 60 * 1_000),
+        );
     }
 
     /// Submits one outbound transfer with an explicit timeout — a test hook

@@ -1,0 +1,49 @@
+//! Heavy-traffic mode: the workload generator driving the testnet through
+//! the discrete-event fast path must deliver packets end to end, keep the
+//! invariant suite quiet, and replay byte-identically under one seed.
+
+use testnet::{Testnet, TestnetConfig, HOUR_MS};
+use workload::TrafficConfig;
+
+fn traffic_net(seed: u64) -> Testnet {
+    let mut config = TestnetConfig::small(seed);
+    // ~1 arrival/min from a 300-user population, mixed directions.
+    config.traffic = Some(TrafficConfig::steady(300, 60_000));
+    Testnet::build(config)
+}
+
+/// Fingerprint of everything observable: the run report plus per-packet
+/// lifecycle bounds.
+fn report_of(net: &Testnet) -> String {
+    net.run_report("traffic").to_json()
+}
+
+#[test]
+fn traffic_mode_delivers_packets_on_the_fast_path() {
+    let mut net = traffic_net(11);
+    net.run_heavy_for(6 * HOUR_MS);
+    let report = net.run_report("traffic");
+    let completed = report.packets.iter().filter(|p| p.completed).count();
+    let generated = net.traffic().expect("traffic mode on").generated();
+    assert!(generated >= 100, "expected a steady arrival stream, got {generated}");
+    assert!(completed >= 100, "expected delivered packets, got {completed}");
+    assert!(net.invariant_violations().is_empty(), "{:?}", net.invariant_violations());
+}
+
+#[test]
+fn same_seed_heavy_runs_are_byte_identical() {
+    let mut a = traffic_net(21);
+    let mut b = traffic_net(21);
+    a.run_heavy_for(3 * HOUR_MS);
+    b.run_heavy_for(3 * HOUR_MS);
+    assert_eq!(report_of(&a), report_of(&b), "fast-path runs diverged under one seed");
+}
+
+#[test]
+fn different_seeds_diverge_in_traffic_mode() {
+    let mut a = traffic_net(1);
+    let mut b = traffic_net(2);
+    a.run_heavy_for(2 * HOUR_MS);
+    b.run_heavy_for(2 * HOUR_MS);
+    assert_ne!(report_of(&a), report_of(&b));
+}

@@ -1,0 +1,169 @@
+//! Serde-configurable traffic parameters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::curve::ArrivalCurve;
+
+/// Hours → milliseconds (convenience for presets).
+const HOUR_MS: u64 = 60 * 60 * 1_000;
+
+/// How transfer amounts are drawn: log-uniform between `min` and `max`,
+/// so a population mixes dust with whale-sized transfers like a real
+/// ledger does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AmountMix {
+    /// Smallest transfer.
+    pub min: u128,
+    /// Largest transfer (clamped to the sender's balance at draw time).
+    pub max: u128,
+}
+
+impl Default for AmountMix {
+    fn default() -> Self {
+        Self { min: 1, max: 10_000 }
+    }
+}
+
+/// How memos — and therefore packet sizes — are mixed.
+///
+/// Packet size is what splits a delivery into 4–5 host transactions
+/// (§V-A), so a workload that never varies memo length never exercises
+/// the chunking path under load.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MemoMix {
+    /// Fraction of transfers carrying router-style forward metadata.
+    pub forward_fraction: f64,
+    /// Longest multi-hop route encoded when forwarding (uniform 1..=n).
+    pub max_route_hops: u32,
+    /// Maximum extra payload padding in bytes (uniform 0..=n), modelling
+    /// the long tail of memo sizes seen in main-net traffic.
+    pub pad_max: u32,
+}
+
+impl Default for MemoMix {
+    fn default() -> Self {
+        Self { forward_fraction: 0.05, max_route_hops: 4, pad_max: 192 }
+    }
+}
+
+/// A complete traffic model: who sends (a seeded user population with
+/// balances), how often (base rate shaped by an [`ArrivalCurve`]), in
+/// which direction, and what the packets look like.
+///
+/// Pure data — the same `(TrafficConfig, seed)` pair always generates the
+/// same schedule — and fully serde-round-trippable, so scenario files can
+/// describe multi-week heavy-traffic campaigns declaratively.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// Population size: distinct user accounts with balances.
+    pub users: u32,
+    /// Mean gap between arrivals (all users combined) at multiplier 1.
+    pub mean_gap_ms: u64,
+    /// Intensity shape over time (omitted ⇒ steady).
+    #[serde(default)]
+    pub curve: ArrivalCurve,
+    /// Fraction of arrivals flowing counterparty→guest (the rest flow
+    /// guest→counterparty).
+    pub inbound_fraction: f64,
+    /// Transfer amount distribution.
+    #[serde(default)]
+    pub amount: AmountMix,
+    /// Memo/packet-size distribution.
+    #[serde(default)]
+    pub memo: MemoMix,
+    /// Balance every user account starts with.
+    pub initial_balance: u128,
+}
+
+/// Default counterparty→guest share: main-net bridges skew outbound.
+const DEFAULT_INBOUND_FRACTION: f64 = 0.4;
+
+/// Default per-user starting balance.
+const DEFAULT_INITIAL_BALANCE: u128 = 1_000_000;
+
+impl TrafficConfig {
+    /// A steady (homogeneous Poisson) workload.
+    pub fn steady(users: u32, mean_gap_ms: u64) -> Self {
+        Self {
+            users,
+            mean_gap_ms,
+            curve: ArrivalCurve::Steady,
+            inbound_fraction: DEFAULT_INBOUND_FRACTION,
+            amount: AmountMix::default(),
+            memo: MemoMix::default(),
+            initial_balance: DEFAULT_INITIAL_BALANCE,
+        }
+    }
+
+    /// A day/night cycle: 3× the base rate at the peak, 0.3× at night.
+    pub fn diurnal(users: u32, mean_gap_ms: u64) -> Self {
+        Self {
+            curve: ArrivalCurve::Diurnal {
+                peak: 3.0,
+                trough: 0.3,
+                period_ms: 24 * HOUR_MS,
+                peak_at_ms: 14 * HOUR_MS,
+            },
+            ..Self::steady(users, mean_gap_ms)
+        }
+    }
+
+    /// A flash crowd one simulated hour in: 20× spike over a 5-minute
+    /// ramp, decaying over 20 minutes.
+    pub fn flash_crowd(users: u32, mean_gap_ms: u64) -> Self {
+        Self {
+            curve: ArrivalCurve::FlashCrowd {
+                at_ms: HOUR_MS,
+                ramp_ms: 5 * 60 * 1_000,
+                peak: 20.0,
+                decay_ms: 20 * 60 * 1_000,
+            },
+            ..Self::steady(users, mean_gap_ms)
+        }
+    }
+
+    /// An airdrop claim window one simulated hour in: 40× the base rate
+    /// for 30 minutes, flat otherwise.
+    pub fn airdrop_storm(users: u32, mean_gap_ms: u64) -> Self {
+        Self {
+            curve: ArrivalCurve::AirdropStorm {
+                at_ms: HOUR_MS,
+                duration_ms: 30 * 60 * 1_000,
+                surge: 40.0,
+            },
+            ..Self::steady(users, mean_gap_ms)
+        }
+    }
+
+    /// The four canonical shapes the throughput bench sweeps, with their
+    /// short labels.
+    pub fn bench_shapes(users: u32, mean_gap_ms: u64) -> Vec<(&'static str, Self)> {
+        vec![
+            ("steady", Self::steady(users, mean_gap_ms)),
+            ("diurnal", Self::diurnal(users, mean_gap_ms)),
+            ("flash_crowd", Self::flash_crowd(users, mean_gap_ms)),
+            ("airdrop_storm", Self::airdrop_storm(users, mean_gap_ms)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let config = TrafficConfig::steady(1_000, 2_000);
+        assert_eq!(config.curve, ArrivalCurve::Steady);
+        assert!(config.inbound_fraction > 0.0 && config.inbound_fraction < 1.0);
+        assert!(config.amount.min <= config.amount.max);
+    }
+
+    #[test]
+    fn bench_shapes_cover_all_curves() {
+        let shapes = TrafficConfig::bench_shapes(100, 1_000);
+        assert_eq!(shapes.len(), 4);
+        let labels: Vec<_> = shapes.iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, ["steady", "diurnal", "flash_crowd", "airdrop_storm"]);
+    }
+}

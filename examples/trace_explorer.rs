@@ -9,8 +9,13 @@
 //! monitor's firing/resolved alert transitions are woven inline into the
 //! affected packet's timeline.
 //!
+//! With `--busiest N`, the N highest-latency packet lifecycles are listed
+//! as a table before the detailed walk — the quick way to find where a
+//! heavy-traffic run spent its time.
+//!
 //! ```text
-//! cargo run --release --example trace_explorer -- [--seed N] [--days N] [--alerts]
+//! cargo run --release --example trace_explorer -- \
+//!     [--seed N] [--days N] [--alerts] [--busiest N]
 //! ```
 
 use be_my_guest::mesh::{Mesh, MeshConfig, PathPolicy};
@@ -24,6 +29,7 @@ fn main() {
     let mut seed = 2026u64;
     let mut days = 1u64;
     let mut with_alerts = false;
+    let mut busiest = 0usize;
     let args: Vec<String> = std::env::args().collect();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -39,6 +45,11 @@ fn main() {
                 }
             }
             "--alerts" => with_alerts = true,
+            "--busiest" => {
+                if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                    busiest = v;
+                }
+            }
             _ => {}
         }
     }
@@ -63,6 +74,30 @@ fn main() {
 
     let report = net.run_report("trace-explorer");
     println!("{}", report.render_text());
+
+    // The N packets that spent the longest between their first and last
+    // recorded event — where a heavy run's latency actually lives.
+    if busiest > 0 {
+        let mut ranked: Vec<_> = report.packets.iter().collect();
+        ranked.sort_by_key(|p| (std::cmp::Reverse(p.last_ms - p.first_ms), p.trace));
+        println!("busiest {} packet(s) by lifecycle latency:", busiest.min(ranked.len()));
+        println!(
+            "  {:<6} {:>24} {:>12} {:>12} {:>11} {:>9}",
+            "trace", "packet", "first ms", "last ms", "latency ms", "complete"
+        );
+        for packet in ranked.into_iter().take(busiest) {
+            println!(
+                "  {:<6} {:>24} {:>12} {:>12} {:>11} {:>9}",
+                packet.trace,
+                format!("{}/{}#{}", packet.origin, packet.channel, packet.sequence),
+                packet.first_ms,
+                packet.last_ms,
+                packet.last_ms - packet.first_ms,
+                if packet.completed { "yes" } else { "no" },
+            );
+        }
+        println!();
+    }
 
     // Walk one packet's lifecycle end to end: every event the journal
     // recorded for it plus every relayer job span linked to it. With

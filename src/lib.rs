@@ -13,6 +13,7 @@
 //! * [`telemetry`] — deterministic tracing, metrics and run reports,
 //! * [`testnet`] — the discrete-event simulation harness,
 //! * [`mesh`] — multi-chain topologies and multi-hop packet routing,
+//! * [`workload`] — the heavy-traffic workload engine,
 //! * [`sim_crypto`] — hashing and signatures.
 //!
 //! Runnable walk-throughs live in `examples/`; start with
@@ -29,3 +30,4 @@ pub use sealable_trie;
 pub use sim_crypto;
 pub use telemetry;
 pub use testnet;
+pub use workload;

@@ -129,9 +129,12 @@ fn dominant_validator_outage_stalls_and_recovers() {
         .max()
         .expect("sends completed");
     assert!(worst > 8 * 60 * 1_000, "the stall shows up as a straggler ({worst} ms)");
-    // But the chain recovered: the head is finalised again.
+    // But the chain recovered: finalisation tracks the head again (the
+    // very last block may still have its signatures in flight).
     let contract = net.contract.borrow();
-    assert!(contract.is_finalised(contract.head_height()));
+    let head = contract.head_height();
+    let finalised = (0..=head).rev().find(|h| contract.is_finalised(*h)).unwrap_or(0);
+    assert!(head - finalised <= 2, "chain recovered (head {head}, finalised {finalised})");
 }
 
 /// The complete §III-C loop inside the running deployment: a rogue
