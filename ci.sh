@@ -167,4 +167,74 @@ print(f"throughput OK: {vals['delivered_total']:.0f} delivered at "
 PY
 rm BENCH_throughput.rerun.json
 
+echo "==> self-profile (wall-clock phase attribution on the storm workload)"
+cargo run --release --offline -p bench --bin profile -- \
+    --users 1000 --gap-ms 30000 --hours 2 --seed 2026 \
+    --quiet --json BENCH_profile_summary.json --profile-json BENCH_profile.json
+python3 - <<'PY'
+import json, sys
+
+with open("BENCH_profile.json") as f:
+    profile = json.load(f)
+entries = profile.get("entries", [])
+if not entries:
+    sys.exit("BENCH_profile.json has no profile entries")
+step = next((e for e in entries if e["path"] == "step"), None)
+if step is None:
+    sys.exit("BENCH_profile.json does not profile the harness step phase")
+subsystems = [e for e in entries if e["depth"] == 1]
+if not subsystems:
+    sys.exit("BENCH_profile.json attributes no step time to subsystems")
+top = max(subsystems, key=lambda e: e["wall_ms"])
+
+with open("BENCH_profile_summary.json") as f:
+    bench = json.load(f)
+values = {k: v for s in bench["sections"] for k, v in s["values"].items()}
+attributed = values.get("attributed_pct", 0)
+if attributed < 90:
+    sys.exit(f"profile: only {attributed:.1f}% of step wall time lands in "
+             "named phases — the 90% attribution floor has regressed")
+if "telemetry_self_pct" not in values:
+    sys.exit("profile: telemetry self-cost is not reported")
+if values.get("no_perturbation") != 1:
+    sys.exit("profile: profiled and bare same-seed runs diverged — "
+             "the profiler is not a pure observer")
+print(f"profile OK: {attributed:.1f}% of step time attributed; top subsystem "
+      f"{top['name']} ({top['wall_ms']:.0f} ms wall); telemetry self-cost "
+      f"{values['telemetry_self_pct']:.2f}% of step time")
+PY
+
+echo "==> telemetry overhead (sampled pipeline budget gate)"
+cargo run --release --offline -p bench --bin telemetry_overhead -- \
+    --users 1000 --gap-ms 30000 --hours 2 --seed 2026 --keep 8 --reps 3 \
+    --quiet --json BENCH_overhead.json
+python3 - <<'PY'
+import json, sys
+
+with open("BENCH_overhead.json") as f:
+    bench = json.load(f)
+values = {k: v for s in bench["sections"] for k, v in s["values"].items()}
+
+# Budget: sampled telemetry within 10% of running blind, full within 25%.
+sampled = values.get("sampled_overhead_pct")
+full = values.get("full_overhead_pct")
+if sampled is None or sampled > 10:
+    sys.exit(f"telemetry_overhead: sampled mode costs {sampled:.1f}% over the "
+             "disabled baseline — the 10% budget is blown")
+if full is None or full > 25:
+    sys.exit(f"telemetry_overhead: full mode costs {full:.1f}% over the "
+             "disabled baseline — the 25% budget is blown")
+if values.get("sampled_deterministic") != 1:
+    sys.exit("telemetry_overhead: same-seed sampled reruns are not byte-identical")
+if values.get("monitor_parity") != 1:
+    sys.exit("telemetry_overhead: sampled run's monitor alerts diverged from "
+             "the full run — an aggregate got thinned")
+if values.get("traces_dropped", 0) <= 0:
+    sys.exit("telemetry_overhead: sampling dropped no traces — the sampler "
+             "is not thinning anything")
+print(f"telemetry overhead OK: sampled {sampled:+.1f}%, full {full:+.1f}% vs "
+      f"disabled (budgets 10%/25%); {values['thinned_pct']:.0f}% of traces "
+      "thinned; deterministic with monitor parity")
+PY
+
 echo "CI green."

@@ -1,0 +1,191 @@
+//! Telemetry overhead — what observing the simulation costs.
+//!
+//! Runs the same airdrop-storm scenario three times per repetition with
+//! telemetry disabled, head-sampled (1-in-N packet traces, anomalies
+//! always kept) and full, and reports the wall-clock overhead of each
+//! mode over the disabled baseline. Wall times are the minimum over
+//! `--reps` repetitions, so the percentages are timing-stable enough for
+//! the CI budget gate (sampled ≤ 10%, full ≤ 25% by default).
+//!
+//! Also audits the sampler itself: two same-seed sampled runs must
+//! export byte-identical journals and run reports (the head-sampling
+//! decision is a pure function of trace identity and seed), and the
+//! sampled run's monitor-facing aggregates (counters, gauges, open-trace
+//! status) must let the alert battery see exactly what the full run saw.
+//!
+//! Usage: `cargo run --release -p bench --bin telemetry_overhead -- \
+//!   [--users N] [--gap-ms N] [--hours N] [--seed N] [--keep N] \
+//!   [--reps N] [--quiet] [--json <path>]`
+
+use std::time::Instant;
+
+use testnet::{Artifact, OutputOptions, TelemetryMode, Testnet, TestnetConfig, HOUR_MS};
+use workload::TrafficConfig;
+
+/// One timed storm run in the given telemetry mode.
+fn storm_run(
+    users: u32,
+    gap_ms: u64,
+    seed: u64,
+    sim_ms: u64,
+    telemetry: TelemetryMode,
+) -> (Testnet, f64) {
+    let mut config = TestnetConfig::small(seed);
+    config.traffic = Some(TrafficConfig::airdrop_storm(users, gap_ms));
+    config.telemetry = telemetry;
+    let mut net = Testnet::build(config);
+    let started = Instant::now();
+    net.run_heavy_for(sim_ms);
+    (net, started.elapsed().as_secs_f64() * 1_000.0)
+}
+
+/// The full observable output of a run: journal plus structured report.
+fn fingerprint(net: &Testnet) -> String {
+    let mut out = net.telemetry().journal_jsonl();
+    out.push_str(&net.run_report("telemetry_overhead").to_json());
+    out
+}
+
+fn main() {
+    let mut users = 1_000u32;
+    let mut gap_ms = 30_000u64;
+    let mut hours = 2u64;
+    let mut seed = 2026u64;
+    let mut keep_one_in = 8u64;
+    let mut reps = 3u32;
+    let args: Vec<String> = std::env::args().collect();
+    let output = OutputOptions::from_args(&args);
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--users" => {
+                if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                    users = v;
+                }
+            }
+            "--gap-ms" => {
+                if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                    gap_ms = v;
+                }
+            }
+            "--hours" => {
+                if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                    hours = v;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                    seed = v;
+                }
+            }
+            "--keep" => {
+                if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                    keep_one_in = v;
+                }
+            }
+            "--reps" => {
+                if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                    reps = v;
+                }
+            }
+            _ => {}
+        }
+    }
+    let sim_ms = hours.clamp(1, 24 * 28) * HOUR_MS;
+    let reps = reps.max(1);
+    let modes = [
+        ("disabled", TelemetryMode::Disabled),
+        ("sampled", TelemetryMode::Sampled { keep_one_in }),
+        ("full", TelemetryMode::Full),
+    ];
+
+    let mut artifact = Artifact::new(
+        format!(
+            "Telemetry overhead — airdrop storm, {users} users, {hours} simulated \
+             hour(s), 1-in-{keep_one_in} sampling (seed {seed}, min of {reps})"
+        ),
+        "telemetry_overhead",
+    );
+
+    // ------------------------------------------------------------------
+    // Overhead sweep: min-of-reps wall per mode, overhead vs disabled.
+    // ------------------------------------------------------------------
+    let mut walls = [f64::MAX; 3];
+    let mut journal_lines = [0u64; 3];
+    let mut nets: Vec<Option<Testnet>> = vec![None, None, None];
+    for _ in 0..reps {
+        for (i, (_, mode)) in modes.iter().enumerate() {
+            let (net, wall_ms) = storm_run(users, gap_ms, seed, sim_ms, *mode);
+            walls[i] = walls[i].min(wall_ms);
+            journal_lines[i] = net.telemetry().journal_jsonl().lines().count() as u64;
+            nets[i] = Some(net);
+        }
+    }
+    let sweep = artifact.section("wall-clock overhead vs disabled telemetry");
+    sweep.line(format!(
+        "{:<10} {:>10} {:>10} {:>14}",
+        "mode", "wall s", "overhead", "journal lines"
+    ));
+    let baseline = walls[0];
+    let mut overheads = [0.0f64; 3];
+    for (i, (label, _)) in modes.iter().enumerate() {
+        let overhead_pct = (walls[i] / baseline.max(1e-9) - 1.0) * 100.0;
+        overheads[i] = overhead_pct;
+        sweep
+            .line(format!(
+                "{label:<10} {:>10.2} {:>9.1}% {:>14}",
+                walls[i] / 1_000.0,
+                overhead_pct,
+                journal_lines[i],
+            ))
+            .value(&format!("{label}_wall_ms"), walls[i])
+            .value(&format!("{label}_overhead_pct"), overhead_pct)
+            .value(&format!("{label}_journal_lines"), journal_lines[i] as f64);
+    }
+    sweep.line(format!(
+        "headline: sampled {:+.1}%, full {:+.1}% over the disabled baseline",
+        overheads[1], overheads[2],
+    ));
+
+    // ------------------------------------------------------------------
+    // Sampler audit: determinism, thinning, and monitor parity.
+    // ------------------------------------------------------------------
+    let audit = artifact.section("sampler audit");
+    let sampled = nets[1].take().expect("sampled run kept");
+    let full = nets[2].take().expect("full run kept");
+
+    let (rerun, _) = storm_run(users, gap_ms, seed, sim_ms, TelemetryMode::Sampled { keep_one_in });
+    let deterministic = fingerprint(&sampled) == fingerprint(&rerun);
+
+    let sampling = sampled.telemetry().sampling().expect("sampled mode");
+    let decided = sampling.kept + sampling.dropped + sampling.escalated;
+    let thinning = if decided > 0 { sampling.dropped as f64 / decided as f64 * 100.0 } else { 0.0 };
+
+    // Monitor parity: detectors read unsampled aggregates, so both runs
+    // must fire the same alerts in the same order.
+    let sampled_alerts = format!("{:?}", sampled.alert_records());
+    let full_alerts = format!("{:?}", full.alert_records());
+    let monitor_parity = sampled_alerts == full_alerts;
+
+    audit
+        .line(format!(
+            "same-seed sampled reruns byte-identical: {}",
+            if deterministic { "ok" } else { "FAIL" },
+        ))
+        .line(format!(
+            "traces: {} kept, {} dropped, {} escalated (anomalies) — {thinning:.1}% thinned",
+            sampling.kept, sampling.dropped, sampling.escalated,
+        ))
+        .line(format!(
+            "monitor alert parity sampled vs full: {}",
+            if monitor_parity { "ok" } else { "FAIL" },
+        ))
+        .value("sampled_deterministic", f64::from(u8::from(deterministic)))
+        .value("traces_kept", sampling.kept as f64)
+        .value("traces_dropped", sampling.dropped as f64)
+        .value("traces_escalated", sampling.escalated as f64)
+        .value("thinned_pct", thinning)
+        .value("monitor_parity", f64::from(u8::from(monitor_parity)));
+
+    artifact.emit(output.quiet, output.json.as_deref());
+}

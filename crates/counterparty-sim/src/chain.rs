@@ -2,6 +2,7 @@
 
 use ibc_core::handler::{HandlerConfig, HostTime, IbcHandler};
 use ibc_core::IbcEvent;
+use profiler::Profiler;
 use sealable_trie::Trie;
 use sim_crypto::rng::SplitMix64;
 use sim_crypto::schnorr::{Keypair, PublicKey};
@@ -54,6 +55,9 @@ pub struct CounterpartyChain {
     rng: SplitMix64,
     headers: Vec<CpHeader>,
     telemetry: Telemetry,
+    /// Wall-clock self-profiler (disabled by default; wall time never
+    /// feeds back into simulation state).
+    profiler: Profiler,
     /// Bounded `(height, trie)` history snapshotted at block production —
     /// the proof-at-height service a full node offers relayers. Proofs
     /// generated from live state stop verifying against a header's
@@ -96,6 +100,7 @@ impl CounterpartyChain {
             rng: sim_crypto::rng::seed_stream(seed, "counterparty.blocks"),
             headers: Vec::new(),
             telemetry: Telemetry::disabled(),
+            profiler: Profiler::disabled(),
             proof_snapshots: std::collections::VecDeque::new(),
         }
     }
@@ -104,6 +109,7 @@ impl CounterpartyChain {
     /// query a full node answers for relayers. `None` when the height's
     /// snapshot has been evicted or the key cannot be proven there.
     pub fn prove_at(&self, height: u64, key: &[u8]) -> Option<sealable_trie::Proof> {
+        let _prove = self.profiler.scope("cp.prove");
         let (_, trie) = self.proof_snapshots.iter().rev().find(|(h, _)| *h == height)?;
         trie.prove(key).ok()
     }
@@ -113,6 +119,13 @@ impl CounterpartyChain {
     /// `(source_channel, sequence)`.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Installs a wall-clock self-profiler. Scopes only measure wall
+    /// time — the block clock, RNG streams and headers are untouched, so
+    /// a profiled run stays byte-identical to a bare one.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// The validator public keys and their (equal) voting powers, for
@@ -163,10 +176,13 @@ impl CounterpartyChain {
         self.height += 1;
         self.time_ms = now_ms.max(self.time_ms + 1);
         let app_hash = self.ibc.root();
-        // Snapshot the state this header commits to for prove_at.
-        self.proof_snapshots.push_back((self.height, self.ibc.store().clone()));
-        while self.proof_snapshots.len() > PROOF_SNAPSHOT_HISTORY {
-            self.proof_snapshots.pop_front();
+        {
+            // Snapshot the state this header commits to for prove_at.
+            let _snapshot = self.profiler.scope("cp.snapshot");
+            self.proof_snapshots.push_back((self.height, self.ibc.store().clone()));
+            while self.proof_snapshots.len() > PROOF_SNAPSHOT_HISTORY {
+                self.proof_snapshots.pop_front();
+            }
         }
 
         // Epoch boundary: announce a reshuffled validator set, signed by
@@ -213,10 +229,13 @@ impl CounterpartyChain {
         }
         participating.sort_unstable();
 
-        let signatures = participating
-            .into_iter()
-            .map(|i| (self.validators[i].public(), self.validators[i].sign(&signing)))
-            .collect();
+        let signatures = {
+            let _sign = self.profiler.scope("cp.sign");
+            participating
+                .into_iter()
+                .map(|i| (self.validators[i].public(), self.validators[i].sign(&signing)))
+                .collect()
+        };
         let header = CpHeader {
             height: self.height,
             app_hash,

@@ -1,5 +1,6 @@
 //! The host chain: slot clock, fee market and block production.
 
+use profiler::Profiler;
 use serde::{Deserialize, Serialize};
 use sim_crypto::rng::SplitMix64;
 use telemetry::Telemetry;
@@ -152,6 +153,9 @@ pub struct HostChain {
     blocks: Vec<Block>,
     /// Observability sink (disabled by default; never consumes RNG).
     telemetry: Telemetry,
+    /// Wall-clock self-profiler (disabled by default; wall time never
+    /// feeds back into simulation state).
+    profiler: Profiler,
 }
 
 impl HostChain {
@@ -175,6 +179,7 @@ impl HostChain {
             chaos_rng: sim_crypto::rng::seed_stream(seed, "host.disturbance"),
             blocks: Vec::new(),
             telemetry: Telemetry::disabled(),
+            profiler: Profiler::disabled(),
         }
     }
 
@@ -195,6 +200,13 @@ impl HostChain {
     /// The installed observability sink (disabled by default).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Installs a wall-clock self-profiler. Scopes only measure wall
+    /// time — the slot clock, RNG streams and block contents are
+    /// untouched, so a profiled run stays byte-identical to a bare one.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// Installs (or, with the default value, clears) a production
@@ -276,7 +288,11 @@ impl HostChain {
         };
         let include_base = load < 0.70;
 
-        let selected = self.mempool.drain_for_slot(capacity, floor, include_base);
+        let selected = {
+            let _drain = self.profiler.scope("mempool.drain");
+            self.mempool.drain_for_slot(capacity, floor, include_base)
+        };
+        let exec_scope = self.profiler.scope("tx.execute");
         let mut transactions = Vec::with_capacity(selected.len());
         let mut events = Vec::new();
         let mut inclusion_failures = 0u64;
@@ -302,7 +318,9 @@ impl HostChain {
             events.extend(outcome.events.iter().cloned());
             transactions.push((pending.id, outcome));
         }
+        drop(exec_scope);
         if self.telemetry.is_recording() {
+            let _record = self.profiler.scope("telemetry.record");
             // Per-slot aggregates go to the metrics registry only — a
             // multi-week run produces millions of slots, far too many for
             // the journal.

@@ -258,7 +258,10 @@ impl Mesh {
     /// when a handshake fails.
     pub fn build(config: MeshConfig) -> Result<Self, MeshError> {
         config.validate().map_err(MeshError::Config)?;
-        let telemetry = Telemetry::recording();
+        let telemetry = match config.sample_traces {
+            Some(keep_one_in) => Telemetry::sampled(keep_one_in, config.seed),
+            None => Telemetry::recording(),
+        };
         let port = PortId::transfer();
 
         let mut nodes: Vec<Node> = Vec::with_capacity(config.chains.len());

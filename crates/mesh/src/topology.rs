@@ -134,6 +134,11 @@ pub struct MeshConfig {
     /// Scheduled faults (empty = clean run).
     #[serde(default)]
     pub chaos: ChaosPlan,
+    /// Head-sample packet/route traces, keeping 1-in-N (`None` = keep
+    /// everything). Metrics and trace-status aggregates stay unsampled;
+    /// anomalous traces are always kept.
+    #[serde(default)]
+    pub sample_traces: Option<u64>,
 }
 
 fn default_step_ms() -> u64 {
@@ -177,6 +182,7 @@ impl MeshConfig {
             chains: Vec::new(),
             links: Vec::new(),
             chaos: ChaosPlan::default(),
+            sample_traces: None,
         }
     }
 

@@ -17,6 +17,7 @@ use host_sim::{FeePolicy, HostChain, HostProfile, Instruction, Pubkey, Transacti
 use ibc_core::channel::{Acknowledgement, Packet};
 use ibc_core::handler::ProofData;
 use ibc_core::IbcEvent;
+use profiler::Profiler;
 use sim_crypto::rng::SplitMix64;
 use telemetry::{names, SpanId, Telemetry, TraceId};
 
@@ -156,6 +157,9 @@ pub struct Relayer {
     lost_submissions: usize,
     resubmissions: usize,
     telemetry: Telemetry,
+    /// Wall-clock self-profiler (disabled by default; wall time never
+    /// feeds back into scheduling decisions).
+    profiler: Profiler,
     /// Open while guest-side packets/acks wait for a finalised guest
     /// header to reach the counterparty's light client — a finality stall
     /// shows up as this span stretching across the outage on every
@@ -194,6 +198,7 @@ impl Relayer {
             lost_submissions: 0,
             resubmissions: 0,
             telemetry: Telemetry::disabled(),
+            profiler: Profiler::disabled(),
             cp_update_span: None,
         }
     }
@@ -221,6 +226,13 @@ impl Relayer {
             )
             .expect("job-latency bounds are strictly ascending");
         self.telemetry = telemetry;
+    }
+
+    /// Installs a wall-clock self-profiler. Scopes only measure wall
+    /// time — queues, RNG streams and submissions are untouched, so a
+    /// profiled run stays byte-identical to a bare one.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// Installs (or removes, with `None` or an all-zero value) chunk-level
@@ -299,7 +311,10 @@ impl Relayer {
         cp: &mut CounterpartyChain,
         contract: &Rc<RefCell<GuestContract>>,
     ) {
-        let guest_events = self.scan_host_blocks(host);
+        let guest_events = {
+            let _scan = self.profiler.scope("scan.host");
+            self.scan_host_blocks(host)
+        };
         // Only armed once chunk faults have ever been installed, so an
         // unfaulted run is bit-identical with or without the machinery.
         if self.chunk_rng.is_some() {
@@ -310,12 +325,19 @@ impl Relayer {
             self.submit_instruction(host, &GuestInstruction::DropBuffer { buffer });
         }
         let now_ms = host.now_ms();
-        self.process_guest_events(guest_events, cp, contract, now_ms);
+        {
+            let _guest = self.profiler.scope("guest.events");
+            self.process_guest_events(guest_events, cp, contract, now_ms);
+        }
         self.process_cp_events(cp);
         if self.config.drive_blocks {
             self.maybe_generate_block(host, contract);
         }
-        self.activate_next_intent(host, cp, contract);
+        {
+            let _activate = self.profiler.scope("job.activate");
+            self.activate_next_intent(host, cp, contract);
+        }
+        let _pump = self.profiler.scope("job.pump");
         self.pump_active_job(host);
     }
 
@@ -821,8 +843,10 @@ impl Relayer {
     fn start_job(&mut self, host: &HostChain, kind: JobKind, op: &GuestOp, sig_checks: usize) {
         let buffer = self.next_buffer;
         self.next_buffer += 1;
-        let queue: VecDeque<GuestInstruction> =
-            plan_op_for(&self.config.host_profile, op, buffer, sig_checks).into_iter().collect();
+        let queue: VecDeque<GuestInstruction> = {
+            let _plan = self.profiler.scope("chunk.plan");
+            plan_op_for(&self.config.host_profile, op, buffer, sig_checks).into_iter().collect()
+        };
         debug_assert!(
             sig_checks == 0
                 || queue.len() > sig_checks / sig_checks_per_tx_for(&self.config.host_profile)

@@ -56,15 +56,18 @@ mod report;
 
 pub use artifact::{Artifact, OutputOptions, Section};
 pub use ids::{SpanId, TraceId};
-pub use journal::{FieldValue, Fields, JournalRecord, RecordKind};
+pub use journal::{
+    FieldValue, Fields, JournalRecord, JournalWriter, RecordKind, JOURNAL_BATCH_BYTES,
+};
 pub use metrics::{
     validate_bounds, GaugeSeries, Histogram, HistogramBoundsError, MetricsRegistry,
-    MetricsSnapshot, DEFAULT_BUCKETS, GAUGE_SERIES_CAP,
+    MetricsSnapshot, CARDINALITY_LIMITED, DEFAULT_BUCKETS, GAUGE_SERIES_CAP,
+    METRIC_CARDINALITY_CAP,
 };
 pub use report::{
     render_packet_trace, render_packet_trace_with_alerts, render_route_trace,
     render_route_trace_with_alerts, AlertTransitionReport, HealthRow, PacketTraceReport,
-    RouteTraceReport, RunMeta, RunReport, SpanReport, TraceEvent, ViolationReport,
+    RouteTraceReport, RunMeta, RunReport, SamplingMeta, SpanReport, TraceEvent, ViolationReport,
 };
 
 /// Canonical event and span names, shared by every instrumented crate so
@@ -131,6 +134,98 @@ struct TraceStatus {
     completed: bool,
 }
 
+/// Per-trace sampling verdict. Head sampling decides `Keep`/`Buffer` at
+/// trace allocation; `Buffer` later resolves to `Escalated` (anomaly —
+/// promote the buffered records) or `Dropped` (normal completion —
+/// discard them).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SampleDecision {
+    Keep,
+    Buffer,
+    Escalated,
+    Dropped,
+}
+
+/// Tail-sampling state of a sampled sink. Everything here is a pure
+/// function of sim-deterministic inputs (the sampling seed and packet
+/// identities), so same-seed sampled runs stay byte-identical.
+#[derive(Debug)]
+struct SamplerState {
+    keep_one_in: u64,
+    seed: u64,
+    decisions: BTreeMap<u64, SampleDecision>,
+    /// Records waiting on an undecided trace; `None` once flushed to the
+    /// journal or discarded.
+    pending: Vec<Option<JournalRecord>>,
+    /// Pending-record indexes by undecided trace id.
+    pending_by_trace: BTreeMap<u64, Vec<usize>>,
+    kept: u64,
+    dropped: u64,
+    escalated: u64,
+}
+
+impl SamplerState {
+    fn new(keep_one_in: u64, seed: u64) -> Self {
+        Self {
+            keep_one_in: keep_one_in.max(1),
+            seed,
+            decisions: BTreeMap::new(),
+            pending: Vec::new(),
+            pending_by_trace: BTreeMap::new(),
+            kept: 0,
+            dropped: 0,
+            escalated: 0,
+        }
+    }
+
+    /// The head decision for a freshly-allocated trace.
+    fn decide(&mut self, trace: u64, hash: u64) {
+        let keep = self.keep_one_in <= 1 || hash.is_multiple_of(self.keep_one_in);
+        let decision = if keep { SampleDecision::Keep } else { SampleDecision::Buffer };
+        if keep {
+            self.kept += 1;
+        }
+        self.decisions.insert(trace, decision);
+    }
+
+    fn meta(&self) -> SamplingMeta {
+        SamplingMeta {
+            keep_one_in: self.keep_one_in,
+            seed: self.seed,
+            kept: self.kept,
+            dropped: self.dropped,
+            escalated: self.escalated,
+        }
+    }
+}
+
+/// Deterministic sampling hash: FNV-1a over the identity parts (with a
+/// separator between parts) followed by a splitmix64 finalizer, mixed
+/// with the sampling seed. No wall clock, no entropy.
+fn sample_hash(seed: u64, parts: &[&[u8]]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for part in parts {
+        for byte in *part {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Where a freshly-captured record goes under sampling.
+enum Route {
+    Journal,
+    Pending,
+    Discard,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     next_trace: u64,
@@ -143,6 +238,128 @@ struct Inner {
     violations: Vec<ViolationReport>,
     trace_status: BTreeMap<u64, TraceStatus>,
     alerts: Vec<AlertTransitionReport>,
+    sampler: Option<SamplerState>,
+}
+
+impl Inner {
+    /// Appends a record to the journal, assigning the next seq.
+    fn journal_push(&mut self, mut record: JournalRecord) {
+        record.seq = self.journal.len() as u64;
+        self.journal.push(record);
+    }
+
+    /// Routes one captured record: straight to the journal when no
+    /// sampler is active, the record is traceless (global), or any
+    /// linked trace is kept; into the pending buffer while every linked
+    /// trace is still undecided; to the floor when every linked trace
+    /// was dropped.
+    fn capture(&mut self, record: JournalRecord) {
+        let route = match &self.sampler {
+            None => Route::Journal,
+            Some(_) if record.traces.is_empty() => Route::Journal,
+            Some(sampler) => {
+                let mut any_buffer = false;
+                let mut any_kept = false;
+                for trace in &record.traces {
+                    match sampler.decisions.get(trace) {
+                        Some(SampleDecision::Keep) | Some(SampleDecision::Escalated) | None => {
+                            any_kept = true;
+                        }
+                        Some(SampleDecision::Buffer) => any_buffer = true,
+                        Some(SampleDecision::Dropped) => {}
+                    }
+                }
+                if any_kept {
+                    Route::Journal
+                } else if any_buffer {
+                    Route::Pending
+                } else {
+                    Route::Discard
+                }
+            }
+        };
+        match route {
+            Route::Journal => self.journal_push(record),
+            Route::Discard => {}
+            Route::Pending => {
+                let sampler = self.sampler.as_mut().expect("pending implies sampler");
+                let index = sampler.pending.len();
+                for trace in &record.traces {
+                    if sampler.decisions.get(trace) == Some(&SampleDecision::Buffer) {
+                        sampler.pending_by_trace.entry(*trace).or_default().push(index);
+                    }
+                }
+                sampler.pending.push(Some(record));
+            }
+        }
+    }
+
+    /// Promotes a buffered trace to always-keep and flushes its pending
+    /// records into the journal (in capture order).
+    fn escalate_trace(&mut self, trace: u64) {
+        let Some(sampler) = self.sampler.as_mut() else { return };
+        if sampler.decisions.get(&trace) != Some(&SampleDecision::Buffer) {
+            return;
+        }
+        sampler.decisions.insert(trace, SampleDecision::Escalated);
+        sampler.escalated += 1;
+        let indexes = sampler.pending_by_trace.remove(&trace).unwrap_or_default();
+        for index in indexes {
+            if let Some(record) = self.sampler.as_mut().expect("sampler").pending[index].take() {
+                self.journal_push(record);
+            }
+        }
+    }
+
+    /// Resolves a buffered trace that completed normally: its records
+    /// are discarded once no other undecided trace still references
+    /// them.
+    fn drop_trace(&mut self, trace: u64) {
+        let Some(sampler) = self.sampler.as_mut() else { return };
+        if sampler.decisions.get(&trace) != Some(&SampleDecision::Buffer) {
+            return;
+        }
+        sampler.decisions.insert(trace, SampleDecision::Dropped);
+        sampler.dropped += 1;
+        let indexes = sampler.pending_by_trace.remove(&trace).unwrap_or_default();
+        for index in indexes {
+            let discard = match &sampler.pending[index] {
+                None => false,
+                Some(record) => record
+                    .traces
+                    .iter()
+                    .all(|t| sampler.decisions.get(t) == Some(&SampleDecision::Dropped)),
+            };
+            if discard {
+                sampler.pending[index] = None;
+            }
+        }
+    }
+
+    /// Escalates every still-undecided trace — at export time an
+    /// undecided lifecycle is by definition stranded (a completed one
+    /// would have been dropped), and stranded packets are always kept.
+    /// Idempotent; deterministic order (by trace id).
+    fn flush_stranded(&mut self) {
+        let Some(sampler) = self.sampler.as_ref() else { return };
+        let stranded: Vec<u64> = sampler
+            .decisions
+            .iter()
+            .filter(|(_, d)| **d == SampleDecision::Buffer)
+            .map(|(t, _)| *t)
+            .collect();
+        for trace in stranded {
+            self.escalate_trace(trace);
+        }
+    }
+
+    /// Whether a trace's lifecycle was sampled away (hidden from
+    /// reports).
+    fn trace_dropped(&self, trace: u64) -> bool {
+        self.sampler
+            .as_ref()
+            .is_some_and(|s| s.decisions.get(&trace) == Some(&SampleDecision::Dropped))
+    }
 }
 
 /// One still-open packet lifecycle, as returned by
@@ -178,6 +395,24 @@ impl Telemetry {
         Self { inner: Some(Rc::new(RefCell::new(Inner::default()))) }
     }
 
+    /// A recording sink with deterministic trace sampling: 1 in
+    /// `keep_one_in` packet/route lifecycles is kept at trace start
+    /// (seeded hash of the trace identity — no wall clock, no entropy);
+    /// the rest buffer their journal records until the lifecycle
+    /// resolves. Anomalous lifecycles (timed out, refunded,
+    /// alert-linked, invariant-linked, or still stranded at export) are
+    /// *always* promoted into the journal — tail-sampling semantics.
+    ///
+    /// Metrics (counters, gauges, series, histograms), trace statuses
+    /// ([`Telemetry::open_packet_traces`]) and alert transitions are
+    /// never sampled: aggregates and detector inputs stay full-fidelity,
+    /// only per-trace journal records are thinned.
+    pub fn sampled(keep_one_in: u64, seed: u64) -> Self {
+        let inner =
+            Inner { sampler: Some(SamplerState::new(keep_one_in, seed)), ..Inner::default() };
+        Self { inner: Some(Rc::new(RefCell::new(inner))) }
+    }
+
     /// A no-op sink: every method returns immediately.
     pub fn disabled() -> Self {
         Self { inner: None }
@@ -186,6 +421,15 @@ impl Telemetry {
     /// Whether this handle records anything.
     pub fn is_recording(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// The sampling parameters and tallies so far (`None` for disabled
+    /// and full-fidelity sinks). Tallies move as lifecycles resolve;
+    /// [`Telemetry::run_report`] reports the end-of-run values.
+    pub fn sampling(&self) -> Option<SamplingMeta> {
+        let inner = self.inner.as_ref()?;
+        let inner = inner.borrow();
+        inner.sampler.as_ref().map(|s| s.meta())
     }
 
     /// Returns (allocating on first sight) the trace id of the packet
@@ -203,6 +447,13 @@ impl Telemetry {
         let trace = TraceId(inner.next_trace);
         inner.next_trace += 1;
         inner.packet_traces.insert(key, trace);
+        if let Some(sampler) = inner.sampler.as_mut() {
+            let hash = sample_hash(
+                sampler.seed,
+                &[origin.as_bytes(), channel.as_bytes(), &sequence.to_le_bytes()],
+            );
+            sampler.decide(trace.0, hash);
+        }
         Some(trace)
     }
 
@@ -220,6 +471,10 @@ impl Telemetry {
         let trace = TraceId(inner.next_trace);
         inner.next_trace += 1;
         inner.route_traces.insert(label.to_string(), trace);
+        if let Some(sampler) = inner.sampler.as_mut() {
+            let hash = sample_hash(sampler.seed, &[label.as_bytes()]);
+            sampler.decide(trace.0, hash);
+        }
         Some(trace)
     }
 
@@ -243,6 +498,13 @@ impl Telemetry {
     }
 
     /// Emits a point-in-time event linked to `traces`.
+    ///
+    /// Under a sampled sink ([`Telemetry::sampled`]) the event's name
+    /// also drives the tail-sampling decision of its traces: anomalous
+    /// events (timeout, refund, invariant violation, alert transitions)
+    /// escalate every linked trace to always-keep *before* the record is
+    /// routed, and normal terminal events (ack, delivered) release the
+    /// buffered records of non-kept traces afterwards.
     pub fn event(&self, at_ms: u64, name: &str, traces: &[TraceId], fields: &[(&str, FieldValue)]) {
         let Some(inner) = self.inner.as_ref() else { return };
         let mut inner = inner.borrow_mut();
@@ -261,9 +523,22 @@ impl Telemetry {
             status.first_ms = status.first_ms.min(at_ms);
             status.completed |= terminal;
         }
-        let seq = inner.journal.len() as u64;
-        inner.journal.push(JournalRecord {
-            seq,
+        let anomalous = matches!(
+            name,
+            names::PACKET_TIMEOUT
+                | names::ROUTE_REFUNDED
+                | names::INVARIANT_VIOLATION
+                | names::ALERT_PENDING
+                | names::ALERT_FIRING
+                | names::ALERT_RESOLVED
+        );
+        if anomalous {
+            for trace in traces {
+                inner.escalate_trace(trace.0);
+            }
+        }
+        inner.capture(JournalRecord {
+            seq: 0,
             at_ms,
             kind: RecordKind::Event,
             name: name.to_string(),
@@ -271,6 +546,11 @@ impl Telemetry {
             span: None,
             fields: Fields::from(fields),
         });
+        if matches!(name, names::PACKET_ACK | names::ROUTE_DELIVERED) {
+            for trace in traces {
+                inner.drop_trace(trace.0);
+            }
+        }
     }
 
     /// Packet lifecycles that saw journal activity at least `min_age_ms`
@@ -314,9 +594,8 @@ impl Telemetry {
                 end_ms: None,
             },
         );
-        let seq = inner.journal.len() as u64;
-        inner.journal.push(JournalRecord {
-            seq,
+        inner.capture(JournalRecord {
+            seq: 0,
             at_ms,
             kind: RecordKind::SpanStart,
             name: name.to_string(),
@@ -346,9 +625,8 @@ impl Telemetry {
         let Some(data) = inner.spans.get_mut(&span.0) else { return };
         data.end_ms = Some(at_ms);
         let (name, traces) = (data.name.clone(), data.traces.clone());
-        let seq = inner.journal.len() as u64;
-        inner.journal.push(JournalRecord {
-            seq,
+        inner.capture(JournalRecord {
+            seq: 0,
             at_ms,
             kind: RecordKind::SpanEnd,
             name,
@@ -524,11 +802,16 @@ impl Telemetry {
     }
 
     /// Renders the journal as JSONL — one JSON record per line, in
-    /// emission order.
+    /// emission order. Under sampling, stranded (still-undecided)
+    /// lifecycles are promoted first so anomalies present at export are
+    /// never lost.
     pub fn journal_jsonl(&self) -> String {
         let Some(inner) = self.inner.as_ref() else { return String::new() };
+        inner.borrow_mut().flush_stranded();
         let inner = inner.borrow();
-        let mut out = String::new();
+        // Pre-size from a sampled line length so a heavy run's export
+        // does one allocation, not a doubling cascade.
+        let mut out = String::with_capacity(inner.journal.len().saturating_mul(160));
         for record in &inner.journal {
             out.push_str(&serde_json::to_string(record).expect("journal record serializes"));
             out.push('\n');
@@ -536,14 +819,32 @@ impl Telemetry {
         out
     }
 
+    /// Streams the journal as JSONL through a batched writer
+    /// ([`JournalWriter`]) — the export path for heavy runs, where one
+    /// `write` syscall per record dominates. Flushes stranded sampled
+    /// lifecycles first, like [`Telemetry::journal_jsonl`].
+    pub fn write_journal<W: std::io::Write>(&self, sink: W) -> std::io::Result<()> {
+        let Some(inner) = self.inner.as_ref() else { return Ok(()) };
+        inner.borrow_mut().flush_stranded();
+        let inner = inner.borrow();
+        let mut writer = JournalWriter::new(sink);
+        for record in &inner.journal {
+            writer.push(record)?;
+        }
+        writer.finish().map(|_| ())
+    }
+
     /// Snapshot of the metrics registry.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.inner.as_ref().map(|inner| inner.borrow().metrics.snapshot()).unwrap_or_default()
     }
 
-    /// Builds the aggregated [`RunReport`] for this run.
+    /// Builds the aggregated [`RunReport`] for this run. Under sampling,
+    /// stranded lifecycles are promoted first, and dropped lifecycles
+    /// are omitted from the per-trace sections (aggregates stay
+    /// full-fidelity); `meta.sampling` records the rate and tallies.
     pub fn run_report(&self, scenario: &str, seed: u64, duration_ms: u64) -> RunReport {
-        let meta = RunMeta { scenario: scenario.to_string(), seed, duration_ms };
+        let meta = RunMeta { scenario: scenario.to_string(), seed, duration_ms, sampling: None };
         let Some(inner) = self.inner.as_ref() else {
             return RunReport {
                 meta,
@@ -555,7 +856,9 @@ impl Telemetry {
                 journal_len: 0,
             };
         };
+        inner.borrow_mut().flush_stranded();
         let inner = inner.borrow();
+        let meta = RunMeta { sampling: inner.sampler.as_ref().map(|s| s.meta()), ..meta };
 
         // One pass over the journal builds a trace → events index so the
         // per-packet assembly below is linear, not quadratic.
@@ -591,6 +894,9 @@ impl Telemetry {
 
         let mut packets = Vec::with_capacity(inner.packet_traces.len());
         for ((origin, channel, sequence), trace) in &inner.packet_traces {
+            if inner.trace_dropped(trace.0) {
+                continue;
+            }
             let events = events_by_trace.remove(&trace.0).unwrap_or_default();
             let spans = spans_by_trace.remove(&trace.0).unwrap_or_default();
             let mut first_ms = u64::MAX;
@@ -625,6 +931,9 @@ impl Telemetry {
 
         let mut routes = Vec::with_capacity(inner.route_traces.len());
         for (label, trace) in &inner.route_traces {
+            if inner.trace_dropped(trace.0) {
+                continue;
+            }
             let events = events_by_trace.remove(&trace.0).unwrap_or_default();
             let spans = spans_by_trace.remove(&trace.0).unwrap_or_default();
             let mut first_ms = u64::MAX;
@@ -866,6 +1175,134 @@ mod tests {
         // still deserializes.
         let back: RunReport = serde_json::from_str(&report.to_json()).unwrap();
         assert_eq!(back.alerts.len(), 3);
+    }
+
+    /// Drives `n` packet lifecycles through a sink: even sequences ack
+    /// normally, sequences divisible by 5 time out, the rest strand.
+    fn drive_packets(telemetry: &Telemetry, n: u64) {
+        for sequence in 0..n {
+            let trace = telemetry.trace_for_packet("guest", "channel-0", sequence).unwrap();
+            telemetry.event(
+                sequence * 10,
+                names::PACKET_SEND,
+                &[trace],
+                &[("seq", sequence.into())],
+            );
+            telemetry.event(sequence * 10 + 3, names::PACKET_RECV, &[trace], &[]);
+            if sequence % 5 == 0 {
+                telemetry.event(sequence * 10 + 9, names::PACKET_TIMEOUT, &[trace], &[]);
+            } else if sequence % 2 == 0 {
+                telemetry.event(sequence * 10 + 9, names::PACKET_ACK, &[trace], &[]);
+            }
+            telemetry.counter_add("packets.started", 1);
+        }
+    }
+
+    #[test]
+    fn sampled_runs_are_byte_identical_across_repeats() {
+        let run = || {
+            let telemetry = Telemetry::sampled(4, 99);
+            drive_packets(&telemetry, 60);
+            (telemetry.journal_jsonl(), telemetry.run_report("s", 99, 600).to_json())
+        };
+        let (journal_a, report_a) = run();
+        let (journal_b, report_b) = run();
+        assert_eq!(journal_a, journal_b);
+        assert_eq!(report_a, report_b);
+    }
+
+    #[test]
+    fn sampling_keeps_anomalies_and_strands_drops_normal_completions() {
+        let telemetry = Telemetry::sampled(1_000_000, 7); // head-keep ~nothing
+        drive_packets(&telemetry, 50);
+        let report = telemetry.run_report("s", 7, 500);
+        let sampling = report.meta.sampling.expect("sampled run meta");
+        // Sequences 0,5,10,…,45 time out (10 packets) → escalated;
+        // the odd non-multiples of 5 strand → escalated at export;
+        // even non-multiples of 5 acked → dropped.
+        for packet in &report.packets {
+            assert!(
+                packet.sequence % 5 == 0 || packet.sequence % 2 == 1,
+                "packet #{} completed normally and must be sampled away",
+                packet.sequence
+            );
+        }
+        assert!(report.packets.iter().any(|p| p.sequence % 5 == 0), "timeouts kept");
+        assert!(report.packets.iter().any(|p| p.sequence % 2 == 1), "stranded kept");
+        assert_eq!(sampling.kept + sampling.dropped + sampling.escalated, 50);
+        assert_eq!(sampling.dropped as usize, 50 - report.packets.len());
+        // Escalated lifecycles keep their *full* buffered history, not
+        // just the tail: the send event must have been promoted too.
+        let timed_out = report.packets.iter().find(|p| p.sequence == 5).unwrap();
+        assert_eq!(timed_out.events.first().unwrap().name, names::PACKET_SEND);
+        assert!(timed_out.events.iter().any(|e| e.name == names::PACKET_TIMEOUT));
+        // Aggregates are unsampled: every started packet counted.
+        assert_eq!(report.metrics.counters["packets.started"], 50);
+        assert_eq!(telemetry.counter("packets.started"), 50);
+    }
+
+    #[test]
+    fn sampling_escalates_refunded_routes_and_alert_linked_traces() {
+        let telemetry = Telemetry::sampled(1_000_000, 3);
+        // A refunded route: buffered, then promoted by the refund.
+        let route = telemetry.trace_for_route("route-0:a->b").unwrap();
+        telemetry.event(1, names::ROUTE_START, &[route], &[]);
+        telemetry.event(50, names::ROUTE_REFUNDED, &[route], &[]);
+        // An alert-linked packet: buffered, then promoted by the alert.
+        let linked = telemetry.trace_for_packet("guest", "channel-0", 1).unwrap();
+        telemetry.event(2, names::PACKET_SEND, &[linked], &[]);
+        telemetry.alert(80, "firing", "packet.stuck", "guest/channel-0", "stuck", &[linked]);
+        telemetry.event(90, names::PACKET_ACK, &[linked], &[]);
+        let report = telemetry.run_report("s", 3, 100);
+        let route = report.route("route-0:a->b").expect("refunded route kept");
+        assert!(route.refunded);
+        assert_eq!(route.events.first().unwrap().name, names::ROUTE_START);
+        let packet = report.packet("guest", "channel-0", 1).expect("alert-linked packet kept");
+        assert!(packet.completed, "ack after escalation still recorded");
+        assert!(packet.events.iter().any(|e| e.name == names::ALERT_FIRING));
+        assert_eq!(report.meta.sampling.unwrap().escalated, 2);
+    }
+
+    #[test]
+    fn sampling_open_traces_and_alerts_stay_unsampled() {
+        let telemetry = Telemetry::sampled(1_000_000, 11);
+        let trace = telemetry.trace_for_packet("guest", "channel-0", 2).unwrap();
+        telemetry.event(100, names::PACKET_SEND, &[trace], &[]);
+        // The stuck-packet detector input sees the buffered lifecycle.
+        let open = telemetry.open_packet_traces(10_000, 1_000);
+        assert_eq!(open.len(), 1);
+        assert_eq!(open[0].sequence, 2);
+        telemetry.alert(200, "pending", "d", "t", "warming", &[]);
+        assert_eq!(telemetry.alert_transitions().len(), 1);
+    }
+
+    #[test]
+    fn keep_one_in_one_keeps_everything() {
+        let full = Telemetry::recording();
+        let sampled = Telemetry::sampled(1, 42);
+        drive_packets(&full, 20);
+        drive_packets(&sampled, 20);
+        assert_eq!(sampled.journal_jsonl(), full.journal_jsonl());
+        let report = sampled.run_report("s", 42, 200);
+        assert_eq!(report.packets.len(), 20);
+        assert_eq!(report.meta.sampling.unwrap().kept, 20);
+    }
+
+    #[test]
+    fn write_journal_matches_jsonl_rendering() {
+        let telemetry = Telemetry::sampled(2, 5);
+        drive_packets(&telemetry, 30);
+        let jsonl = telemetry.journal_jsonl();
+        let mut sink = Vec::new();
+        telemetry.write_journal(&mut sink).unwrap();
+        assert_eq!(String::from_utf8(sink).unwrap(), jsonl);
+        // Gap-free seq even with promoted records interleaved.
+        let report = telemetry.run_report("s", 5, 300);
+        assert_eq!(jsonl.lines().count() as u64, report.journal_len);
+        for (index, line) in jsonl.lines().enumerate() {
+            let record: JournalRecord = serde_json::from_str(line).unwrap();
+            assert_eq!(record.seq, index as u64);
+        }
     }
 
     #[test]

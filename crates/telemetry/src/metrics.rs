@@ -191,6 +191,20 @@ pub fn validate_bounds(bounds: &[f64]) -> Result<(), HistogramBoundsError> {
     Ok(())
 }
 
+/// Upper bound on distinct metric names (counters + gauges + histograms)
+/// one registry will hold. Metric names in this codebase are static
+/// strings plus a handful of bounded label sets (workload shapes, chain
+/// ids); an unbounded name family — the classic cardinality explosion of
+/// a label built from packet sequence numbers — would otherwise grow the
+/// registry linearly with traffic. Writes to names beyond the cap are
+/// dropped and tallied under [`CARDINALITY_LIMITED`].
+pub const METRIC_CARDINALITY_CAP: usize = 1_024;
+
+/// Counter incremented when the registry refuses a new metric name
+/// because [`METRIC_CARDINALITY_CAP`] was reached. Always admitted
+/// itself, so the drop is visible in every snapshot.
+pub const CARDINALITY_LIMITED: &str = "telemetry.errors.cardinality_limited";
+
 /// Retained change points per gauge series. Long runs write gauges every
 /// slot; the series keeps only value *changes* and compacts its oldest
 /// half when the cap is hit, so a 30-day run stays bounded while the
@@ -286,13 +300,36 @@ pub const DEFAULT_BUCKETS: [f64; 12] = [
 ];
 
 impl MetricsRegistry {
+    /// Whether a write to `name` may create a new entry: existing names
+    /// always pass, new names pass while the registry is under
+    /// [`METRIC_CARDINALITY_CAP`]. A refused name bumps
+    /// [`CARDINALITY_LIMITED`] (which is always admitted, so the guard
+    /// can never hide itself).
+    fn admit(&mut self, name: &str, exists: bool) -> bool {
+        if exists || name == CARDINALITY_LIMITED {
+            return true;
+        }
+        let distinct = self.counters.len() + self.gauges.len() + self.histograms.len();
+        if distinct < METRIC_CARDINALITY_CAP {
+            return true;
+        }
+        *self.counters.entry(CARDINALITY_LIMITED.to_string()).or_insert(0) += 1;
+        false
+    }
+
     /// Adds `delta` to a named counter (creating it at zero).
     pub fn counter_add(&mut self, name: &str, delta: u64) {
+        if !self.admit(name, self.counters.contains_key(name)) {
+            return;
+        }
         *self.counters.entry(name.to_string()).or_insert(0) += delta;
     }
 
     /// Sets a named gauge to its latest value (no series point).
     pub fn gauge_set(&mut self, name: &str, value: f64) {
+        if !self.admit(name, self.gauges.contains_key(name)) {
+            return;
+        }
         self.gauges.insert(name.to_string(), value);
     }
 
@@ -301,6 +338,9 @@ impl MetricsRegistry {
     /// `gauges` map is updated exactly as by [`MetricsRegistry::gauge_set`]
     /// — series live alongside the snapshot, not inside it.
     pub fn gauge_set_at(&mut self, at_ms: u64, name: &str, value: f64) {
+        if !self.admit(name, self.gauges.contains_key(name)) {
+            return;
+        }
         self.gauges.insert(name.to_string(), value);
         self.series.entry(name.to_string()).or_default().record(at_ms, value);
     }
@@ -321,6 +361,9 @@ impl MetricsRegistry {
         bounds: &[f64],
     ) -> Result<(), HistogramBoundsError> {
         validate_bounds(bounds)?;
+        if !self.admit(name, self.histograms.contains_key(name)) {
+            return Ok(());
+        }
         self.histograms.entry(name.to_string()).or_insert_with(|| Histogram::new(bounds));
         Ok(())
     }
@@ -328,6 +371,9 @@ impl MetricsRegistry {
     /// Records an observation, creating the histogram with
     /// [`DEFAULT_BUCKETS`] when it was never registered.
     pub fn observe(&mut self, name: &str, value: f64) {
+        if !self.admit(name, self.histograms.contains_key(name)) {
+            return;
+        }
         self.histograms
             .entry(name.to_string())
             .or_insert_with(|| Histogram::new(&DEFAULT_BUCKETS))
@@ -442,6 +488,29 @@ mod tests {
         assert!(registry.histogram("h").is_none(), "refused layouts register nothing");
         assert!(registry.register_histogram("h", &[1.0, 2.0]).is_ok());
         assert_eq!(registry.histogram("h").unwrap().bounds, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn cardinality_cap_drops_new_names_and_counts_them() {
+        let mut registry = MetricsRegistry::default();
+        for i in 0..METRIC_CARDINALITY_CAP {
+            registry.counter_add(&format!("c{i:05}"), 1);
+        }
+        // The registry is full: new names of every metric kind are
+        // refused and tallied; existing names keep working.
+        registry.counter_add("overflow.counter", 1);
+        registry.gauge_set("overflow.gauge", 1.0);
+        registry.gauge_set_at(5, "overflow.series", 1.0);
+        registry.observe("overflow.histogram", 1.0);
+        assert!(registry.register_histogram("overflow.registered", &[1.0]).is_ok());
+        assert_eq!(registry.counter("overflow.counter"), 0);
+        assert_eq!(registry.gauge("overflow.gauge"), None);
+        assert!(registry.gauge_series("overflow.series").is_none());
+        assert!(registry.histogram("overflow.histogram").is_none());
+        assert!(registry.histogram("overflow.registered").is_none());
+        assert_eq!(registry.counter(CARDINALITY_LIMITED), 5);
+        registry.counter_add("c00000", 41);
+        assert_eq!(registry.counter("c00000"), 42, "existing names are never limited");
     }
 
     #[test]

@@ -16,6 +16,30 @@ pub struct RunMeta {
     pub seed: u64,
     /// Simulated duration in milliseconds.
     pub duration_ms: u64,
+    /// Trace-sampling parameters and tallies when the run sampled its
+    /// packet traces; `None` for full-fidelity runs (and for artifacts
+    /// written before sampling existed — `default` keeps them readable).
+    #[serde(default)]
+    pub sampling: Option<SamplingMeta>,
+}
+
+/// How a sampled run thinned its trace set: the head-sampling rate plus
+/// the per-trace decision tallies. Consumers use this to qualify any
+/// percentile or "busiest" claim made over the kept traces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplingMeta {
+    /// Head-sampling rate: 1 trace kept per `keep_one_in` started.
+    pub keep_one_in: u64,
+    /// Seed the keep/drop hash mixes in (the run seed, normally).
+    pub seed: u64,
+    /// Traces kept by the head decision.
+    pub kept: u64,
+    /// Traces whose buffered records were discarded after a normal
+    /// terminal event (acknowledged or delivered).
+    pub dropped: u64,
+    /// Traces escalated to always-keep: timed out, refunded,
+    /// alert-linked, or still stranded at export time.
+    pub escalated: u64,
 }
 
 /// One journal event replayed into a packet's lifecycle view.
@@ -198,6 +222,19 @@ impl RunReport {
         self.alerts.iter().filter(|a| a.detector == detector).collect()
     }
 
+    /// Telemetry's own error counters (`telemetry.errors.*`): silent
+    /// registration or capacity problems inside the observability layer
+    /// itself — invalid histogram bounds, cardinality-limited metric
+    /// names. Deterministic order (by counter name).
+    pub fn telemetry_errors(&self) -> Vec<(String, u64)> {
+        self.metrics
+            .counters
+            .iter()
+            .filter(|(name, value)| name.starts_with("telemetry.errors.") && **value > 0)
+            .map(|(name, value)| (name.clone(), *value))
+            .collect()
+    }
+
     /// The health scorecard: per `(detector, target)` pair, how often the
     /// alert fired, how often it resolved, and whether it was still
     /// firing when the run ended. Deterministic order (by detector, then
@@ -242,6 +279,13 @@ impl RunReport {
             meta.seed,
             meta.duration_ms as f64 / 86_400_000.0,
         ));
+        if let Some(sampling) = &meta.sampling {
+            out.push_str(&format!(
+                "  trace sampling: 1-in-{} head sampling — {} kept, {} dropped, \
+                 {} escalated (anomalies always kept)\n",
+                sampling.keep_one_in, sampling.kept, sampling.dropped, sampling.escalated,
+            ));
+        }
         out.push_str(&format!(
             "  journal: {} records   packets: {} ({} completed)   violations: {}\n",
             self.journal_len,
@@ -296,6 +340,15 @@ impl RunReport {
                 slowest.events.len(),
                 slowest.spans.len(),
             ));
+        }
+        let errors = self.telemetry_errors();
+        if !errors.is_empty() {
+            // Registration and capacity bugs inside telemetry itself:
+            // an `Err` a caller swallowed still surfaces here.
+            out.push_str("  telemetry self-health (non-zero error counters):\n");
+            for (name, value) in &errors {
+                out.push_str(&format!("    {name:<42} {value}\n"));
+            }
         }
         let scorecard = self.health_scorecard();
         if !scorecard.is_empty() {

@@ -198,6 +198,29 @@ impl Default for Workload {
     }
 }
 
+/// Fidelity of the run's shared telemetry sink.
+///
+/// `Full` is the historical behaviour and the default everywhere — every
+/// packet lifecycle is journaled. `Sampled` keeps 1-in-N lifecycles by a
+/// seeded deterministic hash and always promotes anomalous ones
+/// (timeouts, refunds, alert-linked, stranded); metrics, gauge series
+/// and detector inputs stay full-fidelity in every mode except
+/// `Disabled`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TelemetryMode {
+    /// Record every lifecycle (historical behaviour).
+    #[default]
+    Full,
+    /// Deterministic head sampling: keep 1 in `keep_one_in` lifecycles,
+    /// escalate anomalies to always-keep.
+    Sampled {
+        /// Keep 1 trace per this many started.
+        keep_one_in: u64,
+    },
+    /// No telemetry at all (overhead baseline).
+    Disabled,
+}
+
 /// Full testnet configuration.
 #[derive(Clone, Debug)]
 pub struct TestnetConfig {
@@ -240,6 +263,12 @@ pub struct TestnetConfig {
     /// healthy run journals no alert events, so enabling the monitor does
     /// not disturb baseline outputs beyond extra gauge series.
     pub monitor: MonitorConfig,
+    /// Telemetry fidelity: full (default), sampled, or disabled.
+    pub telemetry: TelemetryMode,
+    /// Enables the wall-clock self-profiler. Wall time never feeds back
+    /// into the simulation — the profile is a side channel read after
+    /// the run — so flipping this cannot change any sim output.
+    pub profile: bool,
 }
 
 impl TestnetConfig {
@@ -271,6 +300,8 @@ impl TestnetConfig {
             chaos: paper_outage_plan(20240901),
             invariants: InvariantConfig::default(),
             monitor: MonitorConfig::paper(),
+            telemetry: TelemetryMode::Full,
+            profile: false,
         }
     }
 
@@ -298,6 +329,8 @@ impl TestnetConfig {
             chaos: ChaosPlan::default(),
             invariants: InvariantConfig::default(),
             monitor: MonitorConfig::small(),
+            telemetry: TelemetryMode::Full,
+            profile: false,
         }
     }
 }

@@ -18,13 +18,14 @@ use host_sim::{rent, FeePolicy, HostChain, Instruction, Pubkey, Transaction};
 use ibc_core::channel::Timeout;
 use ibc_core::ics20::TransferModule;
 use monitor::{AlertRecord, Monitor};
+use profiler::{ProfileReport, Profiler};
 use relayer::{connect_chains, Endpoints, Relayer, RelayerFleet};
 use sim_crypto::rng::{seed_stream, SplitMix64};
 use sim_crypto::schnorr::Keypair;
 use telemetry::{RunReport, Telemetry};
 use workload::{Arrival, Direction, EventQueue, TrafficGenerator};
 
-use crate::config::TestnetConfig;
+use crate::config::{TelemetryMode, TestnetConfig};
 use crate::metrics::{SendRecord, SignRecord};
 
 /// Account names used by the harness.
@@ -108,8 +109,22 @@ pub struct Testnet {
     next_audit_ms: u64,
     /// The run's shared observability sink (every component holds a clone).
     telemetry: Telemetry,
+    /// Wall-clock self-profiler (strict no-op unless `config.profile`;
+    /// wall time never feeds back into simulation state).
+    profiler: Profiler,
+    /// Per-shape traffic counter names, formatted once at build time so
+    /// the per-arrival hot path never allocates a metric name.
+    traffic_counters: Option<TrafficCounterNames>,
     /// Online health monitor (`None` when disabled in the config).
     monitor: Option<Monitor>,
+}
+
+/// Pre-formatted per-shape traffic metric names
+/// (`traffic.<shape>.outbound` etc.), cached at build time.
+struct TrafficCounterNames {
+    outbound: String,
+    inbound: String,
+    volume: String,
 }
 
 impl Testnet {
@@ -121,7 +136,14 @@ impl Testnet {
         config.relayer.host_profile = config.host_profile;
         // One shared sink; every component records into the same ordered
         // journal, which is what lets a packet's trace cross chains.
-        let telemetry = Telemetry::recording();
+        let telemetry = match config.telemetry {
+            TelemetryMode::Full => Telemetry::recording(),
+            TelemetryMode::Sampled { keep_one_in } => Telemetry::sampled(keep_one_in, config.seed),
+            TelemetryMode::Disabled => Telemetry::disabled(),
+        };
+        // One shared profiler: component-internal scopes nest under the
+        // harness's per-phase scopes, giving the hierarchical attribution.
+        let profiler = if config.profile { Profiler::enabled() } else { Profiler::disabled() };
         // Send-to-finality latency (Fig. 2's x-axis, the deployment's
         // headline health signal). Roughly geometric bounds from seconds
         // (the small profile's backstopped finality) to hours (the paper
@@ -148,6 +170,7 @@ impl Testnet {
             .expect("sorted bounds");
         let mut host = HostChain::with_profile(config.host_profile, config.congestion, config.seed);
         host.set_telemetry(telemetry.clone());
+        host.set_profiler(profiler.clone());
         let program_id = Pubkey::from_label(GUEST_PROGRAM);
         let vault = Pubkey::from_label(GUEST_VAULT);
         let deployer = Pubkey::from_label(DEPLOYER);
@@ -197,6 +220,7 @@ impl Testnet {
         let cp_seed = seed_stream(config.seed, "testnet.counterparty").next_u64();
         let mut cp = CounterpartyChain::new(config.counterparty, cp_seed);
         cp.set_telemetry(telemetry.clone());
+        cp.set_profiler(profiler.clone());
         let mut clock = 0u64;
         let mut height = 0u64;
         let endpoints = connect_chains(&contract, &mut cp, &keypairs, &mut clock, &mut height)
@@ -227,6 +251,7 @@ impl Testnet {
         let mut relayer =
             Relayer::new(config.relayer, relayer_payer, program_id, endpoints.clone());
         relayer.set_telemetry(telemetry.clone());
+        relayer.set_profiler(profiler.clone());
         let chaos = ChaosController::new(config.chaos.clone());
         let invariant_config = config.invariants;
         let mut invariants = InvariantSuite::new(invariant_config);
@@ -279,6 +304,14 @@ impl Testnet {
             }
             generator
         });
+        let traffic_counters = config.traffic.as_ref().map(|t| {
+            let shape = t.shape_label();
+            TrafficCounterNames {
+                outbound: format!("traffic.{shape}.outbound"),
+                inbound: format!("traffic.{shape}.inbound"),
+                volume: format!("traffic.{shape}.volume"),
+            }
+        });
         Self {
             host,
             cp,
@@ -314,6 +347,8 @@ impl Testnet {
             invariants,
             next_audit_ms: 60_000,
             telemetry,
+            profiler,
+            traffic_counters,
             monitor,
         }
     }
@@ -326,6 +361,18 @@ impl Testnet {
     /// The run's shared telemetry sink.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The run's wall-clock self-profiler (disabled unless the config
+    /// sets `profile`).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// The hierarchical wall-clock profile collected so far (empty when
+    /// profiling is disabled).
+    pub fn profile_report(&self) -> ProfileReport {
+        self.profiler.report()
     }
 
     /// The online health monitor, when enabled.
@@ -366,6 +413,7 @@ impl Testnet {
         let mut relayer =
             Relayer::new(self.config.relayer, payer, self.program_id, self.endpoints.clone());
         relayer.set_telemetry(self.telemetry.clone());
+        relayer.set_profiler(self.profiler.clone());
         self.extra_relayers.add(relayer)
     }
 
@@ -451,9 +499,11 @@ impl Testnet {
 
     /// Advances exactly one host slot.
     pub fn step(&mut self) {
+        let _step = self.profiler.scope("step");
         // 0. Point-in-time fault injection for this slot. Skipped entirely
         // for an empty plan, keeping the baseline untouched.
         if !self.chaos.is_empty() {
+            let _chaos = self.profiler.scope("chaos");
             let at = self.host.now_ms();
             self.host.set_disturbance(self.chaos.host_disturbance(at));
             for fault in self.chaos.take_due_one_shots(at) {
@@ -463,6 +513,7 @@ impl Testnet {
 
         // 1. Produce the next host block and observe it.
         let (now, sign_results, send_results, guest_events, fisherman_fees) = {
+            let _host_block = self.profiler.scope("host.block");
             let block = self.host.advance_slot();
             let now = block.time_ms;
             let mut sign_results = Vec::new();
@@ -498,6 +549,7 @@ impl Testnet {
         };
 
         // 2. Resolve tracked transactions.
+        let resolve_scope = self.profiler.scope("resolve.tx");
         if fisherman_fees > 0 {
             self.telemetry.counter_add("fees.fisherman", fisherman_fees);
         }
@@ -529,8 +581,11 @@ impl Testnet {
             }
         }
 
+        drop(resolve_scope);
+
         // 3. React to guest events; the invariant suite watches the same
         // stream and audits after every finalised block.
+        let guest_scope = self.profiler.scope("guest.events");
         let mut finalised_seen = false;
         let faults = self.chaos.active_labels(now);
         for event in &guest_events {
@@ -556,14 +611,20 @@ impl Testnet {
             }
         }
 
+        drop(guest_scope);
+
         // 4. Fire due scheduled actions, in (time, scheduling) order.
         // Nothing fired here schedules new work due at `now`, so one due
         // sweep is exhaustive.
-        while let Some((_, action)) = self.schedule.pop_due(now) {
-            self.fire(action, now);
+        {
+            let _schedule = self.profiler.scope("schedule.fire");
+            while let Some((_, action)) = self.schedule.pop_due(now) {
+                self.fire(action, now);
+            }
         }
 
         // 5. Workload arrivals.
+        let arrivals_scope = self.profiler.scope("workload.arrivals");
         if self.traffic.is_some() {
             while self.next_arrival_at().is_some_and(|at| at <= now) {
                 let arrival = self.pending_arrival.take().expect("just peeked");
@@ -589,8 +650,11 @@ impl Testnet {
             }
         }
 
+        drop(arrivals_scope);
+
         // 6. Counterparty block production: commit when its state changed
         // or once a minute to keep timestamps fresh.
+        let cp_scope = self.profiler.scope("cp.block");
         if now >= self.next_cp_check_ms && !self.chaos.cp_halted(now) {
             self.next_cp_check_ms = now + self.config.counterparty.block_interval_ms;
             let root = self.cp.ibc().root();
@@ -601,11 +665,17 @@ impl Testnet {
             }
         }
 
+        drop(cp_scope);
+
         // 7. The fisherman scans the gossip for votes that conflict with
         // the canonical chain and reports them on-chain (§III-C).
-        self.run_fisherman(now);
+        {
+            let _fisherman = self.profiler.scope("fisherman");
+            self.run_fisherman(now);
+        }
 
         // 8. Let the relayer catch up (unless a halt fault holds it down).
+        let relayer_scope = self.profiler.scope("relayer.tick");
         if !self.chaos.is_empty() {
             self.relayer.set_chunk_faults(self.chaos.chunk_faults(now));
         }
@@ -613,11 +683,13 @@ impl Testnet {
             self.relayer.tick(&mut self.host, &mut self.cp, &self.contract);
             self.extra_relayers.tick(&mut self.host, &mut self.cp, &self.contract);
         }
+        drop(relayer_scope);
 
         // 9. Audit the safety invariants at every finalised guest block,
         // plus once a minute so a fully stalled chain still flags orphaned
         // packets (the audit is read-only; cadence does not affect state).
         if finalised_seen || now >= self.next_audit_ms {
+            let _audit = self.profiler.scope("invariants.audit");
             self.next_audit_ms = now + 60_000;
             self.check_invariants(now);
             self.publish_supply_drift(now);
@@ -627,6 +699,7 @@ impl Testnet {
         // records at slot cadence), let the health monitor evaluate, and
         // keep memory bounded on long runs.
         if self.telemetry.is_recording() {
+            let _record = self.profiler.scope("telemetry.record");
             self.telemetry.gauge_set("relayer.backlog", self.relayer.backlog() as f64);
             self.telemetry.gauge_set_at(
                 now,
@@ -657,6 +730,7 @@ impl Testnet {
             );
         }
         if let Some(monitor) = self.monitor.as_mut() {
+            let _monitor = self.profiler.scope("monitor.tick");
             monitor.tick(now, &self.telemetry);
         }
         self.host.prune_blocks(512);
@@ -943,6 +1017,7 @@ impl Testnet {
     /// user escrows its own tokens, with the generator's amount and memo.
     fn submit_traffic_outbound(&mut self, arrival: &Arrival, now: u64) {
         self.outbound_counter += 1;
+        self.record_traffic_arrival(arrival, Direction::Outbound);
         let use_bundle = self.rng.next_f64() < self.config.client_fees.bundle_fraction;
         let policy = if use_bundle {
             self.config.client_fees.bundle
@@ -979,8 +1054,25 @@ impl Testnet {
         self.send_tx_inflight.insert(id, use_bundle);
     }
 
+    /// Pre-aggregated per-shape workload metrics: one counter bump per
+    /// arrival under names cached at build time, so the packet journal —
+    /// not the metrics registry — is the only thing sampling thins out.
+    fn record_traffic_arrival(&self, arrival: &Arrival, direction: Direction) {
+        if !self.telemetry.is_recording() {
+            return;
+        }
+        let Some(names) = &self.traffic_counters else { return };
+        let name = match direction {
+            Direction::Outbound => &names.outbound,
+            Direction::Inbound => &names.inbound,
+        };
+        self.telemetry.counter_add(name, 1);
+        self.telemetry.counter_add(&names.volume, arrival.amount.min(u64::MAX as u128) as u64);
+    }
+
     /// Submits one generated counterparty→guest transfer.
     fn submit_traffic_inbound(&mut self, arrival: &Arrival, now: u64) {
+        self.record_traffic_arrival(arrival, Direction::Inbound);
         let sender = self.traffic.as_ref().expect("traffic mode").population().name(arrival.user);
         let _ = ibc_core::ics20::send_transfer(
             self.cp.ibc_mut(),

@@ -1,0 +1,145 @@
+//! Observability-pipeline regressions at the harness level: the sampled
+//! telemetry mode must stay deterministic and monitor-transparent, and
+//! the wall-clock self-profiler must stay a pure observer.
+//!
+//! The telemetry crate unit-tests the sampler's mechanics (hash
+//! stability, escalation ordering); these tests check the wiring — that
+//! a whole [`Testnet`] run through [`TelemetryMode`] behaves the same.
+
+use testnet::{ChaosPlan, Fault, TelemetryMode, Testnet, TestnetConfig, HOUR_MS};
+use workload::TrafficConfig;
+
+/// A few busy simulated hours with a mid-run validator outage, so the
+/// monitor battery has something to alert on and timeouts strand some
+/// packets (exercising the sampler's always-keep escalation path).
+fn stormy_config(seed: u64, telemetry: TelemetryMode) -> TestnetConfig {
+    let mut config = TestnetConfig::small(seed);
+    config.traffic = Some(TrafficConfig::airdrop_storm(200, 30_000));
+    config.telemetry = telemetry;
+    config.chaos = ChaosPlan::new(seed)
+        .with(HOUR_MS, HOUR_MS + 30 * 60 * 1_000, Fault::ValidatorCrash { validator: 0 })
+        .with(HOUR_MS, HOUR_MS + 30 * 60 * 1_000, Fault::ValidatorCrash { validator: 1 });
+    config
+}
+
+fn stormy_run(seed: u64, telemetry: TelemetryMode) -> Testnet {
+    let mut net = Testnet::build(stormy_config(seed, telemetry));
+    net.run_heavy_for(2 * HOUR_MS);
+    net
+}
+
+/// The full observable output of a run: raw journal plus the aggregated,
+/// serialised report (which carries the sampling tallies in its meta).
+fn fingerprint(net: &Testnet) -> String {
+    let mut out = net.telemetry().journal_jsonl();
+    out.push_str(&net.run_report("observability").to_json());
+    out
+}
+
+/// Head sampling is a pure function of trace identity and seed: two
+/// same-seed sampled runs must keep exactly the same traces and export
+/// byte-identical journals and reports.
+#[test]
+fn sampled_same_seed_runs_are_byte_identical() {
+    let mode = TelemetryMode::Sampled { keep_one_in: 4 };
+    // `Telemetry` is deliberately `!Send`; build each run in its own
+    // thread (mirroring `telemetry_determinism.rs`).
+    let first = std::thread::spawn(move || {
+        let net = stormy_run(7, mode);
+        let sampling = net.telemetry().sampling().expect("sampled mode reports tallies");
+        (fingerprint(&net), sampling.kept, sampling.dropped)
+    });
+    let second = stormy_run(7, mode);
+    let (first_print, kept, dropped) = first.join().expect("first run panicked");
+    assert!(kept > 0, "a storm must keep some sampled traces");
+    assert!(dropped > 0, "1-in-4 sampling over a storm must drop traces");
+    assert_eq!(
+        first_print,
+        fingerprint(&second),
+        "same-seed sampled runs diverged — the sampling decision is not seed-pure"
+    );
+}
+
+/// Sampling thins traces, not aggregates: the monitor's detectors read
+/// unsampled counters, gauges and trace-status tallies, so a sampled run
+/// must walk exactly the alert lifecycle the full run walked.
+#[test]
+fn sampled_run_preserves_monitor_alert_parity() {
+    let full = std::thread::spawn(|| {
+        let net = stormy_run(9, TelemetryMode::Full);
+        format!("{:?}", net.alert_records())
+    });
+    let sampled = stormy_run(9, TelemetryMode::Sampled { keep_one_in: 8 });
+    let full_alerts = full.join().expect("full run panicked");
+    let sampled_alerts = format!("{:?}", sampled.alert_records());
+    assert!(!sampled_alerts.is_empty());
+    assert_eq!(
+        sampled_alerts, full_alerts,
+        "monitor saw different alerts under sampling — an aggregate got thinned"
+    );
+}
+
+/// Anomalous lifecycles escape the sampler: a run that strands and times
+/// out packets must escalate them to always-keep, and every alert-linked
+/// trace must be resolvable in the sampled report.
+#[test]
+fn anomalous_traces_survive_sampling() {
+    let net = stormy_run(9, TelemetryMode::Sampled { keep_one_in: 8 });
+    // Export first: traces still open at end of run are escalated as
+    // stranded when the report is assembled.
+    let report = net.run_report("observability");
+    let sampling = net.telemetry().sampling().expect("sampled mode");
+    assert!(
+        sampling.escalated > 0,
+        "an outage storm must escalate anomalous traces past the sampler"
+    );
+    for alert in &report.alerts {
+        for trace in &alert.linked_traces {
+            assert!(
+                report.packets.iter().any(|p| p.trace == *trace)
+                    || report.routes.iter().any(|r| r.trace == *trace),
+                "alert {:?} links trace {trace} but sampling dropped its lifecycle",
+                alert.detector,
+            );
+        }
+    }
+}
+
+/// The profiler observes wall time without touching simulation state: a
+/// profiled run's telemetry is byte-identical to a bare same-seed run's,
+/// while its profile tree actually attributes the step loop.
+#[test]
+fn profiler_is_a_pure_observer() {
+    let bare = std::thread::spawn(|| {
+        let net = stormy_run(5, TelemetryMode::Full);
+        fingerprint(&net)
+    });
+    let mut config = stormy_config(5, TelemetryMode::Full);
+    config.profile = true;
+    let mut profiled = Testnet::build(config);
+    profiled.run_heavy_for(2 * HOUR_MS);
+
+    assert_eq!(
+        fingerprint(&profiled),
+        bare.join().expect("bare run panicked"),
+        "profiling perturbed the simulation — wall clock leaked into sim state"
+    );
+
+    let report = profiled.profile_report();
+    let step = report.entry("step").expect("the harness step phase is profiled");
+    assert!(step.calls > 0);
+    assert!(step.wall_ms - step.self_ms > 0.0, "no step time was attributed to named child phases");
+    assert!(report.entry("step;host.block").is_some(), "host block production is profiled");
+    assert!(report.entry("step;relayer.tick").is_some(), "relayer ticks are profiled");
+}
+
+/// Disabled telemetry is a strict no-op sink — and the profiler stays
+/// off unless asked for, so the default configuration pays neither cost.
+#[test]
+fn disabled_telemetry_records_nothing() {
+    let net = stormy_run(3, TelemetryMode::Disabled);
+    assert!(net.telemetry().journal_jsonl().is_empty());
+    assert!(net.telemetry().sampling().is_none());
+    assert!(!net.profiler().is_enabled());
+    assert!(net.profile_report().entries.is_empty());
+}

@@ -135,6 +135,12 @@ impl TrafficConfig {
         }
     }
 
+    /// The workload's shape label (the curve's serde tag) — the key
+    /// per-shape pre-aggregated metrics are named under.
+    pub fn shape_label(&self) -> &'static str {
+        self.curve.label()
+    }
+
     /// The four canonical shapes the throughput bench sweeps, with their
     /// short labels.
     pub fn bench_shapes(users: u32, mean_gap_ms: u64) -> Vec<(&'static str, Self)> {

@@ -65,6 +65,17 @@ impl Default for ArrivalCurve {
 }
 
 impl ArrivalCurve {
+    /// The shape's short label — the serde tag, stable across runs, used
+    /// for per-shape metric names (`traffic.<label>.outbound`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Steady => "steady",
+            Self::Diurnal { .. } => "diurnal",
+            Self::FlashCrowd { .. } => "flash_crowd",
+            Self::AirdropStorm { .. } => "airdrop_storm",
+        }
+    }
+
     /// The rate multiplier at `now_ms`.
     pub fn multiplier(&self, now_ms: u64) -> f64 {
         match *self {

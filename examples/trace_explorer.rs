@@ -11,16 +11,25 @@
 //!
 //! With `--busiest N`, the N highest-latency packet lifecycles are listed
 //! as a table before the detailed walk — the quick way to find where a
-//! heavy-traffic run spent its time.
+//! heavy-traffic run spent its time. With `--sample N` the run keeps only
+//! 1-in-N packet traces (anomalies always kept), and the table carries a
+//! note qualifying what the ranking covers.
+//!
+//! With `--profile <BENCH_profile.json>`, the explorer instead loads a
+//! [`ProfileReport`] written by `cargo run -p bench --bin profile` and
+//! renders its hot-path table and phase tree: where the *simulator's own
+//! wall clock* went, as opposed to where the simulated packets' time went.
 //!
 //! ```text
 //! cargo run --release --example trace_explorer -- \
-//!     [--seed N] [--days N] [--alerts] [--busiest N]
+//!     [--seed N] [--days N] [--alerts] [--busiest N] [--sample N] \
+//!     [--profile <BENCH_profile.json>]
 //! ```
 
 use be_my_guest::mesh::{Mesh, MeshConfig, PathPolicy};
+use be_my_guest::profiler::ProfileReport;
 use be_my_guest::telemetry::{render_packet_trace_with_alerts, render_route_trace_with_alerts};
-use be_my_guest::testnet::{ChaosPlan, Fault, Testnet, TestnetConfig};
+use be_my_guest::testnet::{ChaosPlan, Fault, TelemetryMode, Testnet, TestnetConfig};
 
 const HOUR_MS: u64 = 60 * 60 * 1_000;
 const DAY_MS: u64 = 24 * HOUR_MS;
@@ -30,10 +39,13 @@ fn main() {
     let mut days = 1u64;
     let mut with_alerts = false;
     let mut busiest = 0usize;
+    let mut sample: Option<u64> = None;
+    let mut profile_path: Option<String> = None;
     let args: Vec<String> = std::env::args().collect();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--profile" => profile_path = iter.next().cloned(),
             "--seed" => {
                 if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
                     seed = v;
@@ -50,15 +62,44 @@ fn main() {
                     busiest = v;
                 }
             }
+            "--sample" => sample = iter.next().and_then(|v| v.parse().ok()),
             _ => {}
         }
     }
     let days = days.clamp(1, 30);
 
+    // Profile mode: instead of running a deployment, explain where the
+    // simulator's own wall clock went in a report the `profile` bench
+    // wrote (`cargo run --release -p bench --bin profile -- \
+    //   --profile-json BENCH_profile.json`).
+    if let Some(path) = profile_path {
+        let raw = std::fs::read_to_string(&path).unwrap_or_else(|err| {
+            eprintln!("could not read {path}: {err}");
+            std::process::exit(1);
+        });
+        let report = ProfileReport::from_json(&raw).unwrap_or_else(|err| {
+            eprintln!("{path} is not a profile report: {err}");
+            std::process::exit(1);
+        });
+        println!(
+            "self-profile from {path}: {:.1} s profiled wall across {} phase(s)",
+            report.total_ms / 1_000.0,
+            report.entries.len(),
+        );
+        println!("\nhot paths (self time, top 15):");
+        println!("{}", report.render_table(15));
+        println!("phase tree:");
+        println!("{}", report.render_tree());
+        return;
+    }
+
     // Light traffic so individual packets are easy to follow.
     let mut config = TestnetConfig::small(seed);
     config.workload.outbound_mean_gap_ms = 3 * 60 * 1_000;
     config.workload.inbound_mean_gap_ms = 5 * 60 * 1_000;
+    if let Some(keep_one_in) = sample {
+        config.telemetry = TelemetryMode::Sampled { keep_one_in: keep_one_in.max(1) };
+    }
     if with_alerts {
         // Crash two of the four equal-stake validators for four hours:
         // quorum drops below 2/3, guest finality halts, and the monitor's
@@ -81,6 +122,13 @@ fn main() {
         let mut ranked: Vec<_> = report.packets.iter().collect();
         ranked.sort_by_key(|p| (std::cmp::Reverse(p.last_ms - p.first_ms), p.trace));
         println!("busiest {} packet(s) by lifecycle latency:", busiest.min(ranked.len()));
+        if let Some(sampling) = &report.meta.sampling {
+            println!(
+                "  (note: traces head-sampled 1-in-{} — ranking covers the {} kept \
+                 plus {} always-kept anomalous lifecycles, not the {} dropped)",
+                sampling.keep_one_in, sampling.kept, sampling.escalated, sampling.dropped,
+            );
+        }
         println!(
             "  {:<6} {:>24} {:>12} {:>12} {:>11} {:>9}",
             "trace", "packet", "first ms", "last ms", "latency ms", "complete"

@@ -11,6 +11,7 @@
 //! * [`relayer`] — packet relaying and light-client updates (Alg. 2),
 //! * [`chaos`] — deterministic fault injection and invariant checking,
 //! * [`telemetry`] — deterministic tracing, metrics and run reports,
+//! * [`profiler`] — wall-clock self-profiling with phase attribution,
 //! * [`testnet`] — the discrete-event simulation harness,
 //! * [`mesh`] — multi-chain topologies and multi-hop packet routing,
 //! * [`workload`] — the heavy-traffic workload engine,
@@ -25,6 +26,7 @@ pub use guest_chain;
 pub use host_sim;
 pub use ibc_core;
 pub use mesh;
+pub use profiler;
 pub use relayer;
 pub use sealable_trie;
 pub use sim_crypto;
