@@ -1,0 +1,46 @@
+//! Stacked IBC applications and middleware.
+//!
+//! The host-side [`Module`](ibc_core::router::Module) callbacks of
+//! ICS-26 are a flat surface: one object per port. Real chains layer
+//! cross-cutting concerns — fees, routing, hooks — *around* the
+//! application on that port. This crate provides that layering:
+//!
+//! * [`IbcApplication`] — the innermost packet handler (ICS-20 transfer,
+//!   NFT transfer, interchain accounts, or the echo test app).
+//! * [`Middleware`] — before/after hooks on every packet-lifecycle
+//!   callback (recv, ack, timeout, chan-open). `before_recv` may
+//!   short-circuit with its own ack; `after_recv` may rewrite the ack on
+//!   the way out.
+//! * [`ModuleStack`] — middlewares composed onion-style around an
+//!   application, implementing `Module` so a whole stack binds to a
+//!   port anywhere a bare module did.
+//!
+//! Shipped layers: [`ForwardMiddleware`] (multi-hop routing with
+//! hop-by-hop refund unwinding, generalised over asset kinds via
+//! [`ForwardHooks`]), [`FeeMiddleware`] (ICS-29-style relayer fees with
+//! a conservation invariant), and [`MemoHookMiddleware`] (post-receive
+//! actions dispatched from the memo). Shipped applications:
+//! [`TransferApp`] (ICS-20), [`nft::NftTransferApp`] (ICS-721-style),
+//! [`ica::IcaApp`] (ICS-27-style), and [`EchoApp`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fee;
+pub mod forward;
+pub mod hooks;
+pub mod ica;
+pub mod nft;
+pub mod stack;
+pub mod transfer;
+
+pub use fee::{relayer_account, FeeMiddleware, FeeTotals, PacketFee, FEE_ESCROW_ACCOUNT};
+pub use forward::ForwardMiddleware;
+pub use hooks::{parse_hook, HookMetadata, MemoHookMiddleware};
+pub use ica::{ica_account, ica_execute, ica_register, IcaApp, IcaOp, IcaOutcome, IcaPacketData};
+pub use nft::{send_nft, NftModule, NftPacketData, NftTransferApp};
+pub use stack::{
+    AssetUnit, EchoApp, ForwardHooks, ForwardUnit, IbcApplication, InFlightUnit, InnerStack,
+    Middleware, ModuleStack, RecvDecision, StackCounters, StackRequest,
+};
+pub use transfer::TransferApp;

@@ -1,11 +1,11 @@
 //! Criterion microbenchmarks of the IBC core: commitments, handshakes and
 //! the packet path (proof generation + verification included).
 
+use apps::{EchoApp, ModuleStack};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use ibc_core::channel::{Ordering, Packet, Timeout};
 use ibc_core::client::{MockClient, MockHeader};
 use ibc_core::handler::{HostTime, IbcHandler, ProofData};
-use ibc_core::router::EchoModule;
 use ibc_core::types::PortId;
 use ibc_core::ProvableStore;
 use sealable_trie::Trie;
@@ -28,8 +28,11 @@ fn connected() -> (IbcHandler<Trie>, IbcHandler<Trie>, ibc_core::ChannelId) {
     let mut a = IbcHandler::new(Trie::new());
     let mut b = IbcHandler::new(Trie::new());
     let port = PortId::named("echo");
-    a.bind_port(port.clone(), Box::new(EchoModule::default()));
-    b.bind_port(port.clone(), Box::new(EchoModule::default()));
+    // The echo app rides in an empty (middleware-less) ModuleStack, so
+    // the packet path measured here includes the stack dispatch overhead
+    // every production app pays.
+    a.bind_port(port.clone(), Box::new(ModuleStack::new(Box::new(EchoApp::new()))));
+    b.bind_port(port.clone(), Box::new(ModuleStack::new(Box::new(EchoApp::new()))));
     let ca = a.create_client(Box::new(MockClient::new()));
     let cb = b.create_client(Box::new(MockClient::new()));
 

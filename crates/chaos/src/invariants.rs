@@ -34,6 +34,10 @@ pub enum InvariantKind {
     /// No outbound packet commitment lingers unresolved long past its
     /// timeout (the relayer must deliver, acknowledge or time it out).
     NoOrphanedPacket,
+    /// Every ICS-29 fee unit escrowed by a stacked fee middleware is
+    /// accounted for: the escrow account holds exactly the registered
+    /// pending fees, and escrowed = paid + refunded + pending.
+    FeeConservation,
 }
 
 impl InvariantKind {
@@ -45,6 +49,7 @@ impl InvariantKind {
             InvariantKind::LightClientMonotonic => "light-client-monotonic",
             InvariantKind::StakeConservation => "stake-conservation",
             InvariantKind::NoOrphanedPacket => "no-orphaned-packet",
+            InvariantKind::FeeConservation => "fee-conservation",
         }
     }
 }
@@ -221,6 +226,7 @@ impl InvariantSuite {
     /// guest block.
     pub fn check(&mut self, ctx: &CheckContext<'_>) {
         self.check_conservation(ctx);
+        self.check_fee_conservation(ctx);
         self.check_client_monotonicity(ctx);
         self.check_stake_conservation(ctx);
         self.check_orphaned_packets(ctx);
@@ -316,6 +322,40 @@ impl InvariantSuite {
         }
     }
 
+    /// Audits the ICS-29 fee middleware on both sides, when one is
+    /// stacked: the fee-escrow account must hold exactly the registered
+    /// pending fees, and the escrowed total must split cleanly into
+    /// paid + refunded + pending. Bare (stack-less) modules and stacks
+    /// without a fee layer are vacuously conserving.
+    fn check_fee_conservation(&mut self, ctx: &CheckContext<'_>) {
+        let sides = [
+            ("guest", ctx.contract.ibc().module(&ctx.port)),
+            ("counterparty", ctx.cp.ibc().module(&ctx.port)),
+        ];
+        for (side, module) in sides {
+            let Some(module) = module else { continue };
+            let Some(stack) = module.as_any().downcast_ref::<apps::ModuleStack>() else {
+                continue;
+            };
+            let (Some(fees), Some(ledger)) = (stack.fees(), module.ics20()) else { continue };
+            let imbalance = fees.imbalance(ledger);
+            if imbalance > 0 {
+                let totals = fees.totals();
+                self.record(
+                    ctx.now_ms,
+                    ctx.faults,
+                    InvariantKind::FeeConservation,
+                    format!("fees:{side}"),
+                    format!(
+                        "{imbalance} escrowed fee units unaccounted for on the {side} \
+                         (escrowed {} = paid {} + refunded {} + pending {} + leak)",
+                        totals.escrowed, totals.paid, totals.refunded, totals.pending
+                    ),
+                );
+            }
+        }
+    }
+
     fn check_client_monotonicity(&mut self, ctx: &CheckContext<'_>) {
         if let Ok(client) = ctx.cp.ibc().client(&ctx.guest_client_on_cp) {
             let height = client.latest_height();
@@ -397,9 +437,10 @@ impl InvariantSuite {
     }
 }
 
-/// Downcasts a bound IBC module to the ICS-20 transfer application.
+/// The ICS-20 ledger a bound IBC module fronts, whether it is a bare
+/// transfer module or an application stack wrapping one.
 fn transfer_module<'a>(
     module: Option<&'a (dyn ibc_core::Module + 'a)>,
 ) -> Option<&'a TransferModule> {
-    module?.as_any().downcast_ref::<TransferModule>()
+    module?.ics20()
 }

@@ -1,42 +1,27 @@
-//! Multi-hop ICS-20 forwarding middleware (the packet-forward pattern).
+//! The packet-forward memo vocabulary: routing and refund metadata for
+//! multi-hop transfers.
 //!
-//! Wraps a [`TransferModule`] on the transfer port. An incoming packet
-//! whose memo carries `{"forward": {...}}` routing metadata is not
-//! delivered to its nominal receiver: the middleware credits the funds to
-//! a chain-local *forward account* (stacking this chain's voucher prefix
-//! or releasing escrow, exactly as a normal delivery would) and queues an
-//! outgoing transfer for the next hop, carrying the remaining hop list in
-//! its memo. The host harness drains that queue with
-//! [`crate::ics20::send_transfer`] — packet commitment requires store
-//! access the module callback does not have.
+//! An incoming packet whose memo carries `{"forward": {...}}` is not
+//! delivered to its nominal receiver: a forwarding layer credits the
+//! assets to a chain-local *forward account* (stacking this chain's
+//! voucher prefix or releasing escrow, exactly as a normal delivery
+//! would) and queues an outgoing transfer for the next hop, carrying the
+//! remaining hop list in its memo. Failure unwinds hop-by-hop,
+//! *backwards*: dedicated refund transfers carry
+//! `{"refund": {"channel", "sequence"}}` naming the leg they unwind on
+//! the receiving chain.
 //!
-//! Failure unwinds hop-by-hop, *backwards*. Each forwarded leg is
-//! remembered in an in-flight table keyed by `(source channel, sequence)`.
-//! When a leg times out or is error-acked, the wrapped module first
-//! refunds the forward account (standard ICS-20 refund of the failed
-//! send), then the middleware queues a dedicated *refund transfer* back
-//! toward the previous hop, its memo carrying
-//! `{"refund": {"channel", "sequence"}}` naming the leg it unwinds there.
-//! Intermediate hops relay the refund further back the same way; the
-//! origin chain (which has no in-flight entry for the named leg) delivers
-//! it plainly to the original sender. Every step re-uses the normal
-//! escrow/mint rules, so stacked voucher prefixes unwind to the base
-//! denomination with zero net supply change on every chain.
-//!
-//! The middleware acknowledges forwarded packets with success immediately
-//! rather than deferring the ack to the end of the route; delivery
-//! guarantees over the remaining hops are carried by the refund path.
-
-use std::collections::BTreeMap;
+//! This module defines only that protocol vocabulary — the metadata
+//! shapes and the [`ForwardKind`] correlation handles. The forwarding
+//! middleware itself lives in the `apps` crate as one layer of the
+//! general stacked-middleware mechanism, generalised over asset kinds
+//! (ICS-20 amounts and NFT classes route identically).
 
 use serde::{Deserialize, Serialize};
 
-use crate::channel::{Acknowledgement, Packet};
-use crate::ics20::{FungibleTokenPacketData, TransferModule};
-use crate::router::Module;
-use crate::types::{ChannelId, IbcError, PortId};
+use crate::types::ChannelId;
 
-/// One hop of routing metadata, carried in an ICS-20 memo as
+/// One hop of routing metadata, carried in a transfer memo as
 /// `{"forward": {...}}`; `next` nests the rest of the route.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ForwardMetadata {
@@ -67,14 +52,14 @@ impl ForwardMetadata {
         self
     }
 
-    /// Renders the metadata as an ICS-20 memo string.
+    /// Renders the metadata as a transfer memo string.
     pub fn to_memo(&self) -> String {
         serde_json::to_string(&MemoEnvelope { forward: Some(self.clone()), refund: None })
             .expect("memo serializes")
     }
 }
 
-/// Backward-refund correlation carried in an ICS-20 memo as
+/// Backward-refund correlation carried in a transfer memo as
 /// `{"refund": {...}}`: names the failed outgoing leg — by its source
 /// channel and sequence *on the receiving chain* — that this transfer
 /// unwinds.
@@ -87,51 +72,32 @@ pub struct RefundMetadata {
 }
 
 impl RefundMetadata {
-    /// Renders the metadata as an ICS-20 memo string.
+    /// Renders the metadata as a transfer memo string.
     pub fn to_memo(&self) -> String {
         serde_json::to_string(&MemoEnvelope { forward: None, refund: Some(self.clone()) })
             .expect("memo serializes")
     }
 }
 
-/// The recognised memo shapes. Memos that parse as neither (or not as
-/// JSON at all) are opaque to the middleware and pass straight through to
-/// the wrapped module.
+/// The recognised routing memo shapes. Memos that parse as neither (or
+/// not as JSON at all) are opaque to forwarding layers and pass straight
+/// through to the application.
 #[derive(Debug, Default, Serialize, Deserialize)]
-struct MemoEnvelope {
+pub struct MemoEnvelope {
+    /// Next-hop routing metadata, if present.
     #[serde(default, skip_serializing_if = "Option::is_none")]
-    forward: Option<ForwardMetadata>,
+    pub forward: Option<ForwardMetadata>,
+    /// Backward-refund correlation, if present.
     #[serde(default, skip_serializing_if = "Option::is_none")]
-    refund: Option<RefundMetadata>,
+    pub refund: Option<RefundMetadata>,
 }
 
 impl MemoEnvelope {
-    fn parse(memo: &str) -> Self {
+    /// Parses a memo leniently: anything unrecognised yields the empty
+    /// envelope.
+    pub fn parse(memo: &str) -> Self {
         serde_json::from_str(memo).unwrap_or_default()
     }
-}
-
-/// Book-keeping for one forwarded (outgoing) leg, kept until its ack or
-/// timeout arrives. Everything needed to push the refund one hop further
-/// back if the leg fails.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct InFlightHop {
-    /// Port to send the backward refund over.
-    pub return_port: PortId,
-    /// Channel (on this chain, toward the previous hop) for the refund.
-    pub return_channel: ChannelId,
-    /// The incoming leg's source channel on the *previous* chain — the
-    /// key the previous hop's in-flight table knows that leg by.
-    pub origin_channel: ChannelId,
-    /// The incoming leg's sequence.
-    pub origin_sequence: u64,
-    /// Receiver of the backward refund: the incoming leg's sender (the
-    /// original user when the previous hop is the origin chain).
-    pub refund_receiver: String,
-    /// Local denomination this chain credited and then forwarded.
-    pub denom: String,
-    /// Amount forwarded.
-    pub amount: u128,
 }
 
 /// Why an outgoing transfer was queued — correlation handles for route
@@ -156,274 +122,9 @@ pub enum ForwardKind {
     },
 }
 
-/// An outgoing transfer the middleware wants sent. Module callbacks
-/// cannot commit packets (no store access), so requests queue here and
-/// the harness drains them through [`crate::ics20::send_transfer`] with
-/// the forward account as sender.
-#[derive(Clone, Debug)]
-pub struct ForwardRequest {
-    /// Port to send over.
-    pub port: PortId,
-    /// Channel to send over.
-    pub channel: ChannelId,
-    /// Local denomination to transfer.
-    pub denom: String,
-    /// Amount to transfer.
-    pub amount: u128,
-    /// Receiver on the next chain.
-    pub receiver: String,
-    /// Memo for the outgoing packet (remaining hops, or refund
-    /// correlation, or empty).
-    pub memo: String,
-    /// In-flight record to register — via
-    /// [`ForwardMiddleware::register_in_flight`] — under the sent
-    /// packet's sequence once it is committed. [`None`] for refund legs,
-    /// which are not themselves unwound.
-    pub in_flight: Option<InFlightHop>,
-    /// What triggered this request.
-    pub kind: ForwardKind,
-}
-
-/// ICS-20 middleware implementing multi-hop forwarding and backward
-/// refunds over a wrapped [`TransferModule`].
-///
-/// # Examples
-///
-/// ```
-/// use ibc_core::forward::ForwardMiddleware;
-/// use ibc_core::ics20::TransferModule;
-/// use ibc_core::Module;
-///
-/// let mut module = ForwardMiddleware::new(TransferModule::new(), "hub:forward");
-/// // The wrapped ledger stays reachable for mints and audits.
-/// module.ics20_mut().unwrap().mint("alice", "wsol", 100);
-/// assert_eq!(module.ics20().unwrap().balance("alice", "wsol"), 100);
-/// ```
-#[derive(Debug)]
-pub struct ForwardMiddleware {
-    inner: TransferModule,
-    forward_account: String,
-    in_flight: BTreeMap<(String, u64), InFlightHop>,
-    outbox: Vec<ForwardRequest>,
-}
-
-impl ForwardMiddleware {
-    /// Wraps `inner`, escrowing in-transit funds under `forward_account`.
-    pub fn new(inner: TransferModule, forward_account: impl Into<String>) -> Self {
-        Self {
-            inner,
-            forward_account: forward_account.into(),
-            in_flight: BTreeMap::new(),
-            outbox: Vec::new(),
-        }
-    }
-
-    /// The chain-local account holding funds between hops.
-    pub fn forward_account(&self) -> &str {
-        &self.forward_account
-    }
-
-    /// Drains the queued outgoing transfers.
-    pub fn take_requests(&mut self) -> Vec<ForwardRequest> {
-        std::mem::take(&mut self.outbox)
-    }
-
-    /// Whether any outgoing transfers are waiting to be sent.
-    pub fn has_requests(&self) -> bool {
-        !self.outbox.is_empty()
-    }
-
-    /// Number of forwarded legs awaiting ack or timeout.
-    pub fn in_flight_len(&self) -> usize {
-        self.in_flight.len()
-    }
-
-    /// Records a forwarded leg — call after committing a
-    /// [`ForwardRequest`] carrying `hop`, with the sequence the packet
-    /// was assigned.
-    pub fn register_in_flight(&mut self, channel: &ChannelId, sequence: u64, hop: InFlightHop) {
-        self.in_flight.insert((channel.to_string(), sequence), hop);
-    }
-
-    /// Unwinds a leg whose send failed synchronously (the commit was
-    /// rolled back, so the forward account still holds the funds): queues
-    /// the backward refund immediately. `kind` carries the caller's
-    /// correlation for the failed request.
-    pub fn fail_forward(&mut self, hop: InFlightHop, kind: ForwardKind) {
-        self.queue_refund(hop, kind);
-    }
-
-    fn queue_refund(&mut self, hop: InFlightHop, kind: ForwardKind) {
-        let memo = RefundMetadata {
-            channel: hop.origin_channel.to_string(),
-            sequence: hop.origin_sequence,
-        }
-        .to_memo();
-        self.outbox.push(ForwardRequest {
-            port: hop.return_port.clone(),
-            channel: hop.return_channel.clone(),
-            denom: hop.denom.clone(),
-            amount: hop.amount,
-            receiver: hop.refund_receiver.clone(),
-            memo,
-            in_flight: None,
-            kind,
-        });
-    }
-
-    /// Handles the failure (error ack or timeout) of an outgoing packet:
-    /// if it was a forwarded leg, push the refund one hop further back.
-    /// The wrapped module has already refunded the forward account.
-    fn unwind_failed_leg(&mut self, packet: &Packet) {
-        let key = (packet.source_channel.to_string(), packet.sequence);
-        if let Some(hop) = self.in_flight.remove(&key) {
-            self.queue_refund(
-                hop,
-                ForwardKind::Refund {
-                    failed_channel: packet.source_channel.clone(),
-                    failed_sequence: packet.sequence,
-                },
-            );
-        }
-    }
-}
-
-impl Module for ForwardMiddleware {
-    fn on_recv_packet(&mut self, packet: &Packet) -> Acknowledgement {
-        let Some(data) = FungibleTokenPacketData::decode(&packet.payload) else {
-            return Acknowledgement::Error("malformed ICS-20 packet".into());
-        };
-        let memo = MemoEnvelope::parse(&data.memo);
-        if let Some(forward) = memo.forward {
-            // Intermediate hop: credit the forward account and queue the
-            // next leg instead of delivering to the nominal receiver.
-            let account = self.forward_account.clone();
-            return match self.inner.credit_receiver(packet, &data.denom, data.amount, &account) {
-                Ok(local_denom) => {
-                    let next_memo =
-                        forward.next.as_deref().map(ForwardMetadata::to_memo).unwrap_or_default();
-                    let port = forward
-                        .port
-                        .as_deref()
-                        .map(PortId::named)
-                        .unwrap_or_else(|| packet.destination_port.clone());
-                    self.outbox.push(ForwardRequest {
-                        port,
-                        channel: ChannelId::named(&forward.channel),
-                        denom: local_denom.clone(),
-                        amount: data.amount,
-                        receiver: forward.receiver.clone(),
-                        memo: next_memo,
-                        in_flight: Some(InFlightHop {
-                            return_port: packet.destination_port.clone(),
-                            return_channel: packet.destination_channel.clone(),
-                            origin_channel: packet.source_channel.clone(),
-                            origin_sequence: packet.sequence,
-                            refund_receiver: data.sender.clone(),
-                            denom: local_denom,
-                            amount: data.amount,
-                        }),
-                        kind: ForwardKind::Forward {
-                            incoming_channel: packet.source_channel.clone(),
-                            incoming_sequence: packet.sequence,
-                        },
-                    });
-                    Acknowledgement::Success(b"AQ==".to_vec())
-                }
-                Err(err) => Acknowledgement::Error(err.to_string()),
-            };
-        }
-        if let Some(refund) = memo.refund {
-            // A backward refund arriving. On an intermediate hop the named
-            // leg is in our in-flight table: take custody and relay the
-            // refund further back. On the origin chain it is not — the
-            // plain delivery below returns the funds to the original
-            // sender (named as this transfer's receiver).
-            if let Some(hop) = self.in_flight.remove(&(refund.channel.clone(), refund.sequence)) {
-                let account = self.forward_account.clone();
-                return match self.inner.credit_receiver(packet, &data.denom, data.amount, &account)
-                {
-                    Ok(_) => {
-                        self.queue_refund(
-                            hop,
-                            ForwardKind::Refund {
-                                failed_channel: ChannelId::named(&refund.channel),
-                                failed_sequence: refund.sequence,
-                            },
-                        );
-                        Acknowledgement::Success(b"AQ==".to_vec())
-                    }
-                    Err(err) => Acknowledgement::Error(err.to_string()),
-                };
-            }
-        }
-        self.inner.on_recv_packet(packet)
-    }
-
-    fn on_acknowledge(&mut self, packet: &Packet, ack: &Acknowledgement) -> Result<(), IbcError> {
-        self.inner.on_acknowledge(packet, ack)?;
-        let key = (packet.source_channel.to_string(), packet.sequence);
-        if ack.is_success() {
-            // Leg landed; its book-keeping is done.
-            self.in_flight.remove(&key);
-        } else {
-            self.unwind_failed_leg(packet);
-        }
-        Ok(())
-    }
-
-    fn on_timeout(&mut self, packet: &Packet) -> Result<(), IbcError> {
-        self.inner.on_timeout(packet)?;
-        self.unwind_failed_leg(packet);
-        Ok(())
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
-
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-
-    fn ics20(&self) -> Option<&TransferModule> {
-        Some(&self.inner)
-    }
-
-    fn ics20_mut(&mut self) -> Option<&mut TransferModule> {
-        Some(&mut self.inner)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::channel::Timeout;
-    use crate::ics20::escrow_account;
-
-    const FWD: &str = "hub:forward";
-
-    fn packet(seq: u64, src_chan: u64, dst_chan: u64, data: &FungibleTokenPacketData) -> Packet {
-        Packet {
-            sequence: seq,
-            source_port: PortId::transfer(),
-            source_channel: ChannelId::new(src_chan),
-            destination_port: PortId::transfer(),
-            destination_channel: ChannelId::new(dst_chan),
-            payload: data.encode(),
-            timeout: Timeout::NEVER,
-        }
-    }
-
-    fn data(denom: &str, amount: u128, memo: String) -> FungibleTokenPacketData {
-        FungibleTokenPacketData {
-            denom: denom.into(),
-            amount,
-            sender: "alice".into(),
-            receiver: "bob".into(),
-            memo,
-        }
-    }
 
     #[test]
     fn memo_roundtrip() {
@@ -437,121 +138,5 @@ mod tests {
         // Opaque memos parse to the empty envelope.
         let opaque = MemoEnvelope::parse("invoice 42");
         assert!(opaque.forward.is_none() && opaque.refund.is_none());
-    }
-
-    #[test]
-    fn forward_memo_stacks_voucher_and_queues_next_leg() {
-        let mut mw = ForwardMiddleware::new(TransferModule::new(), FWD);
-        // A foreign token arrives with one more hop to go (send on over
-        // our channel-5 to "carol").
-        let memo = ForwardMetadata::new("carol", &ChannelId::new(5)).to_memo();
-        let incoming = packet(4, 0, 1, &data("wsol", 70, memo));
-        let ack = mw.on_recv_packet(&incoming);
-        assert!(ack.is_success(), "{ack:?}");
-        // Funds sit in the forward account under the stacked denom, not
-        // with the nominal receiver.
-        let local = "transfer/channel-1/wsol";
-        assert_eq!(mw.ics20().unwrap().balance(FWD, local), 70);
-        assert_eq!(mw.ics20().unwrap().balance("bob", local), 0);
-
-        let requests = mw.take_requests();
-        assert_eq!(requests.len(), 1);
-        let req = &requests[0];
-        assert_eq!(req.channel, ChannelId::new(5));
-        assert_eq!((req.denom.as_str(), req.amount, req.receiver.as_str()), (local, 70, "carol"));
-        assert!(req.memo.is_empty(), "last hop carries no further metadata");
-        let hop = req.in_flight.clone().expect("forwarded legs are tracked");
-        assert_eq!(hop.return_channel, ChannelId::new(1));
-        assert_eq!((hop.origin_channel.clone(), hop.origin_sequence), (ChannelId::new(0), 4));
-        assert_eq!(hop.refund_receiver, "alice");
-    }
-
-    #[test]
-    fn failed_leg_unwinds_backwards_and_origin_delivers_refund() {
-        let mut mw = ForwardMiddleware::new(TransferModule::new(), FWD);
-        let memo = ForwardMetadata::new("carol", &ChannelId::new(5)).to_memo();
-        let incoming = packet(4, 0, 1, &data("wsol", 70, memo));
-        assert!(mw.on_recv_packet(&incoming).is_success());
-        let req = mw.take_requests().remove(0);
-        // Harness "sends" the next leg: debit the forward account, then
-        // register the in-flight record under the assigned sequence.
-        let local = req.denom.clone();
-        let out_data = FungibleTokenPacketData {
-            denom: local.clone(),
-            amount: req.amount,
-            sender: FWD.into(),
-            receiver: req.receiver.clone(),
-            memo: req.memo.clone(),
-        };
-        let outgoing = packet(1, 5, 2, &out_data);
-        // The voucher's prefix names channel-1, so sending over channel-5
-        // escrows it (it is not returning home on that channel).
-        mw.ics20_mut()
-            .unwrap()
-            .transfer_internal(FWD, &escrow_account(&ChannelId::new(5)), &local, 70)
-            .unwrap();
-        mw.register_in_flight(&ChannelId::new(5), 1, req.in_flight.unwrap());
-        assert_eq!(mw.in_flight_len(), 1);
-
-        // The leg times out: inner refund re-mints to the forward
-        // account, then a backward refund is queued over channel-1.
-        mw.on_timeout(&outgoing).unwrap();
-        assert_eq!(mw.in_flight_len(), 0);
-        assert_eq!(mw.ics20().unwrap().balance(FWD, &local), 70);
-        let refund = mw.take_requests().remove(0);
-        assert_eq!(refund.channel, ChannelId::new(1));
-        assert_eq!((refund.denom.as_str(), refund.receiver.as_str()), (local.as_str(), "alice"));
-        assert!(refund.in_flight.is_none());
-        let env = MemoEnvelope::parse(&refund.memo);
-        assert_eq!(env.refund, Some(RefundMetadata { channel: "channel-0".into(), sequence: 4 }));
-
-        // On the origin chain (no in-flight entry for channel-0 #4) the
-        // refund transfer is a plain delivery back to the sender.
-        let mut origin = ForwardMiddleware::new(TransferModule::new(), "origin:forward");
-        origin.ics20_mut().unwrap().mint(&escrow_account(&ChannelId::new(0)), "wsol", 70);
-        let refund_data = FungibleTokenPacketData {
-            denom: "transfer/channel-1/wsol".into(),
-            amount: 70,
-            sender: FWD.into(),
-            receiver: "alice".into(),
-            memo: refund.memo.clone(),
-        };
-        // Arrives over the reverse direction of the original leg.
-        let refund_packet = packet(9, 1, 0, &refund_data);
-        assert!(origin.on_recv_packet(&refund_packet).is_success());
-        assert_eq!(origin.ics20().unwrap().balance("alice", "wsol"), 70);
-        assert_eq!(origin.ics20().unwrap().balance(&escrow_account(&ChannelId::new(0)), "wsol"), 0);
-    }
-
-    #[test]
-    fn success_ack_clears_in_flight_without_refund() {
-        let mut mw = ForwardMiddleware::new(TransferModule::new(), FWD);
-        let memo = ForwardMetadata::new("carol", &ChannelId::new(5)).to_memo();
-        assert!(mw.on_recv_packet(&packet(4, 0, 1, &data("wsol", 70, memo))).is_success());
-        let req = mw.take_requests().remove(0);
-        let out_data = FungibleTokenPacketData {
-            denom: req.denom.clone(),
-            amount: req.amount,
-            sender: FWD.into(),
-            receiver: req.receiver,
-            memo: req.memo,
-        };
-        let outgoing = packet(1, 5, 2, &out_data);
-        mw.ics20_mut()
-            .unwrap()
-            .transfer_internal(FWD, &escrow_account(&ChannelId::new(5)), &req.denom, 70)
-            .unwrap();
-        mw.register_in_flight(&ChannelId::new(5), 1, req.in_flight.unwrap());
-        mw.on_acknowledge(&outgoing, &Acknowledgement::Success(b"AQ==".to_vec())).unwrap();
-        assert_eq!(mw.in_flight_len(), 0);
-        assert!(!mw.has_requests());
-    }
-
-    #[test]
-    fn plain_transfers_pass_through_to_inner() {
-        let mut mw = ForwardMiddleware::new(TransferModule::new(), FWD);
-        let incoming = packet(1, 0, 1, &data("wsol", 30, String::new()));
-        assert!(mw.on_recv_packet(&incoming).is_success());
-        assert_eq!(mw.ics20().unwrap().balance("bob", "transfer/channel-1/wsol"), 30);
     }
 }

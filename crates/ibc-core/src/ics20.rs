@@ -112,7 +112,7 @@ pub fn base_denom(denom: &str) -> (&str, usize) {
 /// bank.mint("alice", "sol", 100);
 /// assert_eq!(bank.balance("alice", "sol"), 100);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct TransferModule {
     balances: HashMap<(String, String), u128>,
 }
@@ -175,7 +175,14 @@ impl TransferModule {
 
     /// The book-keeping run when this chain *sends* `data` over
     /// `(port, channel)`: burn returning vouchers, escrow native tokens.
-    pub(crate) fn debit_sender(
+    ///
+    /// Public so application/middleware crates (e.g. the packet-forward
+    /// middleware in `apps`) can drive the same escrow discipline.
+    ///
+    /// # Errors
+    ///
+    /// [`IbcError::AppError`] when the sender's balance is insufficient.
+    pub fn debit_sender(
         &mut self,
         port_id: &PortId,
         channel_id: &ChannelId,
@@ -196,7 +203,11 @@ impl TransferModule {
     }
 
     /// Reverses [`Self::debit_sender`] after an error ack or a timeout.
-    pub(crate) fn refund_sender(
+    ///
+    /// # Errors
+    ///
+    /// [`IbcError::AppError`] when the escrow balance is insufficient.
+    pub fn refund_sender(
         &mut self,
         port_id: &PortId,
         channel_id: &ChannelId,
@@ -219,7 +230,12 @@ impl TransferModule {
     /// `packet`'s destination end, crediting `account`: release escrowed
     /// tokens when the denom is returning home, mint a locally-prefixed
     /// voucher otherwise. Returns the local denomination credited.
-    pub(crate) fn credit_receiver(
+    ///
+    /// # Errors
+    ///
+    /// [`IbcError::AppError`] when a returning token's escrow cannot
+    /// cover the amount.
+    pub fn credit_receiver(
         &mut self,
         packet: &Packet,
         denom: &str,

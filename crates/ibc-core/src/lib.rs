@@ -70,7 +70,7 @@ pub use channel::{Acknowledgement, ChannelEnd, ChannelState, Ordering, Packet, T
 pub use client::{ConsensusState, LightClient};
 pub use connection::{ConnectionEnd, ConnectionState};
 pub use events::IbcEvent;
-pub use forward::{ForwardKind, ForwardMetadata, ForwardMiddleware, ForwardRequest, InFlightHop};
+pub use forward::{ForwardKind, ForwardMetadata, MemoEnvelope, RefundMetadata};
 pub use handler::{
     HandlerConfig, HostTime, IbcHandler, ProofData, SelfConsensusProof, SelfHistory,
 };

@@ -30,6 +30,8 @@ pub mod routing;
 pub mod topology;
 
 pub use link::Link;
-pub use mesh::{Mesh, MeshError, Node, RouteStatus, TrafficOutcome};
+pub use mesh::{
+    ica_port, nft_port, Mesh, MeshError, Node, RouteStatus, TrafficOutcome, ICA_AIRDROP,
+};
 pub use routing::{PathPolicy, RouteHop, RoutingTable};
 pub use topology::{chain_denom, chain_name, ChainSpec, HostProfile, LinkSpec, MeshConfig};

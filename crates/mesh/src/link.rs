@@ -48,6 +48,14 @@ pub struct Link {
     pub a_channel: ChannelId,
     /// Transfer channel on B.
     pub b_channel: ChannelId,
+    /// NFT channel on A.
+    pub a_nft_channel: ChannelId,
+    /// NFT channel on B.
+    pub b_nft_channel: ChannelId,
+    /// Interchain-accounts channel on A.
+    pub a_ica_channel: ChannelId,
+    /// Interchain-accounts channel on B.
+    pub b_ica_channel: ChannelId,
     /// Client on A tracking B.
     pub a_client: ClientId,
     /// Client on B tracking A.
@@ -93,14 +101,48 @@ impl Link {
             &self.b_channel
         }
     }
+
+    /// The local NFT channel of `node` on this link.
+    pub fn nft_channel_of(&self, node: usize) -> &ChannelId {
+        if node == self.a {
+            &self.a_nft_channel
+        } else {
+            &self.b_nft_channel
+        }
+    }
+
+    /// The local interchain-accounts channel of `node` on this link.
+    pub fn ica_channel_of(&self, node: usize) -> &ChannelId {
+        if node == self.a {
+            &self.a_ica_channel
+        } else {
+            &self.b_ica_channel
+        }
+    }
 }
 
-/// What [`open_link`] established.
+/// What [`open_link`] established: one connection pair carrying a
+/// channel per application port.
 pub(crate) struct LinkEnds {
     pub a_channel: ChannelId,
     pub b_channel: ChannelId,
+    pub a_nft_channel: ChannelId,
+    pub b_nft_channel: ChannelId,
+    pub a_ica_channel: ChannelId,
+    pub b_ica_channel: ChannelId,
     pub a_client: ClientId,
     pub b_client: ClientId,
+}
+
+/// The application ports every mesh link carries, with their channel
+/// versions: ICS-20 transfer, ICS-721-style NFT transfer, and
+/// ICS-27-style interchain accounts.
+pub(crate) fn link_ports() -> [(PortId, &'static str); 3] {
+    [
+        (PortId::transfer(), "ics20-1"),
+        (PortId::named("nft"), "ics721-1"),
+        (PortId::named("ica"), "ica-1"),
+    ]
 }
 
 /// A proof of `key` from `chain`'s current store, attributed to its
@@ -126,8 +168,9 @@ fn publish(
 }
 
 /// Runs the full client/connection/channel handshake between `a` and `b`,
-/// advancing the shared clock as blocks are produced. The transfer port
-/// must already be bound on both chains.
+/// advancing the shared clock as blocks are produced: one connection
+/// pair, then one channel per [`link_ports`] entry over it. All app
+/// ports must already be bound on both chains.
 ///
 /// # Errors
 ///
@@ -137,8 +180,6 @@ pub(crate) fn open_link(
     b: &mut CounterpartyChain,
     clock_ms: &mut u64,
 ) -> Result<LinkEnds, IbcError> {
-    let port = PortId::transfer();
-
     // Clients each way, trusting the peer's current validator set.
     let a_client = a.ibc_mut().create_client(Box::new(CpLightClient::new(b.validator_set())));
     let b_client = b.ibc_mut().create_client(Box::new(CpLightClient::new(a.validator_set())));
@@ -164,41 +205,58 @@ pub(crate) fn open_link(
     let proof_ack = prove(a, &path::connection(&a_conn))?;
     b.ibc_mut().conn_open_confirm(&b_conn, proof_ack)?;
 
-    // Channel handshake, same dance on the transfer port.
-    let a_channel = a.ibc_mut().chan_open_init(
-        port.clone(),
-        a_conn.clone(),
-        port.clone(),
-        Ordering::Unordered,
-        "ics20-1",
-    )?;
-    publish(a, b, &b_client, clock_ms)?;
-    let proof_init = prove(a, &path::channel(&port, &a_channel))?;
-    let b_channel = b.ibc_mut().chan_open_try(
-        port.clone(),
-        b_conn,
-        port.clone(),
-        a_channel.clone(),
-        Ordering::Unordered,
-        "ics20-1",
-        proof_init,
-    )?;
-    publish(b, a, &a_client, clock_ms)?;
-    let proof_try = prove(b, &path::channel(&port, &b_channel))?;
-    a.ibc_mut().chan_open_ack(&port, &a_channel, b_channel.clone(), proof_try)?;
-    publish(a, b, &b_client, clock_ms)?;
-    let proof_ack = prove(a, &path::channel(&port, &a_channel))?;
-    b.ibc_mut().chan_open_confirm(&port, &b_channel, proof_ack)?;
+    // Channel handshake per app port, same dance over the one connection.
+    let mut channels = Vec::new();
+    for (port, version) in link_ports() {
+        let a_channel = a.ibc_mut().chan_open_init(
+            port.clone(),
+            a_conn.clone(),
+            port.clone(),
+            Ordering::Unordered,
+            version,
+        )?;
+        publish(a, b, &b_client, clock_ms)?;
+        let proof_init = prove(a, &path::channel(&port, &a_channel))?;
+        let b_channel = b.ibc_mut().chan_open_try(
+            port.clone(),
+            b_conn.clone(),
+            port.clone(),
+            a_channel.clone(),
+            Ordering::Unordered,
+            version,
+            proof_init,
+        )?;
+        publish(b, a, &a_client, clock_ms)?;
+        let proof_try = prove(b, &path::channel(&port, &b_channel))?;
+        a.ibc_mut().chan_open_ack(&port, &a_channel, b_channel.clone(), proof_try)?;
+        publish(a, b, &b_client, clock_ms)?;
+        let proof_ack = prove(a, &path::channel(&port, &a_channel))?;
+        b.ibc_mut().chan_open_confirm(&port, &b_channel, proof_ack)?;
+        channels.push((a_channel, b_channel));
+    }
+    let [(a_channel, b_channel), (a_nft_channel, b_nft_channel), (a_ica_channel, b_ica_channel)]: [(
+        ChannelId,
+        ChannelId,
+    );
+        3] = channels.try_into().expect("one channel pair per link port");
 
-    Ok(LinkEnds { a_channel, b_channel, a_client, b_client })
+    Ok(LinkEnds {
+        a_channel,
+        b_channel,
+        a_nft_channel,
+        b_nft_channel,
+        a_ica_channel,
+        b_ica_channel,
+        a_client,
+        b_client,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use apps::{ForwardMiddleware, IcaApp, ModuleStack, NftTransferApp, TransferApp};
     use counterparty_sim::CounterpartyConfig;
-    use ibc_core::forward::ForwardMiddleware;
-    use ibc_core::ics20::TransferModule;
 
     fn chain(seed: u64) -> CounterpartyChain {
         let config = CounterpartyConfig {
@@ -210,8 +268,18 @@ mod tests {
         let mut chain = CounterpartyChain::new(config, seed);
         chain.ibc_mut().bind_port(
             PortId::transfer(),
-            Box::new(ForwardMiddleware::new(TransferModule::new(), "fwd")),
+            Box::new(
+                ModuleStack::new(Box::new(TransferApp::new()))
+                    .with(Box::new(ForwardMiddleware::new("fwd"))),
+            ),
         );
+        chain.ibc_mut().bind_port(
+            PortId::named("nft"),
+            Box::new(ModuleStack::new(Box::new(NftTransferApp::new()))),
+        );
+        chain
+            .ibc_mut()
+            .bind_port(PortId::named("ica"), Box::new(ModuleStack::new(Box::new(IcaApp::new()))));
         chain
     }
 

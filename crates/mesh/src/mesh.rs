@@ -2,8 +2,10 @@
 //! route-level bookkeeping, all on one shared simulated clock.
 //!
 //! [`Mesh::build`] turns a [`MeshConfig`] into live chains (each binding a
-//! [`ForwardMiddleware`]-wrapped ICS-20 ledger on the transfer port) and
-//! opens every configured link with a full handshake.
+//! full [`ModuleStack`] — fee, memo-hook and forward middleware around the
+//! ICS-20 transfer app — on the transfer port, plus NFT-transfer and
+//! interchain-accounts stacks on their own ports) and opens every
+//! configured link with a full handshake.
 //! [`Mesh::send_along_route`] picks a path with the routing table, encodes
 //! the remaining hops into the ICS-20 memo, and tracks the resulting
 //! route end to end: one telemetry route trace linking every per-hop
@@ -24,23 +26,32 @@
 
 use std::collections::BTreeMap;
 
+use apps::{
+    AssetUnit, FeeMiddleware, ForwardMiddleware, IcaApp, IcaOp, MemoHookMiddleware, ModuleStack,
+    NftTransferApp, StackRequest, TransferApp,
+};
 use chaos::ChaosController;
 use counterparty_sim::{CounterpartyChain, CpHeader};
 use ibc_core::channel::{Acknowledgement, Packet, Timeout};
-use ibc_core::forward::{ForwardKind, ForwardMetadata, ForwardMiddleware, ForwardRequest};
+use ibc_core::forward::{ForwardKind, ForwardMetadata};
 use ibc_core::handler::ProofData;
 use ibc_core::ics20::{self, TransferModule};
 use ibc_core::types::{IbcError, PortId};
 use ibc_core::{path, IbcEvent, Module};
 use monitor::{
-    AlertRecord, Monitor, MonitorConfig, StalenessDetector, StuckPacketDetector,
-    SupplyDriftDetector,
+    AlertRecord, FeeConservationDetector, Monitor, MonitorConfig, StalenessDetector,
+    StuckPacketDetector, SupplyDriftDetector,
 };
 use telemetry::{names, RunReport, Telemetry, TraceId};
 
 use crate::link::{open_link, prove, Link};
 use crate::routing::{PathPolicy, RouteHop, RoutingTable};
 use crate::topology::MeshConfig;
+
+/// Units of the host chain's native denom airdropped to every newly
+/// registered interchain account, so scripted ICA batches have
+/// something to spend.
+pub const ICA_AIRDROP: u128 = 1_000_000;
 
 /// Errors surfaced by the mesh harness.
 #[derive(Debug)]
@@ -98,7 +109,7 @@ impl Node {
         &self.chain
     }
 
-    /// The chain's ICS-20 ledger (inside the forward middleware).
+    /// The chain's ICS-20 ledger (at the bottom of the transfer stack).
     pub fn transfers(&self) -> &TransferModule {
         self.chain
             .ibc()
@@ -107,6 +118,38 @@ impl Node {
             .ics20()
             .expect("mesh modules expose an ICS-20 ledger")
     }
+
+    /// The full middleware stack on the transfer port.
+    pub fn transfer_stack(&self) -> &ModuleStack {
+        stack(&self.chain, &PortId::transfer())
+    }
+
+    /// The middleware stack on `port`.
+    pub fn stack_on(&self, port: &PortId) -> &ModuleStack {
+        stack(&self.chain, port)
+    }
+
+    /// The chain's NFT transfer app (bottom of the nft-port stack).
+    pub fn nfts(&self) -> &NftTransferApp {
+        stack(&self.chain, &nft_port())
+            .app_as::<NftTransferApp>()
+            .expect("mesh binds the NFT app on the nft port")
+    }
+
+    /// The chain's interchain-accounts app (bottom of the ica-port stack).
+    pub fn ica(&self) -> &IcaApp {
+        stack(&self.chain, &ica_port()).app_as::<IcaApp>().expect("mesh binds the ICA app")
+    }
+}
+
+/// The port the mesh binds its NFT-transfer stacks on.
+pub fn nft_port() -> PortId {
+    PortId::named("nft")
+}
+
+/// The port the mesh binds its interchain-accounts stacks on.
+pub fn ica_port() -> PortId {
+    PortId::named("ica")
 }
 
 /// What one registered leg means for its route.
@@ -202,27 +245,24 @@ fn pair<T>(slice: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
     }
 }
 
-fn middleware_mut<'c>(
-    chain: &'c mut CounterpartyChain,
-    port: &PortId,
-) -> &'c mut ForwardMiddleware {
+fn stack_mut<'c>(chain: &'c mut CounterpartyChain, port: &PortId) -> &'c mut ModuleStack {
     chain
         .ibc_mut()
         .module_mut(port)
-        .expect("mesh binds the transfer port")
+        .expect("mesh binds its app ports")
         .as_any_mut()
-        .downcast_mut::<ForwardMiddleware>()
-        .expect("mesh binds ForwardMiddleware on the transfer port")
+        .downcast_mut::<ModuleStack>()
+        .expect("mesh binds a ModuleStack on every app port")
 }
 
-fn middleware<'c>(chain: &'c CounterpartyChain, port: &PortId) -> &'c ForwardMiddleware {
+fn stack<'c>(chain: &'c CounterpartyChain, port: &PortId) -> &'c ModuleStack {
     chain
         .ibc()
         .module(port)
-        .expect("mesh binds the transfer port")
+        .expect("mesh binds its app ports")
         .as_any()
-        .downcast_ref::<ForwardMiddleware>()
-        .expect("mesh binds ForwardMiddleware on the transfer port")
+        .downcast_ref::<ModuleStack>()
+        .expect("mesh binds a ModuleStack on every app port")
 }
 
 /// The live mesh.
@@ -273,9 +313,32 @@ impl Mesh {
                 sim_crypto::rng::seed_stream(config.seed, &format!("mesh.chain.{i}")).next_u64();
             let mut chain = CounterpartyChain::new(chain_config, seed);
             let forward_account = format!("{}:forward", spec.name);
+            // The production transfer stack: fee outside hooks outside
+            // forward outside the ICS-20 app (`.with` wraps, so the layer
+            // added last is outermost).
             chain.ibc_mut().bind_port(
                 port.clone(),
-                Box::new(ForwardMiddleware::new(TransferModule::new(), forward_account.clone())),
+                Box::new(
+                    ModuleStack::new(Box::new(TransferApp::new()))
+                        .with(Box::new(ForwardMiddleware::new(forward_account.clone())))
+                        .with(Box::new(MemoHookMiddleware::new()))
+                        .with(Box::new(FeeMiddleware::new())),
+                ),
+            );
+            // NFT transfers route multi-hop through the same forward
+            // layer; ICA hosts execute batches against their own bank.
+            chain.ibc_mut().bind_port(
+                nft_port(),
+                Box::new(
+                    ModuleStack::new(Box::new(NftTransferApp::new()))
+                        .with(Box::new(ForwardMiddleware::new(forward_account.clone()))),
+                ),
+            );
+            chain.ibc_mut().bind_port(
+                ica_port(),
+                Box::new(ModuleStack::new(Box::new(
+                    IcaApp::new().with_airdrop(spec.denom.clone(), ICA_AIRDROP),
+                ))),
             );
             nodes.push(Node {
                 name: spec.name.clone(),
@@ -299,14 +362,26 @@ impl Mesh {
                 open_link(&mut a.chain, &mut b.chain, &mut clock_ms)?
             };
             routing.add_edge(ia, ib, spec.fee.message_cost());
-            channel_links.insert((ia, ends.a_channel.as_str().to_string()), links.len());
-            channel_links.insert((ib, ends.b_channel.as_str().to_string()), links.len());
+            for (node, channel) in [
+                (ia, &ends.a_channel),
+                (ib, &ends.b_channel),
+                (ia, &ends.a_nft_channel),
+                (ib, &ends.b_nft_channel),
+                (ia, &ends.a_ica_channel),
+                (ib, &ends.b_ica_channel),
+            ] {
+                channel_links.insert((node, channel.as_str().to_string()), links.len());
+            }
             links.push(Link {
                 label: spec.label(),
                 a: ia,
                 b: ib,
                 a_channel: ends.a_channel,
                 b_channel: ends.b_channel,
+                a_nft_channel: ends.a_nft_channel,
+                b_nft_channel: ends.b_nft_channel,
+                a_ica_channel: ends.a_ica_channel,
+                b_ica_channel: ends.b_ica_channel,
                 a_client: ends.a_client,
                 b_client: ends.b_client,
                 fee: spec.fee,
@@ -353,7 +428,8 @@ impl Mesh {
     /// Installs an online health monitor over the mesh: a per-chain head
     /// staleness watchdog (`chain.staleness` over `mesh.{name}.head`
     /// gauges), the stuck-packet detector over per-leg lifecycle traces,
-    /// and the voucher supply-drift check (`mesh.supply.drift`). Idempotent
+    /// the voucher supply-drift check (`mesh.supply.drift`), and the
+    /// ICS-29 fee-conservation check (`mesh.fees.imbalance`). Idempotent
     /// in effect — installing again replaces the battery and its state.
     pub fn enable_monitor(&mut self, config: MonitorConfig) {
         let targets = self
@@ -365,7 +441,8 @@ impl Mesh {
         monitor
             .push(StalenessDetector::named("chain.staleness", targets))
             .push(StuckPacketDetector::new(config.stuck_packet_slo_ms))
-            .push(SupplyDriftDetector::new(vec!["mesh.supply.drift".into()]));
+            .push(SupplyDriftDetector::new(vec!["mesh.supply.drift".into()]))
+            .push(FeeConservationDetector::new(vec!["mesh.fees.imbalance".into()]));
         self.monitor = Some(monitor);
     }
 
@@ -463,10 +540,32 @@ impl Mesh {
         amount: u128,
     ) -> Result<(), MeshError> {
         let index = self.require(chain)?;
-        middleware_mut(&mut self.nodes[index].chain, &self.port)
+        stack_mut(&mut self.nodes[index].chain, &self.port)
             .ics20_mut()
-            .expect("middleware wraps an ICS-20 ledger")
+            .expect("the transfer stack wraps an ICS-20 ledger")
             .mint(account, denom, amount);
+        Ok(())
+    }
+
+    /// Mints `token` of NFT `class` to `owner` on `chain` (faucet).
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::UnknownChain`]; [`MeshError::Ibc`] when the token
+    /// already exists.
+    pub fn mint_nft(
+        &mut self,
+        chain: &str,
+        class: &str,
+        token: &str,
+        owner: &str,
+    ) -> Result<(), MeshError> {
+        let index = self.require(chain)?;
+        stack_mut(&mut self.nodes[index].chain, &nft_port())
+            .app_as_mut::<NftTransferApp>()
+            .expect("mesh binds the NFT app on the nft port")
+            .nft_mut()
+            .mint(class, token, owner)?;
         Ok(())
     }
 
@@ -483,9 +582,18 @@ impl Mesh {
             .sum()
     }
 
-    /// Forwarded legs still awaiting ack or timeout, across all chains.
+    /// Forwarded legs still awaiting ack or timeout, across all chains
+    /// and app ports.
     pub fn total_in_flight(&self) -> usize {
-        self.nodes.iter().map(|n| middleware(&n.chain, &self.port).in_flight_len()).sum()
+        self.nodes
+            .iter()
+            .map(|n| {
+                [self.port.clone(), nft_port()]
+                    .iter()
+                    .map(|port| stack(&n.chain, port).forward().map_or(0, |f| f.in_flight_len()))
+                    .sum::<usize>()
+            })
+            .sum()
     }
 
     /// The telemetry run report for this mesh run.
@@ -543,6 +651,7 @@ impl Mesh {
             &memo,
             timeout,
         )?;
+        self.escrow_packet_fee(origin, &self.port.clone(), &first_channel, packet.sequence, sender);
 
         let route = self.routes.len();
         let label = format!("route-{route}:{from}->{to}");
@@ -580,12 +689,199 @@ impl Mesh {
         Ok(route)
     }
 
+    /// Starts a routed NFT transfer of `tokens` in `class` and returns
+    /// its route index (into [`Mesh::routes`]). Hops beyond the first
+    /// ride in the NFT packet memo as nested forward metadata, exactly
+    /// like fungible routes — each intermediate chain's NFT forward
+    /// layer re-sends the vouchers (stacking one class prefix per hop)
+    /// and unwinds hop by hop on failure.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::UnknownChain`], [`MeshError::NoRoute`] (also for
+    /// `from == to`), or the origin chain rejecting the send (unknown
+    /// token, wrong owner).
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_nft_along_route(
+        &mut self,
+        from: &str,
+        to: &str,
+        sender: &str,
+        receiver: &str,
+        class: &str,
+        tokens: &[String],
+        policy: &PathPolicy,
+    ) -> Result<usize, MeshError> {
+        let origin = self.require(from)?;
+        let dest = self.require(to)?;
+        let hops = self
+            .routing
+            .route(from, to, policy)
+            .filter(|hops| !hops.is_empty())
+            .ok_or_else(|| MeshError::NoRoute { from: from.to_string(), to: to.to_string() })?;
+
+        let memo = self.route_memo_via(&hops, receiver, Link::nft_channel_of);
+        let first_channel = self.links[hops[0].edge].nft_channel_of(origin).clone();
+        let first_receiver = if hops.len() == 1 {
+            receiver.to_string()
+        } else {
+            self.nodes[hops[0].to].forward_account.clone()
+        };
+        let timeout = Timeout::at_time(self.now_ms + self.config.hop_timeout_ms);
+        let packet = apps::send_nft(
+            self.nodes[origin].chain.ibc_mut(),
+            &nft_port(),
+            &first_channel,
+            class,
+            tokens,
+            sender,
+            &first_receiver,
+            &memo,
+            timeout,
+        )?;
+
+        let route = self.routes.len();
+        let label = format!("route-{route}:{from}->{to}");
+        let trace = self.telemetry.trace_for_route(&label);
+        if let Some(trace) = trace {
+            self.telemetry.event(
+                self.now_ms,
+                names::ROUTE_START,
+                &[trace],
+                &[
+                    ("from", from.into()),
+                    ("to", to.into()),
+                    ("hops", hops.len().into()),
+                    ("denom", class.into()),
+                ],
+            );
+        }
+        self.routes.push(RouteStatus {
+            label,
+            origin,
+            dest,
+            receiver: receiver.to_string(),
+            denom: class.to_string(),
+            amount: tokens.len() as u128,
+            trace,
+            delivered: false,
+            refunded: false,
+            sent_ms: self.now_ms,
+            settled_ms: None,
+        });
+        self.legs.insert(
+            (origin, first_channel.as_str().to_string(), packet.sequence),
+            LegInfo { route, refund: false, final_leg: hops.len() == 1 },
+        );
+        Ok(route)
+    }
+
+    /// Registers an interchain account for `owner` on `host`, controlled
+    /// from `controller`, over their direct link's ica-port channel.
+    /// The host airdrops [`ICA_AIRDROP`] of its native denom into the
+    /// new account once the packet lands.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::UnknownChain`]; [`MeshError::NoRoute`] when the two
+    /// chains share no direct link (ICA channels do not forward); or the
+    /// controller chain rejecting the send.
+    pub fn ica_register_on(
+        &mut self,
+        controller: &str,
+        host: &str,
+        owner: &str,
+    ) -> Result<(), MeshError> {
+        let (ci, channel) = self.ica_endpoint(controller, host)?;
+        let timeout = Timeout::at_time(self.now_ms + self.config.hop_timeout_ms);
+        apps::ica_register(self.nodes[ci].chain.ibc_mut(), &ica_port(), &channel, owner, timeout)?;
+        Ok(())
+    }
+
+    /// Sends an ICA execute batch for `owner` from `controller` to
+    /// `host`. The host runs the batch atomically against its bank; the
+    /// outcome lands controller-side as an [`apps::IcaOutcome`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Mesh::ica_register_on`].
+    pub fn ica_execute_on(
+        &mut self,
+        controller: &str,
+        host: &str,
+        owner: &str,
+        ops: Vec<IcaOp>,
+    ) -> Result<(), MeshError> {
+        let (ci, channel) = self.ica_endpoint(controller, host)?;
+        let timeout = Timeout::at_time(self.now_ms + self.config.hop_timeout_ms);
+        apps::ica_execute(
+            self.nodes[ci].chain.ibc_mut(),
+            &ica_port(),
+            &channel,
+            owner,
+            ops,
+            timeout,
+        )?;
+        Ok(())
+    }
+
+    /// The controller-side ica channel of the direct link between two
+    /// named chains.
+    fn ica_endpoint(
+        &self,
+        controller: &str,
+        host: &str,
+    ) -> Result<(usize, ibc_core::types::ChannelId), MeshError> {
+        let ci = self.require(controller)?;
+        let hi = self.require(host)?;
+        let link = self
+            .links
+            .iter()
+            .find(|l| (l.a == ci && l.b == hi) || (l.a == hi && l.b == ci))
+            .ok_or_else(|| MeshError::NoRoute {
+                from: controller.to_string(),
+                to: host.to_string(),
+            })?;
+        Ok((ci, link.ica_channel_of(ci).clone()))
+    }
+
+    /// Escrows the configured ICS-29 packet fee for a just-committed
+    /// origin send. Best effort: a payer who cannot cover the fee sends
+    /// fee-free and bumps `mesh.fees.unfunded`.
+    fn escrow_packet_fee(
+        &mut self,
+        origin: usize,
+        port: &PortId,
+        channel: &ibc_core::types::ChannelId,
+        sequence: u64,
+        payer: &str,
+    ) {
+        let Some(fee) = self.config.packet_fee else { return };
+        let denom = self.nodes[origin].denom.clone();
+        let escrowed = stack_mut(&mut self.nodes[origin].chain, port)
+            .escrow_fee(channel, sequence, fee, payer, &denom);
+        if escrowed.is_err() {
+            self.telemetry.counter_add("mesh.fees.unfunded", 1);
+        }
+    }
+
     /// Nested forward metadata for `hops[1..]`, rendered as a memo
     /// (empty for direct transfers).
     fn route_memo(&self, hops: &[RouteHop], receiver: &str) -> String {
+        self.route_memo_via(hops, receiver, Link::channel_of)
+    }
+
+    /// [`Mesh::route_memo`] with the per-link channel chosen by `pick`
+    /// (transfer channels for ICS-20 routes, NFT channels for NFT routes).
+    fn route_memo_via(
+        &self,
+        hops: &[RouteHop],
+        receiver: &str,
+        pick: for<'l> fn(&'l Link, usize) -> &'l ibc_core::types::ChannelId,
+    ) -> String {
         let mut meta: Option<ForwardMetadata> = None;
         for (index, hop) in hops.iter().enumerate().skip(1).rev() {
-            let channel = self.links[hop.edge].channel_of(hop.from);
+            let channel = pick(&self.links[hop.edge], hop.from);
             let hop_receiver = if index + 1 == hops.len() {
                 receiver.to_string()
             } else {
@@ -637,6 +933,68 @@ impl Mesh {
             );
         }
         self.telemetry.gauge_set_at(now, "mesh.supply.drift", self.supply_drift() as f64);
+        self.telemetry.gauge_set_at(now, "mesh.fees.imbalance", self.fee_imbalance() as f64);
+        for (label, port) in
+            [("transfer", self.port.clone()), ("nft", nft_port()), ("ica", ica_port())]
+        {
+            let mut received = 0u64;
+            let mut recv_errors = 0u64;
+            let mut acked = 0u64;
+            let mut timed_out = 0u64;
+            for node in &self.nodes {
+                let counters = stack(&node.chain, &port).counters();
+                received += counters.received;
+                recv_errors += counters.recv_errors;
+                acked += counters.acked;
+                timed_out += counters.timed_out;
+            }
+            self.telemetry.gauge_set_at(
+                now,
+                &format!("mesh.apps.{label}.received"),
+                received as f64,
+            );
+            self.telemetry.gauge_set_at(
+                now,
+                &format!("mesh.apps.{label}.recv_errors"),
+                recv_errors as f64,
+            );
+            self.telemetry.gauge_set_at(now, &format!("mesh.apps.{label}.acked"), acked as f64);
+            self.telemetry.gauge_set_at(
+                now,
+                &format!("mesh.apps.{label}.timed_out"),
+                timed_out as f64,
+            );
+        }
+    }
+
+    /// ICS-29 fee-conservation imbalance summed over every chain's
+    /// transfer stack: the gap between registered pending fees and the
+    /// fee-escrow account's actual holdings, plus any escrowed-vs-settled
+    /// leak. Zero on every healthy mesh at every instant.
+    pub fn fee_imbalance(&self) -> u128 {
+        self.nodes
+            .iter()
+            .map(|node| {
+                let stack = node.transfer_stack();
+                let ledger = stack.ics20().expect("the transfer stack wraps an ICS-20 ledger");
+                stack.fees().map_or(0, |fees| fees.imbalance(ledger))
+            })
+            .sum()
+    }
+
+    /// Fee-flow totals summed over every chain's transfer stack.
+    pub fn fee_totals(&self) -> apps::FeeTotals {
+        let mut totals = apps::FeeTotals::default();
+        for node in &self.nodes {
+            if let Some(fees) = node.transfer_stack().fees() {
+                let t = fees.totals();
+                totals.escrowed += t.escrowed;
+                totals.paid += t.paid;
+                totals.refunded += t.refunded;
+                totals.pending += t.pending;
+            }
+        }
+        totals
     }
 
     /// Voucher units in circulation beyond their escrow backing, summed
@@ -665,6 +1023,41 @@ impl Mesh {
                     let minted = receiver_bank.total_supply(&denom);
                     let backing = sender_bank.balance(&escrow, rest);
                     drift += minted.saturating_sub(backing);
+                }
+            }
+        }
+        drift
+    }
+
+    /// NFT analogue of [`Mesh::supply_drift`]: voucher tokens whose
+    /// escrow backing is missing, summed over every link and direction.
+    /// Each voucher class on a receiving chain unwinds one prefix layer
+    /// per link; every token of that class must exist on the sending
+    /// chain under the link channel's escrow account (or as a deeper
+    /// voucher being re-escrowed, which the inner class check covers on
+    /// the next link back). Zero on a clean mesh, whether tokens are at
+    /// rest or hop-escrowed mid-route.
+    pub fn nft_supply_drift(&self) -> u64 {
+        let port = nft_port();
+        let mut drift = 0u64;
+        for link in &self.links {
+            let pairs = [
+                (link.a, &link.a_nft_channel, link.b, &link.b_nft_channel),
+                (link.b, &link.b_nft_channel, link.a, &link.a_nft_channel),
+            ];
+            for (sender, sender_channel, receiver, receiver_channel) in pairs {
+                let receiver_nft = self.nodes[receiver].nfts().nft();
+                let sender_nft = self.nodes[sender].nfts().nft();
+                let escrow = ics20::escrow_account(sender_channel);
+                for class in receiver_nft.classes() {
+                    let Some(rest) = ics20::split_voucher(&class, &port, receiver_channel) else {
+                        continue;
+                    };
+                    for token in receiver_nft.tokens_in(&class) {
+                        if sender_nft.owner_of(rest, &token) != Some(escrow.as_str()) {
+                            drift += 1;
+                        }
+                    }
                 }
             }
         }
@@ -702,6 +1095,15 @@ impl Mesh {
     /// amount came back zero (broke user) are skipped, mirroring the
     /// testnet harness.
     ///
+    /// When the workload's [`workload::AppMix`] routes a share of
+    /// arrivals through the NFT or interchain-account apps, the per-
+    /// arrival app draw comes from its own `(seed, "mesh.traffic.apps")`
+    /// stream — created only for mixed configs, so pure-transfer runs
+    /// keep their exact pre-apps RNG timeline. NFT arrivals mint a fresh
+    /// token on the user's home chain and route it like a transfer; ICA
+    /// arrivals register (first contact) or run a one-op batch against
+    /// the first direct neighbor toward the drawn destination.
+    ///
     /// # Errors
     ///
     /// [`MeshError::Config`] when the topology has fewer than two chains;
@@ -730,6 +1132,12 @@ impl Mesh {
         let until = self.now_ms + duration_ms;
         let mut pending: Option<workload::Arrival> = Some(generator.next_arrival());
         let offset = self.now_ms;
+        let mut app_rng = traffic
+            .apps
+            .is_mixed()
+            .then(|| sim_crypto::rng::seed_stream(seed, "mesh.traffic.apps"));
+        let mut ica_registered: std::collections::BTreeSet<(u32, usize)> = Default::default();
+        let mut nft_seq = 0u64;
         while self.now_ms < until {
             // Fire every arrival due by the *end* of this step, then step.
             let due = self.now_ms + self.config.step_ms;
@@ -748,16 +1156,66 @@ impl Mesh {
                 let (from, denom) = (self.nodes[home].name.clone(), self.nodes[home].denom.clone());
                 let to = self.nodes[dest].name.clone();
                 let user = generator.population().name(arrival.user);
-                match self.send_along_route(
-                    &from,
-                    &to,
-                    &user,
-                    &user,
-                    &denom,
-                    arrival.amount,
-                    &PathPolicy::FewestHops,
-                ) {
-                    Ok(_) => outcome.sent += 1,
+                let app = match app_rng.as_mut() {
+                    Some(rng) => traffic.apps.classify(rng.next_f64()),
+                    None => workload::AppKind::Transfer,
+                };
+                let sent = match app {
+                    workload::AppKind::Transfer => self
+                        .send_along_route(
+                            &from,
+                            &to,
+                            &user,
+                            &user,
+                            &denom,
+                            arrival.amount,
+                            &PathPolicy::FewestHops,
+                        )
+                        .map(|_| ()),
+                    workload::AppKind::Nft => {
+                        let class = format!("{from}-art");
+                        let token = format!("nft-{nft_seq}");
+                        nft_seq += 1;
+                        self.mint_nft(&from, &class, &token, &user).and_then(|()| {
+                            self.send_nft_along_route(
+                                &from,
+                                &to,
+                                &user,
+                                &user,
+                                &class,
+                                &[token],
+                                &PathPolicy::FewestHops,
+                            )
+                            .map(|_| ())
+                        })
+                    }
+                    workload::AppKind::Ica => {
+                        // ICA channels do not forward, so the host is the
+                        // first direct neighbor toward the drawn dest.
+                        let host = self
+                            .routing
+                            .route(&from, &to, &PathPolicy::FewestHops)
+                            .and_then(|hops| hops.first().map(|hop| hop.to));
+                        match host {
+                            Some(hi) => {
+                                let host = self.nodes[hi].name.clone();
+                                if ica_registered.insert((arrival.user, hi)) {
+                                    self.ica_register_on(&from, &host, &user)
+                                } else {
+                                    let op = IcaOp::Send {
+                                        denom: self.nodes[hi].denom.clone(),
+                                        amount: 1 + arrival.amount % 100,
+                                        to: user.clone(),
+                                    };
+                                    self.ica_execute_on(&from, &host, &user, vec![op])
+                                }
+                            }
+                            None => Err(MeshError::NoRoute { from, to }),
+                        }
+                    }
+                };
+                match sent {
+                    Ok(()) => outcome.sent += 1,
                     Err(_) => outcome.unroutable += 1,
                 }
             }
@@ -779,27 +1237,32 @@ impl Mesh {
         Ok(outcome)
     }
 
-    /// Phase 2: commit every queued next-hop / refund transfer.
+    /// Phase 2: commit every queued next-hop / refund transfer, on every
+    /// app port that stacks a forward layer.
     fn drain_outboxes(&mut self, now: u64) {
         for i in 0..self.nodes.len() {
             if self.chaos.chain_halted(&self.nodes[i].name, now) {
                 continue;
             }
-            loop {
-                let requests = middleware_mut(&mut self.nodes[i].chain, &self.port).take_requests();
-                if requests.is_empty() {
-                    break;
-                }
-                for request in requests {
-                    self.send_request(i, request, now);
+            for port in [self.port.clone(), nft_port()] {
+                loop {
+                    let requests = stack_mut(&mut self.nodes[i].chain, &port).take_requests();
+                    if requests.is_empty() {
+                        break;
+                    }
+                    for request in requests {
+                        self.send_request(i, request, now);
+                    }
                 }
             }
         }
     }
 
-    /// Commits one middleware request on `node`, wiring the new leg into
-    /// its route's bookkeeping.
-    fn send_request(&mut self, node: usize, request: ForwardRequest, now: u64) {
+    /// Commits one stack request on `node`, wiring the new leg into its
+    /// route's bookkeeping. The asset kind picks the send path: ICS-20
+    /// transfers and NFT sends commit through the stack on the request's
+    /// own port.
+    fn send_request(&mut self, node: usize, request: StackRequest, now: u64) {
         let route = match &request.kind {
             ForwardKind::Forward { incoming_channel, incoming_sequence } => {
                 let key = (incoming_channel.as_str().to_string(), *incoming_sequence);
@@ -814,25 +1277,37 @@ impl Mesh {
         let is_refund = matches!(request.kind, ForwardKind::Refund { .. });
         let timeout = Timeout::at_time(now + self.config.hop_timeout_ms);
         let sender = self.nodes[node].forward_account.clone();
-        let sent = ics20::send_transfer(
-            self.nodes[node].chain.ibc_mut(),
-            &request.port,
-            &request.channel,
-            &request.denom,
-            request.amount,
-            &sender,
-            &request.receiver,
-            &request.memo,
-            timeout,
-        );
+        let sent = match &request.asset {
+            AssetUnit::Fungible { denom, amount } => ics20::send_transfer(
+                self.nodes[node].chain.ibc_mut(),
+                &request.port,
+                &request.channel,
+                denom,
+                *amount,
+                &sender,
+                &request.receiver,
+                &request.memo,
+                timeout,
+            ),
+            AssetUnit::NonFungible { class, tokens } => apps::send_nft(
+                self.nodes[node].chain.ibc_mut(),
+                &request.port,
+                &request.channel,
+                class,
+                tokens,
+                &sender,
+                &request.receiver,
+                &request.memo,
+                timeout,
+            ),
+        };
         match sent {
             Ok(packet) => {
                 if let Some(hop) = request.in_flight {
-                    middleware_mut(&mut self.nodes[node].chain, &self.port).register_in_flight(
-                        &request.channel,
-                        packet.sequence,
-                        hop,
-                    );
+                    stack_mut(&mut self.nodes[node].chain, &request.port)
+                        .forward_mut()
+                        .expect("forwarded legs originate in a forward layer")
+                        .register_in_flight(&request.channel, packet.sequence, hop);
                 }
                 if let Some(route) = route {
                     self.legs.insert(
@@ -851,8 +1326,17 @@ impl Mesh {
                 // a refund leg that cannot move leaves them parked.
                 self.telemetry.counter_add("mesh.send_errors", 1);
                 match request.in_flight {
-                    Some(hop) => middleware_mut(&mut self.nodes[node].chain, &self.port)
-                        .fail_forward(hop, request.kind),
+                    Some(hop) => {
+                        let kind = request.kind.clone();
+                        let refund = stack_mut(&mut self.nodes[node].chain, &request.port)
+                            .forward_mut()
+                            .expect("forwarded legs originate in a forward layer")
+                            .fail_forward(hop, kind);
+                        // Unwind immediately: the refund leg goes through
+                        // the same commit path (its own failure parks the
+                        // funds via the `None` arm below).
+                        self.send_request(node, refund, now);
+                    }
                     None => self.stuck_refunds += 1,
                 }
             }
@@ -990,19 +1474,7 @@ impl Mesh {
                     &[("chain", chain_field), ("direction", "backward".into())],
                 );
             }
-        } else if leg.final_leg {
-            if !route.delivered {
-                route.delivered = true;
-                route.settled_ms = Some(now);
-                self.telemetry.counter_add("mesh.routes.delivered", 1);
-                self.telemetry.event(
-                    now,
-                    names::ROUTE_DELIVERED,
-                    &route_traces,
-                    &[("chain", chain_field)],
-                );
-            }
-        } else {
+        } else if !leg.final_leg {
             // Intermediate forward hop: the middleware queued the next
             // leg; remember the route so the committed leg inherits it.
             self.telemetry.event(
@@ -1040,6 +1512,10 @@ impl Mesh {
         }
     }
 
+    /// A written acknowledgement is the receiving app's verdict, so a
+    /// route's final leg counts as delivered here — on a *success* ack —
+    /// not on packet receipt: an error ack (receiver rejected the
+    /// credit) settles through the refund path instead.
     fn on_ack_written(&mut self, i: usize, packet: Packet, ack: Acknowledgement, now: u64) {
         let Some(&li) =
             self.channel_links.get(&(i, packet.destination_channel.as_str().to_string()))
@@ -1048,6 +1524,24 @@ impl Mesh {
         };
         let peer = self.links[li].peer_of(i);
         self.emit_packet_event(names::PACKET_ACK_WRITTEN, peer, &packet, now);
+        if ack.is_success() {
+            let key = (peer, packet.source_channel.as_str().to_string(), packet.sequence);
+            if let Some(leg) = self.legs.get(&key).copied() {
+                let route = &mut self.routes[leg.route];
+                if !leg.refund && leg.final_leg && !route.delivered {
+                    route.delivered = true;
+                    route.settled_ms = Some(now);
+                    self.telemetry.counter_add("mesh.routes.delivered", 1);
+                    let route_traces: Vec<TraceId> = route.trace.into_iter().collect();
+                    self.telemetry.event(
+                        now,
+                        names::ROUTE_DELIVERED,
+                        &route_traces,
+                        &[("chain", self.nodes[i].name.as_str().into())],
+                    );
+                }
+            }
+        }
         let link = &mut self.links[li];
         let flow = if link.a == i { &mut link.from_a } else { &mut link.from_b };
         flow.to_ack.push((packet, ack));

@@ -139,6 +139,12 @@ pub struct MeshConfig {
     /// anomalous traces are always kept.
     #[serde(default)]
     pub sample_traces: Option<u64>,
+    /// ICS-29-style packet fee escrowed (in the origin chain's native
+    /// denom, paid by the sender) for every routed transfer's first leg.
+    /// `None` (the default) sends fee-free, byte-identical to meshes
+    /// built before the fee middleware existed.
+    #[serde(default)]
+    pub packet_fee: Option<apps::PacketFee>,
 }
 
 fn default_step_ms() -> u64 {
@@ -183,6 +189,7 @@ impl MeshConfig {
             links: Vec::new(),
             chaos: ChaosPlan::default(),
             sample_traces: None,
+            packet_fee: None,
         }
     }
 

@@ -1,0 +1,193 @@
+//! ICS-721-style NFT routing over the application stacks: an A→B→C
+//! round trip must stack one class prefix per hop and unwind to the
+//! base class with zero net token-supply change, and every failure
+//! path — final-hop error ack, hop timeout, halted chain — must refund
+//! hop by hop until the original owner holds the token again.
+
+use chaos::{ChaosPlan, Fault};
+use ibc_core::ics20::voucher_prefix;
+use mesh::{nft_port, Mesh, MeshConfig, PathPolicy};
+
+const HOP_TIMEOUT_MS: u64 = 120_000;
+const FAULT_UNTIL_MS: u64 = 300_000;
+const SETTLE_BUDGET_MS: u64 = 10 * 60 * 1_000;
+const DRAIN_MS: u64 = 60 * 1_000;
+
+fn line(seed: u64) -> Mesh {
+    let mut config = MeshConfig::line(3, seed);
+    config.hop_timeout_ms = HOP_TIMEOUT_MS;
+    Mesh::build(config).unwrap()
+}
+
+/// The class of `art` as named on chain-c after two hops A→B→C: both
+/// links' receiving-side nft channels, innermost last.
+fn stacked_class(net: &Mesh) -> String {
+    let port = nft_port();
+    let ab = &net.links()[0];
+    let bc = &net.links()[1];
+    format!(
+        "{}{}art",
+        voucher_prefix(&port, &bc.b_nft_channel),
+        voucher_prefix(&port, &ab.b_nft_channel),
+    )
+}
+
+/// Asserts the token sits with `owner` under the base class on chain-a
+/// and nothing NFT-shaped is left anywhere else in the mesh.
+fn assert_token_home(net: &Mesh, owner: &str) {
+    let ledger = net.node("chain-a").unwrap().nfts().nft();
+    assert_eq!(ledger.owner_of("art", "mona-lisa"), Some(owner), "token must sit with {owner}");
+    assert_eq!(ledger.total_tokens(), 1, "chain-a must hold exactly the original");
+    assert_eq!(net.nft_supply_drift(), 0, "every voucher needs escrow backing");
+    assert_eq!(net.total_in_flight(), 0, "no forwarded leg may stay open");
+    assert_eq!(net.stuck_refunds(), 0);
+}
+
+#[test]
+fn nft_round_trip_unwinds_to_base_class_with_zero_net_supply_change() {
+    let mut net = line(31);
+    net.mint_nft("chain-a", "art", "mona-lisa", "alice").unwrap();
+
+    let out = net
+        .send_nft_along_route(
+            "chain-a",
+            "chain-c",
+            "alice",
+            "carol",
+            "art",
+            &["mona-lisa".into()],
+            &PathPolicy::FewestHops,
+        )
+        .unwrap();
+    assert!(net.run_until_settled(out, SETTLE_BUDGET_MS), "outbound trip must settle");
+    assert!(net.routes()[out].delivered);
+
+    // On chain-c the token exists under the doubly-prefixed class, and
+    // each hop back holds an escrowed original: zero drift mid-journey.
+    let stacked = stacked_class(&net);
+    let c_ledger = net.node("chain-c").unwrap().nfts().nft();
+    assert_eq!(c_ledger.owner_of(&stacked, "mona-lisa"), Some("carol"));
+    assert_eq!(net.nft_supply_drift(), 0);
+
+    let back = net
+        .send_nft_along_route(
+            "chain-c",
+            "chain-a",
+            "carol",
+            "alice",
+            &stacked,
+            &["mona-lisa".into()],
+            &PathPolicy::FewestHops,
+        )
+        .unwrap();
+    assert!(net.run_until_settled(back, SETTLE_BUDGET_MS), "return trip must settle");
+    net.run_for(DRAIN_MS);
+
+    assert!(net.routes()[back].delivered);
+    assert_token_home(&net, "alice");
+    // The vouchers burned on the way home: chains b and c end empty.
+    for chain in ["chain-b", "chain-c"] {
+        assert_eq!(
+            net.node(chain).unwrap().nfts().nft().total_tokens(),
+            0,
+            "{chain} must be empty"
+        );
+    }
+}
+
+#[test]
+fn final_hop_error_ack_refunds_the_nft_hop_by_hop() {
+    let mut net = line(32);
+    net.mint_nft("chain-a", "art", "mona-lisa", "alice").unwrap();
+    // Squat the exact voucher identity the final mint would create:
+    // chain-c then answers the second leg with an error ack, and the
+    // refund must unwind B→A.
+    let stacked = stacked_class(&net);
+    net.mint_nft("chain-c", &stacked, "mona-lisa", "mallory").unwrap();
+
+    let route = net
+        .send_nft_along_route(
+            "chain-a",
+            "chain-c",
+            "alice",
+            "carol",
+            "art",
+            &["mona-lisa".into()],
+            &PathPolicy::FewestHops,
+        )
+        .unwrap();
+    assert!(net.run_until_settled(route, SETTLE_BUDGET_MS), "route must settle on the error ack");
+    net.run_for(DRAIN_MS);
+
+    assert!(net.routes()[route].refunded, "error ack must refund, not deliver");
+    assert!(!net.routes()[route].delivered);
+    let a_ledger = net.node("chain-a").unwrap().nfts().nft();
+    assert_eq!(a_ledger.owner_of("art", "mona-lisa"), Some("alice"));
+    // Only the squatter's token remains on chain-c; chain-b burned its
+    // intermediate voucher when the refund passed through.
+    let c_ledger = net.node("chain-c").unwrap().nfts().nft();
+    assert_eq!(c_ledger.owner_of(&stacked, "mona-lisa"), Some("mallory"));
+    assert_eq!(net.node("chain-b").unwrap().nfts().nft().total_tokens(), 0);
+    assert_eq!(net.total_in_flight(), 0);
+    assert_eq!(net.stuck_refunds(), 0);
+}
+
+#[test]
+fn halted_final_chain_times_out_the_forwarded_nft_leg() {
+    let mut config = MeshConfig::line(3, 33);
+    config.hop_timeout_ms = HOP_TIMEOUT_MS;
+    config.chaos =
+        ChaosPlan::new(33).with(0, FAULT_UNTIL_MS, Fault::ChainHalt { chain: "chain-c".into() });
+    let mut net = Mesh::build(config).unwrap();
+    net.mint_nft("chain-a", "art", "mona-lisa", "alice").unwrap();
+
+    let route = net
+        .send_nft_along_route(
+            "chain-a",
+            "chain-c",
+            "alice",
+            "carol",
+            "art",
+            &["mona-lisa".into()],
+            &PathPolicy::FewestHops,
+        )
+        .unwrap();
+    assert!(net.run_until_settled(route, SETTLE_BUDGET_MS), "route must settle after the halt");
+    net.run_for(DRAIN_MS);
+
+    // A→B delivered, then B→C expired: the forward layer's refund leg
+    // must carry the token backwards B→A.
+    assert!(net.routes()[route].refunded);
+    assert_token_home(&net, "alice");
+    assert_eq!(net.node("chain-b").unwrap().nfts().nft().total_tokens(), 0);
+    assert_eq!(net.node("chain-c").unwrap().nfts().nft().total_tokens(), 0);
+}
+
+#[test]
+fn halted_middle_chain_reverses_the_origin_escrow() {
+    let mut config = MeshConfig::line(3, 34);
+    config.hop_timeout_ms = HOP_TIMEOUT_MS;
+    config.chaos =
+        ChaosPlan::new(34).with(0, FAULT_UNTIL_MS, Fault::ChainHalt { chain: "chain-b".into() });
+    let mut net = Mesh::build(config).unwrap();
+    net.mint_nft("chain-a", "art", "mona-lisa", "alice").unwrap();
+
+    let route = net
+        .send_nft_along_route(
+            "chain-a",
+            "chain-c",
+            "alice",
+            "carol",
+            "art",
+            &["mona-lisa".into()],
+            &PathPolicy::FewestHops,
+        )
+        .unwrap();
+    assert!(net.run_until_settled(route, SETTLE_BUDGET_MS), "route must settle after the halt");
+    net.run_for(DRAIN_MS);
+
+    // The first leg never reached B: the origin chain timed the packet
+    // out itself and moved the token straight out of escrow.
+    assert!(net.routes()[route].refunded);
+    assert_token_home(&net, "alice");
+}

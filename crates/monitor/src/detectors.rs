@@ -397,9 +397,61 @@ impl Detector for SupplyDriftDetector {
     }
 }
 
+// ---------------------------------------------------------------------------
+// fee conservation
+
+/// Alerts whenever a fee-imbalance gauge is non-zero: the harness asks
+/// each chain's fee middleware for its conservation imbalance
+/// (`escrowed == paid + refunded + pending`, and the ledger's fee-escrow
+/// balance equals the pending sum) and publishes the chain-wide total;
+/// any non-zero value means escrowed fees leaked or were double-spent.
+pub struct FeeConservationDetector {
+    gauges: Vec<String>,
+}
+
+impl FeeConservationDetector {
+    /// Detector over the given imbalance gauges.
+    pub fn new(gauges: Vec<String>) -> Self {
+        Self { gauges }
+    }
+}
+
+impl Detector for FeeConservationDetector {
+    fn name(&self) -> &'static str {
+        "fee.conservation"
+    }
+
+    fn evaluate(&mut self, _now_ms: u64, telemetry: &Telemetry) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for gauge in &self.gauges {
+            let Some(imbalance) = telemetry.gauge(gauge) else { continue };
+            if imbalance > 0.0 {
+                findings.push(Finding::new(
+                    gauge.clone(),
+                    format!("{imbalance} escrowed fee units unaccounted for"),
+                ));
+            }
+        }
+        findings
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fee_conservation_fires_on_any_imbalance() {
+        let telemetry = Telemetry::recording();
+        let mut detector = FeeConservationDetector::new(vec!["mesh.fees.imbalance".into()]);
+        assert!(detector.evaluate(0, &telemetry).is_empty(), "unwired gauges ignored");
+        telemetry.gauge_set_at(10, "mesh.fees.imbalance", 0.0);
+        assert!(detector.evaluate(10, &telemetry).is_empty());
+        telemetry.gauge_set_at(20, "mesh.fees.imbalance", 7.0);
+        let findings = detector.evaluate(20, &telemetry);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].target, "mesh.fees.imbalance");
+    }
 
     #[test]
     fn staleness_fires_only_past_the_slo_and_ignores_unwired_gauges() {

@@ -54,8 +54,8 @@ mod monitor;
 pub use alerts::{AlertBook, AlertRecord, Finding};
 pub use config::{MonitorConfig, DAY_MS, HOUR_MS, MINUTE_MS};
 pub use detectors::{
-    Detector, LatencyRegressionDetector, RateSpikeDetector, RunwayDetector, StalenessDetector,
-    StuckPacketDetector, SupplyDriftDetector,
+    Detector, FeeConservationDetector, LatencyRegressionDetector, RateSpikeDetector,
+    RunwayDetector, StalenessDetector, StuckPacketDetector, SupplyDriftDetector,
 };
 pub use eval::{
     fault_kind, relevant_detectors, score, EvalReport, EventScore, KindScore, ALL_FAULT_KINDS,

@@ -9,10 +9,10 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use apps::{FeeMiddleware, MemoHookMiddleware, ModuleStack, TransferApp};
 use counterparty_sim::{CounterpartyChain, CpLightClient};
 use guest_chain::{GuestContract, GuestError, GuestHeader, GuestLightClient};
 use ibc_core::handler::ProofData;
-use ibc_core::ics20::TransferModule;
 use ibc_core::types::{ChannelId, ClientId, ConnectionId, PortId};
 use ibc_core::{Ordering, ProvableStore};
 use sim_crypto::schnorr::Keypair;
@@ -86,9 +86,22 @@ fn cp_proof(cp: &CounterpartyChain, height: u64, key: &[u8]) -> Result<ProofData
     Ok(ProofData { height, bytes })
 }
 
+/// The transfer-port module stack both ends of the guest↔counterparty
+/// link bind: an ICS-20 [`TransferApp`] wrapped by memo-hook and fee
+/// middleware (innermost to outermost). No forward layer — this link is
+/// a single hop, and the harness's inbound packets carry routing-shaped
+/// memos purely for size realism.
+fn transfer_stack() -> Box<ModuleStack> {
+    Box::new(
+        ModuleStack::new(Box::new(TransferApp::new()))
+            .with(Box::new(MemoHookMiddleware::new()))
+            .with(Box::new(FeeMiddleware::new())),
+    )
+}
+
 /// Establishes clients, a connection and an ICS-20 transfer channel between
-/// `contract` (the guest) and `cp`, binding a fresh [`TransferModule`] on
-/// each side.
+/// `contract` (the guest) and `cp`, binding a fresh transfer module stack
+/// (ICS-20 app + memo-hook + fee middleware) on each side.
 ///
 /// `clock_ms` advances as the handshake progresses; host heights are taken
 /// from `host_height`.
@@ -118,10 +131,10 @@ pub fn connect_chains(
         .ibc_mut()
         .create_client(Box::new(GuestLightClient::from_genesis(&genesis, genesis_epoch)));
 
-    // Transfer modules.
+    // Transfer module stacks.
     let port = PortId::transfer();
-    contract.borrow_mut().bind_port(port.clone(), Box::new(TransferModule::new()));
-    cp.ibc_mut().bind_port(port.clone(), Box::new(TransferModule::new()));
+    contract.borrow_mut().bind_port(port.clone(), transfer_stack());
+    cp.ibc_mut().bind_port(port.clone(), transfer_stack());
 
     // Connection handshake: Init on the guest…
     let guest_connection = contract

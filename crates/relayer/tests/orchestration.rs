@@ -59,11 +59,7 @@ impl World {
         {
             let mut guard = contract.borrow_mut();
             let module = guard.ibc_mut().module_mut(&endpoints.port).unwrap();
-            module
-                .as_any_mut()
-                .downcast_mut::<ibc_core::ics20::TransferModule>()
-                .unwrap()
-                .mint("alice", "wsol", 1_000_000);
+            module.ics20_mut().unwrap().mint("alice", "wsol", 1_000_000);
         }
         let relayer = Relayer::new(
             RelayerConfig::default(),

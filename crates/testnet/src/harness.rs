@@ -16,7 +16,6 @@ use guest_chain::{
 };
 use host_sim::{rent, FeePolicy, HostChain, Instruction, Pubkey, Transaction};
 use ibc_core::channel::Timeout;
-use ibc_core::ics20::TransferModule;
 use monitor::{AlertRecord, Monitor};
 use profiler::{ProfileReport, Profiler};
 use relayer::{connect_chains, Endpoints, Relayer, RelayerFleet};
@@ -231,19 +230,11 @@ impl Testnet {
             let mut guard = contract.borrow_mut();
             let module =
                 guard.ibc_mut().module_mut(&endpoints.port).expect("transfer module bound");
-            module.as_any_mut().downcast_mut::<TransferModule>().expect("ICS-20 module").mint(
-                GUEST_USER,
-                GUEST_DENOM,
-                u128::MAX / 4,
-            );
+            module.ics20_mut().expect("ICS-20 ledger").mint(GUEST_USER, GUEST_DENOM, u128::MAX / 4);
         }
         {
             let module = cp.ibc_mut().module_mut(&endpoints.port).expect("transfer module bound");
-            module.as_any_mut().downcast_mut::<TransferModule>().expect("ICS-20 module").mint(
-                CP_USER,
-                CP_DENOM,
-                u128::MAX / 4,
-            );
+            module.ics20_mut().expect("ICS-20 ledger").mint(CP_USER, CP_DENOM, u128::MAX / 4);
         }
 
         let fisherman_payer = Pubkey::from_label("fisherman-payer");
@@ -275,9 +266,8 @@ impl Testnet {
                     .ibc_mut()
                     .module_mut(&endpoints.port)
                     .expect("transfer module bound")
-                    .as_any_mut()
-                    .downcast_mut::<TransferModule>()
-                    .expect("ICS-20 module");
+                    .ics20_mut()
+                    .expect("ICS-20 ledger");
                 for user in 0..generator.config().users {
                     module.mint(
                         &generator.population().name(user),
@@ -291,9 +281,8 @@ impl Testnet {
                     .ibc_mut()
                     .module_mut(&endpoints.port)
                     .expect("transfer module bound")
-                    .as_any_mut()
-                    .downcast_mut::<TransferModule>()
-                    .expect("ICS-20 module");
+                    .ics20_mut()
+                    .expect("ICS-20 ledger");
                 for user in 0..generator.config().users {
                     module.mint(
                         &generator.population().name(user),
@@ -746,15 +735,8 @@ impl Testnet {
             return;
         }
         let contract = self.contract.borrow();
-        let guest_bank = contract
-            .ibc()
-            .module(&self.endpoints.port)
-            .and_then(|m| m.as_any().downcast_ref::<TransferModule>());
-        let cp_bank = self
-            .cp
-            .ibc()
-            .module(&self.endpoints.port)
-            .and_then(|m| m.as_any().downcast_ref::<TransferModule>());
+        let guest_bank = contract.ibc().module(&self.endpoints.port).and_then(|m| m.ics20());
+        let cp_bank = self.cp.ibc().module(&self.endpoints.port).and_then(|m| m.ics20());
         let (Some(guest_bank), Some(cp_bank)) = (guest_bank, cp_bank) else { return };
 
         let outbound_voucher =
@@ -776,7 +758,7 @@ impl Testnet {
     fn apply_one_shot(&mut self, fault: Fault) {
         if let Fault::CounterfeitMint { account, denom, amount } = fault {
             if let Some(module) = self.cp.ibc_mut().module_mut(&self.endpoints.port) {
-                if let Some(bank) = module.as_any_mut().downcast_mut::<TransferModule>() {
+                if let Some(bank) = module.ics20_mut() {
                     bank.mint(&account, &denom, amount);
                 }
             }

@@ -1,34 +1,19 @@
 //! End-to-end simulation tests: packets flow through the full stack —
 //! host transactions, guest contract, validators, relayer, counterparty.
 
-use ibc_core::ics20::TransferModule;
 use relayer::JobKind;
 use testnet::{Testnet, TestnetConfig, CP_DENOM, CP_USER, GUEST_DENOM, GUEST_USER};
 
 fn cp_balance(net: &mut Testnet, account: &str, denom: &str) -> u128 {
     let port = net.endpoints().port.clone();
-    net.cp
-        .ibc_mut()
-        .module_mut(&port)
-        .unwrap()
-        .as_any_mut()
-        .downcast_mut::<TransferModule>()
-        .unwrap()
-        .balance(account, denom)
+    net.cp.ibc_mut().module_mut(&port).unwrap().ics20_mut().unwrap().balance(account, denom)
 }
 
 fn guest_balance(net: &mut Testnet, account: &str, denom: &str) -> u128 {
     let port = net.endpoints().port.clone();
     let contract = net.contract.clone();
     let mut guard = contract.borrow_mut();
-    guard
-        .ibc_mut()
-        .module_mut(&port)
-        .unwrap()
-        .as_any_mut()
-        .downcast_mut::<TransferModule>()
-        .unwrap()
-        .balance(account, denom)
+    guard.ibc_mut().module_mut(&port).unwrap().ics20_mut().unwrap().balance(account, denom)
 }
 
 #[test]

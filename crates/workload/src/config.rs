@@ -46,6 +46,57 @@ impl Default for MemoMix {
     }
 }
 
+/// Which IBC application an arrival exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppKind {
+    /// ICS-20 fungible transfer (the default app).
+    Transfer,
+    /// ICS-721-style NFT transfer.
+    Nft,
+    /// ICS-27-style interchain-account batch.
+    Ica,
+}
+
+/// How arrivals split across application ports: a fraction become NFT
+/// transfers and a fraction interchain-account batches; the rest stay
+/// ICS-20 fungible transfers. Both fractions default to zero, so
+/// configurations written before the application stacks existed
+/// generate byte-identical schedules.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AppMix {
+    /// Fraction of arrivals sent as NFT transfers.
+    #[serde(default)]
+    pub nft_fraction: f64,
+    /// Fraction of arrivals sent as interchain-account batches.
+    #[serde(default)]
+    pub ica_fraction: f64,
+}
+
+impl AppMix {
+    /// An even three-way split across the shipped applications.
+    pub fn even() -> Self {
+        Self { nft_fraction: 1.0 / 3.0, ica_fraction: 1.0 / 3.0 }
+    }
+
+    /// Whether any arrival leaves the plain-transfer path. Harnesses use
+    /// this to skip the per-arrival app draw entirely for pure-transfer
+    /// configs, keeping their RNG timelines untouched.
+    pub fn is_mixed(&self) -> bool {
+        self.nft_fraction > 0.0 || self.ica_fraction > 0.0
+    }
+
+    /// Classifies one uniform draw in `[0, 1)` into an application.
+    pub fn classify(&self, draw: f64) -> AppKind {
+        if draw < self.nft_fraction {
+            AppKind::Nft
+        } else if draw < self.nft_fraction + self.ica_fraction {
+            AppKind::Ica
+        } else {
+            AppKind::Transfer
+        }
+    }
+}
+
 /// A complete traffic model: who sends (a seeded user population with
 /// balances), how often (base rate shaped by an [`ArrivalCurve`]), in
 /// which direction, and what the packets look like.
@@ -71,6 +122,9 @@ pub struct TrafficConfig {
     /// Memo/packet-size distribution.
     #[serde(default)]
     pub memo: MemoMix,
+    /// Per-application traffic split (default: all plain transfers).
+    #[serde(default)]
+    pub apps: AppMix,
     /// Balance every user account starts with.
     pub initial_balance: u128,
 }
@@ -91,8 +145,17 @@ impl TrafficConfig {
             inbound_fraction: DEFAULT_INBOUND_FRACTION,
             amount: AmountMix::default(),
             memo: MemoMix::default(),
+            apps: AppMix::default(),
             initial_balance: DEFAULT_INITIAL_BALANCE,
         }
+    }
+
+    /// Routes a share of arrivals through the NFT and interchain-account
+    /// apps instead of plain transfers.
+    #[must_use]
+    pub fn with_app_mix(mut self, apps: AppMix) -> Self {
+        self.apps = apps;
+        self
     }
 
     /// A day/night cycle: 3× the base rate at the peak, 0.3× at night.

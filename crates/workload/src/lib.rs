@@ -43,7 +43,7 @@ mod generator;
 mod population;
 mod queue;
 
-pub use config::{AmountMix, MemoMix, TrafficConfig};
+pub use config::{AmountMix, AppKind, AppMix, MemoMix, TrafficConfig};
 pub use curve::ArrivalCurve;
 pub use generator::{Arrival, Direction, TrafficGenerator};
 pub use population::UserPopulation;

@@ -5,7 +5,6 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use be_my_guest::ibc_core::ics20::TransferModule;
 use be_my_guest::testnet::{Testnet, TestnetConfig, CP_USER, GUEST_DENOM};
 
 fn main() {
@@ -33,15 +32,8 @@ fn main() {
     // The receiver's voucher balance on the counterparty.
     let voucher = format!("transfer/{}/{}", net.endpoints().cp_channel, GUEST_DENOM);
     let port = net.endpoints().port.clone();
-    let received = net
-        .cp
-        .ibc_mut()
-        .module_mut(&port)
-        .unwrap()
-        .as_any_mut()
-        .downcast_mut::<TransferModule>()
-        .unwrap()
-        .balance(CP_USER, &voucher);
+    let received =
+        net.cp.ibc_mut().module_mut(&port).unwrap().ics20_mut().unwrap().balance(CP_USER, &voucher);
     println!("  tokens delivered to the counterparty: {received} {voucher}");
 
     // Every transfer that completed, with its end-to-end latency and cost.

@@ -17,7 +17,6 @@ use be_my_guest::counterparty_sim::{CounterpartyChain, CounterpartyConfig};
 use be_my_guest::guest_chain::{GuestConfig, GuestContract};
 use be_my_guest::ibc_core::channel::Timeout;
 use be_my_guest::ibc_core::handler::ProofData;
-use be_my_guest::ibc_core::ics20::TransferModule;
 use be_my_guest::ibc_core::ProvableStore;
 use be_my_guest::relayer::{connect_chains, finalise_guest_block};
 use be_my_guest::sim_crypto::schnorr::Keypair;
@@ -27,11 +26,7 @@ fn balance(
     account: &str,
     denom: &str,
 ) -> u128 {
-    chain_module
-        .as_any_mut()
-        .downcast_mut::<TransferModule>()
-        .expect("ICS-20 module")
-        .balance(account, denom)
+    chain_module.ics20_mut().expect("ICS-20 ledger behind the stack").balance(account, denom)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -51,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     {
         let mut guard = contract.borrow_mut();
         let module = guard.ibc_mut().module_mut(&endpoints.port).unwrap();
-        module.as_any_mut().downcast_mut::<TransferModule>().unwrap().mint("alice", "wsol", 1_000);
+        module.ics20_mut().unwrap().mint("alice", "wsol", 1_000);
     }
 
     // --- Alice sends 400 wSOL to bob on the counterparty ----------------

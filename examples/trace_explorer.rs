@@ -20,13 +20,21 @@
 //! renders its hot-path table and phase tree: where the *simulator's own
 //! wall clock* went, as opposed to where the simulated packets' time went.
 //!
+//! With `--apps`, a second mesh runs with the full application stacks
+//! engaged — ICS-29 fees on the transfer stack, an NFT route across all
+//! three chains — and the explorer renders the NFT route's linked
+//! lifecycle plus each chain's per-application stack counters and the
+//! mesh-wide fee flow.
+//!
 //! ```text
 //! cargo run --release --example trace_explorer -- \
 //!     [--seed N] [--days N] [--alerts] [--busiest N] [--sample N] \
-//!     [--profile <BENCH_profile.json>]
+//!     [--apps] [--profile <BENCH_profile.json>]
 //! ```
 
-use be_my_guest::mesh::{Mesh, MeshConfig, PathPolicy};
+use be_my_guest::apps::PacketFee;
+use be_my_guest::ibc_core::types::PortId;
+use be_my_guest::mesh::{ica_port, nft_port, Mesh, MeshConfig, PathPolicy};
 use be_my_guest::profiler::ProfileReport;
 use be_my_guest::telemetry::{render_packet_trace_with_alerts, render_route_trace_with_alerts};
 use be_my_guest::testnet::{ChaosPlan, Fault, TelemetryMode, Testnet, TestnetConfig};
@@ -40,6 +48,7 @@ fn main() {
     let mut with_alerts = false;
     let mut busiest = 0usize;
     let mut sample: Option<u64> = None;
+    let mut with_apps = false;
     let mut profile_path: Option<String> = None;
     let args: Vec<String> = std::env::args().collect();
     let mut iter = args.iter();
@@ -63,6 +72,7 @@ fn main() {
                 }
             }
             "--sample" => sample = iter.next().and_then(|v| v.parse().ok()),
+            "--apps" => with_apps = true,
             _ => {}
         }
     }
@@ -204,4 +214,81 @@ fn main() {
     let summary = mesh_report.routes.iter().find(|r| &r.label == label).expect("route trace");
     println!("\nmulti-hop route, end to end:");
     println!("{}", render_route_trace_with_alerts(summary, &mesh_report.alerts));
+
+    // The stacked-application view: the same 3-chain line, but with the
+    // fee middleware charging every transfer hop and an ICS-721 NFT
+    // riding a 2-hop route through its own application stack.
+    if with_apps {
+        let mut config = MeshConfig::line(3, seed);
+        config.packet_fee = Some(PacketFee::flat(5, 3, 2));
+        let mut anet = Mesh::build(config).expect("3-chain line builds");
+        anet.mint("chain-a", "alice", "tok-a", 1_000).expect("chain-a exists");
+        anet.mint_nft("chain-a", "art", "mona-lisa", "alice").expect("chain-a exists");
+        anet.ica_register_on("chain-a", "chain-b", "alice").expect("direct ica link");
+        let fungible = anet
+            .send_along_route(
+                "chain-a",
+                "chain-c",
+                "alice",
+                "carol",
+                "tok-a",
+                250,
+                &PathPolicy::FewestHops,
+            )
+            .expect("the 2-hop transfer resolves");
+        let tokens = vec!["mona-lisa".to_string()];
+        let nft_route = anet
+            .send_nft_along_route(
+                "chain-a",
+                "chain-c",
+                "alice",
+                "carol",
+                "art",
+                &tokens,
+                &PathPolicy::FewestHops,
+            )
+            .expect("the 2-hop NFT route resolves");
+        anet.run_until_settled(fungible, 60 * 60 * 1_000);
+        anet.run_until_settled(nft_route, 60 * 60 * 1_000);
+        anet.run_for(10 * 60 * 1_000); // drain the ack tail
+
+        let apps_report = anet.run_report("trace-explorer-apps");
+        let label = &anet.routes()[nft_route].label;
+        let summary = apps_report.routes.iter().find(|r| &r.label == label).expect("route trace");
+        println!("\nNFT route through the stacked applications, end to end:");
+        println!("{}", render_route_trace_with_alerts(summary, &apps_report.alerts));
+
+        println!("per-application stack counters (received/errors/acked/timed out):");
+        let ports: [(&str, PortId); 3] =
+            [("transfer", PortId::transfer()), ("nft", nft_port()), ("ica", ica_port())];
+        for node in anet.nodes() {
+            for (app, port) in &ports {
+                let stack = node.stack_on(port);
+                let c = stack.counters();
+                println!(
+                    "  {:<9} {:<9} [{}] {:>3} recv {:>3} err {:>3} ack {:>3} timeout",
+                    node.name,
+                    app,
+                    stack.layer_names().join(" > "),
+                    c.received,
+                    c.recv_errors,
+                    c.acked,
+                    c.timed_out,
+                );
+            }
+        }
+
+        let totals = anet.fee_totals();
+        println!(
+            "\nICS-29 fee flow: {} escrowed = {} paid + {} refunded + {} pending (imbalance {})",
+            totals.escrowed,
+            totals.paid,
+            totals.refunded,
+            totals.pending,
+            anet.fee_imbalance(),
+        );
+        assert_eq!(anet.fee_imbalance(), 0);
+        assert_eq!(anet.nft_supply_drift(), 0);
+        println!("NFT supply drift: {} (every voucher is escrow-backed)", anet.nft_supply_drift());
+    }
 }

@@ -7,6 +7,7 @@
 //! * [`sealable_trie`] — provable storage with sealing (§III-A),
 //! * [`host_sim`] — the Solana-like host chain,
 //! * [`ibc_core`] — the IBC protocol stack,
+//! * [`apps`] — stacked IBC applications and middleware (ICS-20/27/721, fees),
 //! * [`counterparty_sim`] — the Picasso-like counterparty chain,
 //! * [`relayer`] — packet relaying and light-client updates (Alg. 2),
 //! * [`chaos`] — deterministic fault injection and invariant checking,
@@ -20,6 +21,7 @@
 //! Runnable walk-throughs live in `examples/`; start with
 //! `cargo run --example quickstart`.
 
+pub use apps;
 pub use chaos;
 pub use counterparty_sim;
 pub use guest_chain;

@@ -1,6 +1,5 @@
 //! Cross-crate invariants on a live simulated deployment.
 
-use be_my_guest::ibc_core::ics20::TransferModule;
 use be_my_guest::ibc_core::ProvableStore;
 use be_my_guest::testnet::{Testnet, TestnetConfig, CP_DENOM, CP_USER, GUEST_DENOM, GUEST_USER};
 
@@ -17,32 +16,30 @@ fn run(seed: u64, minutes: u64) -> Testnet {
 /// on the guest, and vice versa — no token is ever created from nothing.
 #[test]
 fn token_supply_is_conserved_across_chains() {
-    let mut net = run(21, 25);
+    let net = run(21, 25);
     let port = net.endpoints().port.clone();
     let guest_channel = net.endpoints().guest_channel.clone();
     let cp_channel = net.endpoints().cp_channel.clone();
 
+    // Both sides bind `ModuleStack`s, so the ledgers are reached through
+    // the typed `Module::ics20()` accessor rather than a downcast.
+    let contract = net.contract.borrow();
+    let guest_bank = contract
+        .ibc()
+        .module(&port)
+        .and_then(|m| m.ics20())
+        .expect("the guest transfer stack fronts an ICS-20 ledger");
+    let cp_bank = net
+        .cp
+        .ibc()
+        .module(&port)
+        .and_then(|m| m.ics20())
+        .expect("the counterparty transfer stack fronts an ICS-20 ledger");
+
     // Outbound direction: guest escrow ≥ counterparty vouchers in
     // circulation (strictly greater only for packets still in flight).
     let voucher_on_cp = format!("transfer/{cp_channel}/{GUEST_DENOM}");
-    let minted_on_cp = net
-        .cp
-        .ibc_mut()
-        .module_mut(&port)
-        .unwrap()
-        .as_any_mut()
-        .downcast_mut::<TransferModule>()
-        .unwrap()
-        .balance(CP_USER, &voucher_on_cp);
-    let contract = net.contract.clone();
-    let mut guard = contract.borrow_mut();
-    let guest_bank = guard
-        .ibc_mut()
-        .module_mut(&port)
-        .unwrap()
-        .as_any_mut()
-        .downcast_mut::<TransferModule>()
-        .unwrap();
+    let minted_on_cp = cp_bank.balance(CP_USER, &voucher_on_cp);
     let escrowed = guest_bank.balance(&format!("escrow:{guest_channel}"), GUEST_DENOM);
     assert!(escrowed >= minted_on_cp, "escrow {escrowed} < vouchers {minted_on_cp}");
     assert!(minted_on_cp > 0, "some transfers completed");
@@ -50,16 +47,7 @@ fn token_supply_is_conserved_across_chains() {
     // Inbound direction likewise.
     let voucher_on_guest = format!("transfer/{guest_channel}/{CP_DENOM}");
     let minted_on_guest = guest_bank.balance(GUEST_USER, &voucher_on_guest);
-    drop(guard);
-    let escrow_on_cp = net
-        .cp
-        .ibc_mut()
-        .module_mut(&port)
-        .unwrap()
-        .as_any_mut()
-        .downcast_mut::<TransferModule>()
-        .unwrap()
-        .balance(&format!("escrow:{cp_channel}"), CP_DENOM);
+    let escrow_on_cp = cp_bank.balance(&format!("escrow:{cp_channel}"), CP_DENOM);
     assert!(escrow_on_cp >= minted_on_guest);
 }
 

@@ -10,7 +10,6 @@ use be_my_guest::counterparty_sim::{CounterpartyChain, CounterpartyConfig};
 use be_my_guest::guest_chain::{GuestConfig, GuestContract};
 use be_my_guest::ibc_core::channel::Timeout;
 use be_my_guest::ibc_core::handler::ProofData;
-use be_my_guest::ibc_core::ics20::TransferModule;
 use be_my_guest::ibc_core::types::ChannelId;
 use be_my_guest::ibc_core::{Ordering, ProvableStore};
 use be_my_guest::relayer::{connect_chains, finalise_guest_block};
@@ -104,7 +103,7 @@ fn two_channels_multiplex_independently() {
     {
         let mut guard = contract.borrow_mut();
         let module = guard.ibc_mut().module_mut(&endpoints.port).unwrap();
-        module.as_any_mut().downcast_mut::<TransferModule>().unwrap().mint("alice", "wsol", 1_000);
+        module.ics20_mut().unwrap().mint("alice", "wsol", 1_000);
     }
     let fee = contract.borrow().config().send_fee_lamports;
     let p1 = contract
@@ -145,13 +144,7 @@ fn two_channels_multiplex_independently() {
     // Escrows are per channel.
     {
         let mut guard = contract.borrow_mut();
-        let module = guard
-            .ibc_mut()
-            .module_mut(&endpoints.port)
-            .unwrap()
-            .as_any_mut()
-            .downcast_mut::<TransferModule>()
-            .unwrap();
+        let module = guard.ibc_mut().module_mut(&endpoints.port).unwrap().ics20_mut().unwrap();
         assert_eq!(module.balance(&format!("escrow:{}", endpoints.guest_channel), "wsol"), 100);
         assert_eq!(module.balance(&format!("escrow:{guest_chan2}"), "wsol"), 200);
     }
@@ -181,13 +174,7 @@ fn two_channels_multiplex_independently() {
         let now = cp.host_time();
         cp.ibc_mut().recv_packet(packet, proof, now).unwrap();
     }
-    let module = cp
-        .ibc_mut()
-        .module_mut(&endpoints.port)
-        .unwrap()
-        .as_any_mut()
-        .downcast_mut::<TransferModule>()
-        .unwrap();
+    let module = cp.ibc_mut().module_mut(&endpoints.port).unwrap().ics20_mut().unwrap();
     assert_eq!(module.balance("bob", &format!("transfer/{}/wsol", endpoints.cp_channel)), 100);
     assert_eq!(module.balance("bob", &format!("transfer/{cp_chan2}/wsol")), 200);
 }

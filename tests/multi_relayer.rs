@@ -5,7 +5,6 @@
 //! support: `Testnet::add_relayer` gives it a funded payer and ticks it
 //! inside `net.step()`.
 
-use be_my_guest::ibc_core::ics20::TransferModule;
 use be_my_guest::relayer::JobKind;
 use be_my_guest::testnet::{Testnet, TestnetConfig, CP_DENOM, GUEST_USER};
 
@@ -44,8 +43,7 @@ fn two_relayers_race_without_violating_safety() {
             .ibc_mut()
             .module_mut(&port)
             .unwrap()
-            .as_any_mut()
-            .downcast_mut::<TransferModule>()
+            .ics20_mut()
             .unwrap()
             .balance(GUEST_USER, &voucher)
     };
@@ -54,8 +52,7 @@ fn two_relayers_race_without_violating_safety() {
         .ibc_mut()
         .module_mut(&port)
         .unwrap()
-        .as_any_mut()
-        .downcast_mut::<TransferModule>()
+        .ics20_mut()
         .unwrap()
         .balance(&format!("escrow:{cp_channel}"), CP_DENOM);
     assert!(minted > 0, "inbound transfers delivered");

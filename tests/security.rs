@@ -8,7 +8,6 @@ use be_my_guest::counterparty_sim::{CounterpartyChain, CounterpartyConfig};
 use be_my_guest::guest_chain::{GuestConfig, GuestContract, GuestHeader, GuestMisbehaviour};
 use be_my_guest::ibc_core::channel::Timeout;
 use be_my_guest::ibc_core::handler::ProofData;
-use be_my_guest::ibc_core::ics20::TransferModule;
 use be_my_guest::ibc_core::types::IbcError;
 use be_my_guest::ibc_core::ProvableStore;
 use be_my_guest::relayer::{connect_chains, finalise_guest_block, Endpoints};
@@ -36,7 +35,7 @@ fn world() -> World {
     {
         let mut guard = contract.borrow_mut();
         let module = guard.ibc_mut().module_mut(&endpoints.port).unwrap();
-        module.as_any_mut().downcast_mut::<TransferModule>().unwrap().mint("alice", "wsol", 10_000);
+        module.ics20_mut().unwrap().mint("alice", "wsol", 10_000);
     }
     World { contract, cp, keypairs, endpoints, clock, host_height }
 }

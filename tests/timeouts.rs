@@ -2,7 +2,6 @@
 //! delivery, the relayer proves non-receipt on the counterparty, and the
 //! guest refunds the escrow.
 
-use be_my_guest::ibc_core::ics20::TransferModule;
 use be_my_guest::relayer::JobKind;
 use be_my_guest::testnet::{Testnet, TestnetConfig, GUEST_DENOM, GUEST_USER};
 
@@ -23,8 +22,7 @@ fn expired_transfer_is_refunded_through_the_relayer() {
             .ibc_mut()
             .module_mut(&port)
             .unwrap()
-            .as_any_mut()
-            .downcast_mut::<TransferModule>()
+            .ics20_mut()
             .unwrap()
             .balance(account, GUEST_DENOM)
     };
