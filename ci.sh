@@ -213,6 +213,53 @@ print(f"throughput OK: {vals['delivered_total']:.0f} delivered at "
 PY
 rm BENCH_throughput.rerun.json
 
+echo "==> latency attribution (causal trace graphs, critical-path stages, per-app tables)"
+cargo run --release --offline -p bench --bin latency_attribution -- \
+    --users 400 --hours 2 --seed 2026 \
+    --quiet --json BENCH_latency_attribution.json
+cargo run --release --offline -p bench --bin latency_attribution -- \
+    --users 400 --hours 2 --seed 2026 \
+    --quiet --json BENCH_latency_attribution.rerun.json
+cmp BENCH_latency_attribution.json BENCH_latency_attribution.rerun.json \
+    || { echo "latency_attribution: same-seed reruns differ — attribution is not deterministic"; exit 1; }
+rm BENCH_latency_attribution.rerun.json
+python3 - <<'PY'
+import json, sys
+
+with open("BENCH_latency_attribution.json") as f:
+    bench = json.load(f)
+values = {k: v for s in bench["sections"] for k, v in s["values"].items()}
+
+coverage = values.get("coverage_pct", 0)
+if coverage < 95:
+    sys.exit(f"latency_attribution: named stages explain only {coverage:.1f}% "
+             "of end-to-end time — the 95% coverage floor has regressed")
+share_sum = values.get("share_sum_pct", 0)
+if not 99.5 <= share_sum <= 100.5:
+    sys.exit(f"latency_attribution: stage shares sum to {share_sum:.2f}% — "
+             "the critical path no longer partitions the end-to-end span")
+if values.get("completed", 0) < 100:
+    sys.exit(f"latency_attribution: only {values.get('completed'):.0f} completed "
+             "lifecycles attributed — the flash crowd floor is 100")
+if values.get("apps_present") != 1:
+    sys.exit("latency_attribution: a shipped app (transfer/nft/ica) has no "
+             "attributed packets on the mesh")
+for app in ("transfer", "nft", "ica"):
+    if f"app_{app}_p95_ms" not in values:
+        sys.exit(f"latency_attribution: per-app percentiles missing for {app}")
+if values.get("determinism_ok") != 1:
+    sys.exit("latency_attribution: in-bench double runs produced different "
+             "graphs or attribution tables")
+if values.get("no_perturbation") != 1:
+    sys.exit("latency_attribution: building the causal graphs changed the run "
+             "report bytes — the engine is not a pure observer")
+print(f"latency attribution OK: {coverage:.1f}% stage coverage over "
+      f"{values['completed']:.0f} lifecycles; per-app p95 "
+      f"{values['app_transfer_p95_ms']/1000:.0f}/{values['app_nft_p95_ms']/1000:.0f}/"
+      f"{values['app_ica_p95_ms']/1000:.0f} s (transfer/nft/ica); "
+      "deterministic, pure observer")
+PY
+
 echo "==> self-profile (wall-clock phase attribution on the storm workload)"
 cargo run --release --offline -p bench --bin profile -- \
     --users 1000 --gap-ms 30000 --hours 2 --seed 2026 \

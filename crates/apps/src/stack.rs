@@ -398,6 +398,11 @@ pub struct ModuleStack {
     app: Box<dyn IbcApplication>,
     outbox: Vec<StackRequest>,
     counters: StackCounters,
+    /// Lifecycle dispatches that reached each layer (outermost first,
+    /// application last) — a middleware that answers with
+    /// [`RecvDecision::Stop`] leaves the deeper slots untouched, so the
+    /// falloff shows where packets short-circuit.
+    layer_dispatches: Vec<u64>,
 }
 
 impl std::fmt::Debug for ModuleStack {
@@ -418,6 +423,7 @@ impl ModuleStack {
             app,
             outbox: Vec::new(),
             counters: StackCounters::default(),
+            layer_dispatches: Vec::new(),
         }
     }
 
@@ -529,6 +535,29 @@ impl ModuleStack {
     pub fn counters(&self) -> StackCounters {
         self.counters
     }
+
+    /// Per-layer dispatch counts, outermost first, ending with the
+    /// application: how many lifecycle callbacks (recv, ack, timeout)
+    /// reached each layer. A short-circuiting middleware (e.g. a memo
+    /// hook answering with `Stop`) shows up as a falloff between
+    /// adjacent layers.
+    pub fn layer_dispatches(&self) -> Vec<(&'static str, u64)> {
+        let names = self.layer_names();
+        names
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| (name, self.layer_dispatches.get(i).copied().unwrap_or(0)))
+            .collect()
+    }
+
+    /// Ensures the per-layer tally covers every current layer (`with`
+    /// can add layers after construction).
+    fn ensure_dispatch_slots(&mut self) {
+        let slots = self.middlewares.len() + 1;
+        if self.layer_dispatches.len() < slots {
+            self.layer_dispatches.resize(slots, 0);
+        }
+    }
 }
 
 fn dispatch_recv(
@@ -536,10 +565,13 @@ fn dispatch_recv(
     app: &mut dyn IbcApplication,
     outbox: &mut Vec<StackRequest>,
     packet: &Packet,
+    dispatched: &mut [u64],
 ) -> Acknowledgement {
     let Some((head, rest)) = layers.split_first_mut() else {
+        dispatched[0] += 1;
         return app.on_recv_packet(packet);
     };
+    dispatched[0] += 1;
     let decision = {
         let mut inner = InnerStack { layers: rest, app, outbox };
         head.before_recv(&mut inner, packet)
@@ -547,7 +579,7 @@ fn dispatch_recv(
     match decision {
         RecvDecision::Stop(ack) => ack,
         RecvDecision::Continue => {
-            let ack = dispatch_recv(rest, app, outbox, packet);
+            let ack = dispatch_recv(rest, app, outbox, packet, &mut dispatched[1..]);
             let mut inner = InnerStack { layers: rest, app, outbox };
             head.after_recv(&mut inner, packet, ack)
         }
@@ -560,15 +592,18 @@ fn dispatch_ack(
     outbox: &mut Vec<StackRequest>,
     packet: &Packet,
     ack: &Acknowledgement,
+    dispatched: &mut [u64],
 ) -> Result<(), IbcError> {
     let Some((head, rest)) = layers.split_first_mut() else {
+        dispatched[0] += 1;
         return app.on_acknowledge(packet, ack);
     };
+    dispatched[0] += 1;
     {
         let mut inner = InnerStack { layers: rest, app, outbox };
         head.before_ack(&mut inner, packet, ack)?;
     }
-    dispatch_ack(rest, app, outbox, packet, ack)?;
+    dispatch_ack(rest, app, outbox, packet, ack, &mut dispatched[1..])?;
     let mut inner = InnerStack { layers: rest, app, outbox };
     head.after_ack(&mut inner, packet, ack)
 }
@@ -578,15 +613,18 @@ fn dispatch_timeout(
     app: &mut dyn IbcApplication,
     outbox: &mut Vec<StackRequest>,
     packet: &Packet,
+    dispatched: &mut [u64],
 ) -> Result<(), IbcError> {
     let Some((head, rest)) = layers.split_first_mut() else {
+        dispatched[0] += 1;
         return app.on_timeout(packet);
     };
+    dispatched[0] += 1;
     {
         let mut inner = InnerStack { layers: rest, app, outbox };
         head.before_timeout(&mut inner, packet)?;
     }
-    dispatch_timeout(rest, app, outbox, packet)?;
+    dispatch_timeout(rest, app, outbox, packet, &mut dispatched[1..])?;
     let mut inner = InnerStack { layers: rest, app, outbox };
     head.after_timeout(&mut inner, packet)
 }
@@ -610,7 +648,14 @@ impl Module for ModuleStack {
 
     fn on_recv_packet(&mut self, packet: &Packet) -> Acknowledgement {
         self.counters.received += 1;
-        let ack = dispatch_recv(&mut self.middlewares, self.app.as_mut(), &mut self.outbox, packet);
+        self.ensure_dispatch_slots();
+        let ack = dispatch_recv(
+            &mut self.middlewares,
+            self.app.as_mut(),
+            &mut self.outbox,
+            packet,
+            &mut self.layer_dispatches,
+        );
         if !ack.is_success() {
             self.counters.recv_errors += 1;
         }
@@ -619,12 +664,27 @@ impl Module for ModuleStack {
 
     fn on_acknowledge(&mut self, packet: &Packet, ack: &Acknowledgement) -> Result<(), IbcError> {
         self.counters.acked += 1;
-        dispatch_ack(&mut self.middlewares, self.app.as_mut(), &mut self.outbox, packet, ack)
+        self.ensure_dispatch_slots();
+        dispatch_ack(
+            &mut self.middlewares,
+            self.app.as_mut(),
+            &mut self.outbox,
+            packet,
+            ack,
+            &mut self.layer_dispatches,
+        )
     }
 
     fn on_timeout(&mut self, packet: &Packet) -> Result<(), IbcError> {
         self.counters.timed_out += 1;
-        dispatch_timeout(&mut self.middlewares, self.app.as_mut(), &mut self.outbox, packet)
+        self.ensure_dispatch_slots();
+        dispatch_timeout(
+            &mut self.middlewares,
+            self.app.as_mut(),
+            &mut self.outbox,
+            packet,
+            &mut self.layer_dispatches,
+        )
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

@@ -19,6 +19,7 @@
 
 use std::time::Instant;
 
+use telemetry::DeliveryAccounting;
 use testnet::{quantile, Artifact, OutputOptions, Testnet, TestnetConfig, HOUR_MS};
 use workload::TrafficConfig;
 
@@ -34,6 +35,9 @@ struct ShapeRun {
     delivered: u64,
     wall_ms: f64,
     depths: Vec<f64>,
+    /// Per-reason ledger explaining every generated-but-undelivered
+    /// arrival (still queued, timed out, error-acked, stranded, rejected).
+    accounting: DeliveryAccounting,
 }
 
 fn traffic_run(traffic: &TrafficConfig, seed: u64, sim_ms: u64) -> ShapeRun {
@@ -53,12 +57,14 @@ fn traffic_run(traffic: &TrafficConfig, seed: u64, sim_ms: u64) -> ShapeRun {
     let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
     let report = net.run_report("throughput");
     let delivered = report.packets.iter().filter(|p| p.completed).count() as u64;
+    let accounting = report.delivery.expect("traffic mode attaches the delivery ledger");
     ShapeRun {
         report_json: report.to_json(),
         generated: net.traffic().expect("traffic mode on").generated(),
         delivered,
         wall_ms,
         depths,
+        accounting,
     }
 }
 
@@ -145,6 +151,28 @@ fn main() {
             .value(&format!("{name}_queue_p95"), p95)
             .value(&format!("{name}_queue_max"), max)
             .value(&format!("{name}_deterministic"), f64::from(u8::from(identical)));
+        // The per-reason ledger: every generated-but-undelivered arrival
+        // lands in a named bucket, so the gap is always explained.
+        let acc = first.accounting;
+        sweep
+            .line(format!(
+                "{name:<14} ledger: {} generated = {} delivered + {} queued + {} timed out \
+                 + {} error-acked + {} stranded + {} rejected (unexplained: {})",
+                acc.generated,
+                acc.delivered,
+                acc.still_queued,
+                acc.timed_out,
+                acc.error_acked,
+                acc.stranded,
+                acc.rejected,
+                acc.unexplained(),
+            ))
+            .value(&format!("{name}_still_queued"), acc.still_queued as f64)
+            .value(&format!("{name}_timed_out"), acc.timed_out as f64)
+            .value(&format!("{name}_error_acked"), acc.error_acked as f64)
+            .value(&format!("{name}_stranded"), acc.stranded as f64)
+            .value(&format!("{name}_rejected"), acc.rejected as f64)
+            .value(&format!("{name}_unexplained"), acc.unexplained() as f64);
         delivered_total += first.delivered;
         wall_ms_total += first.wall_ms;
         sim_ms_total += sim_ms;

@@ -625,16 +625,25 @@ impl GuestProgram {
                 // counterparty, everything else originated on the guest.
                 let (name, packet, origin) = match ibc {
                     ibc_core::IbcEvent::SendPacket { packet } => {
+                        self.telemetry.counter_add("guest.packets.sent", 1);
                         (names::PACKET_SEND, packet, "guest")
                     }
                     ibc_core::IbcEvent::RecvPacket { packet } => (names::PACKET_RECV, packet, "cp"),
-                    ibc_core::IbcEvent::WriteAcknowledgement { packet, .. } => {
+                    ibc_core::IbcEvent::WriteAcknowledgement { packet, ack } => {
+                        // An app-level rejection on this chain is a distinct
+                        // delivery outcome — tally it so `generated -
+                        // delivered` gaps stay explained.
+                        if !ack.is_success() {
+                            self.telemetry.counter_add("guest.acks.error", 1);
+                        }
                         (names::PACKET_ACK_WRITTEN, packet, "cp")
                     }
                     ibc_core::IbcEvent::AcknowledgePacket { packet } => {
+                        self.telemetry.counter_add("guest.packets.acked", 1);
                         (names::PACKET_ACK, packet, "guest")
                     }
                     ibc_core::IbcEvent::TimeoutPacket { packet } => {
+                        self.telemetry.counter_add("guest.packets.timed_out", 1);
                         (names::PACKET_TIMEOUT, packet, "guest")
                     }
                     _ => return,
@@ -651,6 +660,7 @@ impl GuestProgram {
                     &traces,
                     &[
                         ("chain", "guest".into()),
+                        ("src_port", packet.source_port.as_str().into()),
                         ("src_channel", packet.source_channel.as_str().into()),
                         ("dst_channel", packet.destination_channel.as_str().into()),
                         ("sequence", packet.sequence.into()),

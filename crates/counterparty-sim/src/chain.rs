@@ -266,13 +266,27 @@ impl CounterpartyChain {
                 // ack-written here originated on the guest, the rest
                 // originated on this chain.
                 let (name, packet, origin) = match event {
-                    IbcEvent::SendPacket { packet } => (names::PACKET_SEND, packet, "cp"),
+                    IbcEvent::SendPacket { packet } => {
+                        self.telemetry.counter_add("cp.packets.sent", 1);
+                        (names::PACKET_SEND, packet, "cp")
+                    }
                     IbcEvent::RecvPacket { packet } => (names::PACKET_RECV, packet, "guest"),
-                    IbcEvent::WriteAcknowledgement { packet, .. } => {
+                    IbcEvent::WriteAcknowledgement { packet, ack } => {
+                        // App-level rejection written on this chain: a
+                        // distinct delivery outcome worth its own tally.
+                        if !ack.is_success() {
+                            self.telemetry.counter_add("cp.acks.error", 1);
+                        }
                         (names::PACKET_ACK_WRITTEN, packet, "guest")
                     }
-                    IbcEvent::AcknowledgePacket { packet } => (names::PACKET_ACK, packet, "cp"),
-                    IbcEvent::TimeoutPacket { packet } => (names::PACKET_TIMEOUT, packet, "cp"),
+                    IbcEvent::AcknowledgePacket { packet } => {
+                        self.telemetry.counter_add("cp.packets.acked", 1);
+                        (names::PACKET_ACK, packet, "cp")
+                    }
+                    IbcEvent::TimeoutPacket { packet } => {
+                        self.telemetry.counter_add("cp.packets.timed_out", 1);
+                        (names::PACKET_TIMEOUT, packet, "cp")
+                    }
                     _ => continue,
                 };
                 let trace = self.telemetry.trace_for_packet(
@@ -287,6 +301,7 @@ impl CounterpartyChain {
                     &traces,
                     &[
                         ("chain", "cp".into()),
+                        ("src_port", packet.source_port.as_str().into()),
                         ("src_channel", packet.source_channel.as_str().into()),
                         ("dst_channel", packet.destination_channel.as_str().into()),
                         ("sequence", packet.sequence.into()),

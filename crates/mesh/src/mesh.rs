@@ -39,8 +39,8 @@ use ibc_core::ics20::{self, TransferModule};
 use ibc_core::types::{IbcError, PortId};
 use ibc_core::{path, IbcEvent, Module};
 use monitor::{
-    AlertRecord, FeeConservationDetector, Monitor, MonitorConfig, StalenessDetector,
-    StuckPacketDetector, SupplyDriftDetector,
+    AlertRecord, FeeConservationDetector, LatencyRegressionDetector, Monitor, MonitorConfig,
+    StalenessDetector, StuckPacketDetector, SupplyDriftDetector,
 };
 use telemetry::{names, RunReport, Telemetry, TraceId};
 
@@ -276,6 +276,9 @@ pub struct Mesh {
     channel_links: BTreeMap<(usize, String), usize>,
     /// `(sender node, source channel, sequence)` → leg bookkeeping.
     legs: BTreeMap<(usize, String, u64), LegInfo>,
+    /// `(sender node, source channel, sequence)` → commit instant, for
+    /// the per-app latency histograms (`app.latency_ms.<port>`).
+    app_sent_ms: BTreeMap<(usize, String, u64), u64>,
     /// Per node: incoming legs `(source channel, sequence)` whose next
     /// hop has been queued but not yet committed, with their route.
     pending_forward: Vec<Vec<((String, u64), usize)>>,
@@ -302,6 +305,26 @@ impl Mesh {
             Some(keep_one_in) => Telemetry::sampled(keep_one_in, config.seed),
             None => Telemetry::recording(),
         };
+        // Per-app send→ack latency: one histogram per bound port, read by
+        // the per-app regression detectors and the attribution bench.
+        for app in ["transfer", "nft", "ica"] {
+            telemetry
+                .register_histogram(
+                    &format!("app.latency_ms.{app}"),
+                    &[
+                        1_000.0,
+                        5_000.0,
+                        10_000.0,
+                        30_000.0,
+                        60_000.0,
+                        120_000.0,
+                        300_000.0,
+                        900_000.0,
+                        3_600_000.0,
+                    ],
+                )
+                .expect("app-latency bounds are strictly ascending");
+        }
         let port = PortId::transfer();
 
         let mut nodes: Vec<Node> = Vec::with_capacity(config.chains.len());
@@ -414,6 +437,7 @@ impl Mesh {
             routing,
             channel_links,
             legs: BTreeMap::new(),
+            app_sent_ms: BTreeMap::new(),
             pending_forward,
             routes: Vec::new(),
             chaos,
@@ -443,6 +467,16 @@ impl Mesh {
             .push(StuckPacketDetector::new(config.stuck_packet_slo_ms))
             .push(SupplyDriftDetector::new(vec!["mesh.supply.drift".into()]))
             .push(FeeConservationDetector::new(vec!["mesh.fees.imbalance".into()]));
+        // Per-app send→ack latency lenses over the histograms registered
+        // in `build`, reconciled together under one detector name so a
+        // healthy app never resolves a regressing one.
+        for app in ["transfer", "nft", "ica"] {
+            monitor.push(LatencyRegressionDetector::named(
+                "app.latency.regression",
+                format!("app.latency_ms.{app}"),
+                &config,
+            ));
+        }
         self.monitor = Some(monitor);
     }
 
@@ -964,6 +998,26 @@ impl Mesh {
                 &format!("mesh.apps.{label}.timed_out"),
                 timed_out as f64,
             );
+            // Per-middleware-layer dispatch depth, summed mesh-wide: a
+            // short-circuiting layer shows as a falloff between slots.
+            let mut layer_totals: Vec<(&'static str, u64)> = Vec::new();
+            for node in &self.nodes {
+                for (slot, (name, count)) in
+                    stack(&node.chain, &port).layer_dispatches().into_iter().enumerate()
+                {
+                    match layer_totals.get_mut(slot) {
+                        Some(entry) => entry.1 += count,
+                        None => layer_totals.push((name, count)),
+                    }
+                }
+            }
+            for (slot, (name, count)) in layer_totals.into_iter().enumerate() {
+                self.telemetry.gauge_set_at(
+                    now,
+                    &format!("mesh.apps.{label}.layer.{slot}.{name}.dispatches"),
+                    count as f64,
+                );
+            }
         }
     }
 
@@ -1382,6 +1436,14 @@ impl Mesh {
                     }
                     IbcEvent::AcknowledgePacket { packet } => {
                         self.emit_packet_event(names::PACKET_ACK, i, &packet, now);
+                        self.emit_app_dispatch(
+                            i,
+                            i,
+                            &packet.source_port.clone(),
+                            &packet,
+                            now,
+                            "ack",
+                        );
                     }
                     IbcEvent::TimeoutPacket { packet } => self.on_timeout(i, packet, now),
                     _ => {}
@@ -1418,6 +1480,7 @@ impl Mesh {
             &traces,
             &[
                 ("chain", self.nodes[origin].name.as_str().into()),
+                ("src_port", packet.source_port.as_str().into()),
                 ("src_channel", packet.source_channel.as_str().into()),
                 ("dst_channel", packet.destination_channel.as_str().into()),
                 ("sequence", packet.sequence.into()),
@@ -1425,9 +1488,55 @@ impl Mesh {
         );
     }
 
+    /// Emits the zero-width `app.dispatch` milestone: `chain`'s module
+    /// stack on `port` handled a lifecycle phase of this packet. App
+    /// dispatch costs no simulated time, so this is a point event; the
+    /// causal graph counts these per packet and the `layers` field
+    /// records how deep the middleware stack ran.
+    fn emit_app_dispatch(
+        &self,
+        chain: usize,
+        origin: usize,
+        port: &PortId,
+        packet: &Packet,
+        now: u64,
+        phase: &str,
+    ) {
+        if !self.telemetry.is_recording() {
+            return;
+        }
+        let Some(trace) = self.telemetry.trace_for_packet(
+            &self.nodes[origin].name,
+            packet.source_channel.as_str(),
+            packet.sequence,
+        ) else {
+            return;
+        };
+        let layers = self.nodes[chain]
+            .chain
+            .ibc()
+            .module(port)
+            .and_then(|m| m.as_any().downcast_ref::<ModuleStack>())
+            .map(|s| s.layer_names().len() as u64)
+            .unwrap_or(0);
+        self.telemetry.event(
+            now,
+            names::APP_DISPATCH,
+            &[trace],
+            &[
+                ("chain", self.nodes[chain].name.as_str().into()),
+                ("app", port.as_str().into()),
+                ("phase", phase.into()),
+                ("layers", layers.into()),
+            ],
+        );
+    }
+
     fn on_send(&mut self, i: usize, packet: Packet, now: u64) {
         self.telemetry.counter_add("mesh.packets.sent", 1);
         self.emit_packet_event(names::PACKET_SEND, i, &packet, now);
+        self.app_sent_ms
+            .insert((i, packet.source_channel.as_str().to_string(), packet.sequence), now);
         if let Some(&li) = self.channel_links.get(&(i, packet.source_channel.as_str().to_string()))
         {
             let link = &mut self.links[li];
@@ -1445,6 +1554,7 @@ impl Mesh {
         };
         let peer = self.links[li].peer_of(i);
         self.emit_packet_event(names::PACKET_RECV, peer, &packet, now);
+        self.emit_app_dispatch(i, peer, &packet.destination_port.clone(), &packet, now, "recv");
 
         let key = (peer, packet.source_channel.as_str().to_string(), packet.sequence);
         let Some(leg) = self.legs.get(&key).copied() else { return };
@@ -1495,7 +1605,9 @@ impl Mesh {
     fn on_timeout(&mut self, i: usize, packet: Packet, now: u64) {
         self.telemetry.counter_add("mesh.packets.timed_out", 1);
         self.emit_packet_event(names::PACKET_TIMEOUT, i, &packet, now);
+        self.emit_app_dispatch(i, i, &packet.source_port.clone(), &packet, now, "timeout");
         let key = (i, packet.source_channel.as_str().to_string(), packet.sequence);
+        self.app_sent_ms.remove(&key);
         let Some(leg) = self.legs.get(&key).copied() else { return };
         let route = &mut self.routes[leg.route];
         if !leg.refund && i == route.origin && !route.settled() {
@@ -1524,6 +1636,20 @@ impl Mesh {
         };
         let peer = self.links[li].peer_of(i);
         self.emit_packet_event(names::PACKET_ACK_WRITTEN, peer, &packet, now);
+        if !ack.is_success() {
+            self.telemetry.counter_add("mesh.acks.error", 1);
+        }
+        // The written ack closes the app-level exchange: observe the
+        // send→ack-written latency under the packet's port (its app).
+        let sent_key = (peer, packet.source_channel.as_str().to_string(), packet.sequence);
+        if let Some(sent_ms) = self.app_sent_ms.remove(&sent_key) {
+            if ack.is_success() {
+                self.telemetry.observe(
+                    &format!("app.latency_ms.{}", packet.source_port.as_str()),
+                    now.saturating_sub(sent_ms) as f64,
+                );
+            }
+        }
         if ack.is_success() {
             let key = (peer, packet.source_channel.as_str().to_string(), packet.sequence);
             if let Some(leg) = self.legs.get(&key).copied() {

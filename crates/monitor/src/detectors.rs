@@ -126,6 +126,7 @@ impl Detector for StuckPacketDetector {
 /// [`Histogram::diff`] to recover the observations that landed inside
 /// the window — no per-observation storage needed.
 pub struct LatencyRegressionDetector {
+    name: &'static str,
     histogram: String,
     quantile: f64,
     window_ms: u64,
@@ -137,9 +138,18 @@ pub struct LatencyRegressionDetector {
 }
 
 impl LatencyRegressionDetector {
-    /// Detector over the named telemetry histogram.
+    /// Detector over the named telemetry histogram, reported as
+    /// `latency.regression`.
     pub fn new(histogram: impl Into<String>, config: &MonitorConfig) -> Self {
+        Self::named("latency.regression", histogram, config)
+    }
+
+    /// Same regression logic under a custom detector name, so per-stage
+    /// and per-app instances (`latency.regression.stage`,
+    /// `app.latency.regression`, …) alert under distinct identities.
+    pub fn named(name: &'static str, histogram: impl Into<String>, config: &MonitorConfig) -> Self {
         Self {
+            name,
             histogram: histogram.into(),
             quantile: config.latency_quantile,
             window_ms: config.latency_window_ms,
@@ -163,7 +173,7 @@ impl LatencyRegressionDetector {
 
 impl Detector for LatencyRegressionDetector {
     fn name(&self) -> &'static str {
-        "latency.regression"
+        self.name
     }
 
     fn evaluate(&mut self, now_ms: u64, telemetry: &Telemetry) -> Vec<Finding> {

@@ -90,6 +90,25 @@ impl Monitor {
             ))
             .push(RunwayDetector::new("relayer.payer.balance", &config))
             .push(SupplyDriftDetector::new(vec!["supply.drift".into()]));
+        // Per-stage and per-kind regression lenses, each family under its
+        // own detector name so a per-kind firing is attributable at a
+        // glance (and the aggregate `latency.regression` lens keeps its
+        // historical meaning). The kind suffixes mirror the relayer's
+        // `JobKind::ALL` per-kind histograms.
+        monitor.push(LatencyRegressionDetector::named(
+            "stage.latency.regression",
+            "stage.mempool_wait_ms",
+            &config,
+        ));
+        for kind in
+            ["client_update", "recv_packet", "ack_packet", "timeout_packet", "generate_block"]
+        {
+            monitor.push(LatencyRegressionDetector::named(
+                "relayer.job.regression",
+                format!("relayer.job.{kind}.latency_ms"),
+                &config,
+            ));
+        }
         monitor
     }
 

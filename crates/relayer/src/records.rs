@@ -18,6 +18,16 @@ pub enum JobKind {
 }
 
 impl JobKind {
+    /// Every job kind, in declaration order (for per-kind metric
+    /// registration).
+    pub const ALL: [JobKind; 5] = [
+        JobKind::ClientUpdate,
+        JobKind::RecvPacket,
+        JobKind::AckPacket,
+        JobKind::TimeoutPacket,
+        JobKind::GenerateBlock,
+    ];
+
     /// Stable snake_case label, used as telemetry span/metric suffix.
     pub fn name(&self) -> &'static str {
         match self {

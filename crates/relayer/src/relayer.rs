@@ -208,23 +208,31 @@ impl Relayer {
     /// links *every* queued intent's packet — which is what makes a relay
     /// stall visible as a long light-client-update span on those traces).
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        const JOB_LATENCY_BOUNDS: [f64; 10] = [
+            1_000.0,
+            5_000.0,
+            10_000.0,
+            20_000.0,
+            30_000.0,
+            60_000.0,
+            120_000.0,
+            300_000.0,
+            900_000.0,
+            3_600_000.0,
+        ];
         telemetry
-            .register_histogram(
-                "relayer.job.latency_ms",
-                &[
-                    1_000.0,
-                    5_000.0,
-                    10_000.0,
-                    20_000.0,
-                    30_000.0,
-                    60_000.0,
-                    120_000.0,
-                    300_000.0,
-                    900_000.0,
-                    3_600_000.0,
-                ],
-            )
+            .register_histogram("relayer.job.latency_ms", &JOB_LATENCY_BOUNDS)
             .expect("job-latency bounds are strictly ascending");
+        // Per-kind twins of the aggregate histogram: latency attribution
+        // reads these to tell a slow client update from a slow delivery.
+        for kind in JobKind::ALL {
+            telemetry
+                .register_histogram(
+                    &format!("relayer.job.{}.latency_ms", kind.name()),
+                    &JOB_LATENCY_BOUNDS,
+                )
+                .expect("job-latency bounds are strictly ascending");
+        }
         self.telemetry = telemetry;
     }
 
@@ -959,6 +967,10 @@ impl Relayer {
             self.telemetry.counter_add("fees.relayer", done.fee_lamports);
             self.telemetry.counter_add("relayer.txs", done.tx_count as u64);
             self.telemetry.observe("relayer.job.latency_ms", record.span_ms() as f64);
+            self.telemetry.observe(
+                &format!("relayer.job.{}.latency_ms", done.kind.name()),
+                record.span_ms() as f64,
+            );
             if let Some(span) = done.span {
                 self.telemetry.span_end(now_ms, span);
             }

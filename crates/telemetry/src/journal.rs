@@ -196,9 +196,17 @@ pub const JOURNAL_BATCH_BYTES: usize = 64 * 1024;
 /// hands the sink whole batches instead of one `write` syscall per line.
 /// At airdrop-storm density the journal runs to hundreds of thousands of
 /// records; per-line writes dominate the export cost.
+///
+/// The writer is an RAII guard: dropping it without calling
+/// [`JournalWriter::finish`] still flushes the buffered tail into the
+/// sink (I/O errors ignored at that point — there is nobody left to
+/// report them to), so a run that panics or exits early keeps its
+/// partial journal instead of losing the last batch.
 #[derive(Debug)]
 pub struct JournalWriter<W: io::Write> {
-    sink: W,
+    /// `None` only after [`JournalWriter::finish`] took the sink out,
+    /// which disarms the drop flush.
+    sink: Option<W>,
     buffer: String,
     batch_bytes: usize,
 }
@@ -212,7 +220,7 @@ impl<W: io::Write> JournalWriter<W> {
     /// A writer with an explicit flush threshold (min 1 byte).
     pub fn with_batch_bytes(sink: W, batch_bytes: usize) -> Self {
         let batch_bytes = batch_bytes.max(1);
-        Self { sink, buffer: String::with_capacity(batch_bytes + 1_024), batch_bytes }
+        Self { sink: Some(sink), buffer: String::with_capacity(batch_bytes + 1_024), batch_bytes }
     }
 
     /// Appends one record as a JSONL line, flushing the batch to the
@@ -230,22 +238,37 @@ impl<W: io::Write> JournalWriter<W> {
 
     fn flush_buffer(&mut self) -> io::Result<()> {
         if !self.buffer.is_empty() {
-            self.sink.write_all(self.buffer.as_bytes())?;
+            let sink = self.sink.as_mut().expect("sink present until finish");
+            sink.write_all(self.buffer.as_bytes())?;
             self.buffer.clear();
         }
         Ok(())
     }
 
-    /// Flushes the final partial batch and returns the sink.
+    /// Flushes the final partial batch and returns the sink, disarming
+    /// the drop flush.
     pub fn finish(mut self) -> io::Result<W> {
         self.flush_buffer()?;
-        self.sink.flush()?;
-        Ok(self.sink)
+        let mut sink = self.sink.take().expect("finish runs once");
+        sink.flush()?;
+        Ok(sink)
+    }
+}
+
+impl<W: io::Write> Drop for JournalWriter<W> {
+    fn drop(&mut self) {
+        if let Some(sink) = self.sink.as_mut() {
+            if !self.buffer.is_empty() {
+                let _ = sink.write_all(self.buffer.as_bytes());
+                self.buffer.clear();
+            }
+            let _ = sink.flush();
+        }
     }
 }
 
 /// One line of the JSONL journal.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct JournalRecord {
     /// Position in the journal (0-based, gap-free).
     pub seq: u64,
@@ -302,5 +325,54 @@ mod tests {
         writer.push(&record(0)).unwrap();
         let sink = writer.finish().unwrap();
         assert!(!sink.is_empty(), "one record is far below the batch threshold");
+    }
+
+    /// A sink whose bytes outlive the writer, so the drop flush is
+    /// observable.
+    struct SharedSink(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+
+    impl io::Write for SharedSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn journal_writer_flushes_buffered_tail_on_drop() {
+        let bytes = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        {
+            let mut writer = JournalWriter::new(SharedSink(bytes.clone()));
+            writer.push(&record(0)).unwrap();
+            writer.push(&record(1)).unwrap();
+            assert!(bytes.borrow().is_empty(), "two records stay under the batch threshold");
+            // Dropped without finish(), as a panicking run would.
+        }
+        let written = String::from_utf8(bytes.borrow().clone()).unwrap();
+        assert_eq!(written.lines().count(), 2, "the drop guard saved the tail batch");
+        assert_eq!(written, {
+            let mut expected = String::new();
+            for seq in 0..2 {
+                expected.push_str(&serde_json::to_string(&record(seq)).unwrap());
+                expected.push('\n');
+            }
+            expected
+        });
+    }
+
+    #[test]
+    fn finish_disarms_the_drop_flush() {
+        let bytes = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        {
+            let mut writer = JournalWriter::new(SharedSink(bytes.clone()));
+            writer.push(&record(0)).unwrap();
+            writer.finish().unwrap();
+        }
+        let written = String::from_utf8(bytes.borrow().clone()).unwrap();
+        assert_eq!(written.lines().count(), 1, "finish flushed once, drop added nothing");
     }
 }

@@ -49,12 +49,17 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 mod artifact;
+mod attribution;
+mod graph;
 mod ids;
 mod journal;
 mod metrics;
+mod postmortem;
 mod report;
 
 pub use artifact::{Artifact, OutputOptions, Section};
+pub use attribution::{AttributionReport, GroupStat, StageStat};
+pub use graph::{stages, CausalEdge, CausalGraph, CausalNode};
 pub use ids::{SpanId, TraceId};
 pub use journal::{
     FieldValue, Fields, JournalRecord, JournalWriter, RecordKind, JOURNAL_BATCH_BYTES,
@@ -64,10 +69,12 @@ pub use metrics::{
     MetricsSnapshot, CARDINALITY_LIMITED, DEFAULT_BUCKETS, GAUGE_SERIES_CAP,
     METRIC_CARDINALITY_CAP,
 };
+pub use postmortem::{PostmortemBundle, PostmortemTrigger, TriggerKind, POSTMORTEM_TAIL};
 pub use report::{
     render_packet_trace, render_packet_trace_with_alerts, render_route_trace,
-    render_route_trace_with_alerts, AlertTransitionReport, HealthRow, PacketTraceReport,
-    RouteTraceReport, RunMeta, RunReport, SamplingMeta, SpanReport, TraceEvent, ViolationReport,
+    render_route_trace_with_alerts, AlertTransitionReport, DeliveryAccounting, HealthRow,
+    PacketTraceReport, RouteTraceReport, RunMeta, RunReport, SamplingMeta, SpanReport, TraceEvent,
+    ViolationReport,
 };
 
 /// Canonical event and span names, shared by every instrumented crate so
@@ -83,6 +90,17 @@ pub mod names {
     pub const PACKET_ACK: &str = "packet.ack";
     /// Packet timed out on the source chain.
     pub const PACKET_TIMEOUT: &str = "packet.timeout";
+    /// Outbound transfer entered the source mempool (tx submission);
+    /// emitted retroactively once the tx executes and the packet's
+    /// sequence is known, stamped with the submission instant.
+    pub const PACKET_SUBMITTED: &str = "packet.submitted";
+    /// The source block carrying the packet's send finalised — the
+    /// per-packet finality milestone ([`GUEST_FINALISED`] is per block
+    /// and carries no trace links).
+    pub const PACKET_FINALISED: &str = "packet.finalised";
+    /// The destination's application stack dispatched the packet
+    /// (zero-width: app dispatch costs no simulated time).
+    pub const APP_DISPATCH: &str = "app.dispatch";
     /// Guest block finalised (quorum of validator signatures).
     pub const GUEST_FINALISED: &str = "guest.block.finalised";
     /// Guest validator-set epoch rotated.
@@ -854,6 +872,7 @@ impl Telemetry {
                 violations: Vec::new(),
                 alerts: Vec::new(),
                 journal_len: 0,
+                delivery: None,
             };
         };
         inner.borrow_mut().flush_stranded();
@@ -974,6 +993,7 @@ impl Telemetry {
             violations: inner.violations.clone(),
             alerts: inner.alerts.clone(),
             journal_len: inner.journal.len() as u64,
+            delivery: None,
         }
     }
 }

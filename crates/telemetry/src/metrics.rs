@@ -205,6 +205,13 @@ pub const METRIC_CARDINALITY_CAP: usize = 1_024;
 /// itself, so the drop is visible in every snapshot.
 pub const CARDINALITY_LIMITED: &str = "telemetry.errors.cardinality_limited";
 
+/// How many distinct refused metric names the registry remembers for the
+/// health scorecard. The counter above says *how often* the guard fired;
+/// this bounded list says *what* tripped it — enough names to identify
+/// the exploding label without the list itself becoming a cardinality
+/// leak.
+pub const CARDINALITY_REJECTED_NAMES_CAP: usize = 8;
+
 /// Retained change points per gauge series. Long runs write gauges every
 /// slot; the series keeps only value *changes* and compacts its oldest
 /// half when the cap is hit, so a 30-day run stays bounded while the
@@ -279,6 +286,7 @@ pub struct MetricsRegistry {
     gauges: BTreeMap<String, f64>,
     series: BTreeMap<String, GaugeSeries>,
     histograms: BTreeMap<String, Histogram>,
+    rejected_names: Vec<String>,
 }
 
 /// Default bucket bounds used when a histogram is observed without an
@@ -314,7 +322,18 @@ impl MetricsRegistry {
             return true;
         }
         *self.counters.entry(CARDINALITY_LIMITED.to_string()).or_insert(0) += 1;
+        if self.rejected_names.len() < CARDINALITY_REJECTED_NAMES_CAP
+            && !self.rejected_names.iter().any(|n| n == name)
+        {
+            self.rejected_names.push(name.to_string());
+        }
         false
+    }
+
+    /// The first distinct metric names the cardinality guard refused
+    /// (at most [`CARDINALITY_REJECTED_NAMES_CAP`]), in refusal order.
+    pub fn cardinality_rejected(&self) -> &[String] {
+        &self.rejected_names
     }
 
     /// Adds `delta` to a named counter (creating it at zero).
@@ -401,6 +420,7 @@ impl MetricsRegistry {
             counters: self.counters.clone(),
             gauges: self.gauges.clone(),
             histograms: self.histograms.clone(),
+            cardinality_rejected: self.rejected_names.clone(),
         }
     }
 }
@@ -417,6 +437,10 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Fixed-bucket histograms.
     pub histograms: BTreeMap<String, Histogram>,
+    /// First distinct metric names refused by the cardinality guard
+    /// (empty for healthy runs and absent from their artifacts).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub cardinality_rejected: Vec<String>,
 }
 
 #[cfg(test)]
@@ -511,6 +535,34 @@ mod tests {
         assert_eq!(registry.counter(CARDINALITY_LIMITED), 5);
         registry.counter_add("c00000", 41);
         assert_eq!(registry.counter("c00000"), 42, "existing names are never limited");
+        // The guard also remembers *which* names it refused (deduped,
+        // bounded) and the snapshot surfaces them.
+        registry.counter_add("overflow.counter", 1);
+        assert_eq!(
+            registry.cardinality_rejected(),
+            &[
+                "overflow.counter".to_string(),
+                "overflow.gauge".to_string(),
+                "overflow.series".to_string(),
+                "overflow.histogram".to_string(),
+                "overflow.registered".to_string(),
+            ],
+            "refusal order, one entry per distinct name"
+        );
+        assert_eq!(registry.snapshot().cardinality_rejected.len(), 5);
+    }
+
+    #[test]
+    fn rejected_name_list_is_bounded() {
+        let mut registry = MetricsRegistry::default();
+        for i in 0..METRIC_CARDINALITY_CAP {
+            registry.counter_add(&format!("c{i:05}"), 1);
+        }
+        for i in 0..(CARDINALITY_REJECTED_NAMES_CAP + 10) {
+            registry.counter_add(&format!("exploding.label.{i}"), 1);
+        }
+        assert_eq!(registry.cardinality_rejected().len(), CARDINALITY_REJECTED_NAMES_CAP);
+        assert_eq!(registry.cardinality_rejected()[0], "exploding.label.0");
     }
 
     #[test]

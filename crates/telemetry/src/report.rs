@@ -165,6 +165,51 @@ pub struct AlertTransitionReport {
     pub linked_traces: Vec<u64>,
 }
 
+/// Where every generated transfer ended up: the per-reason breakdown
+/// that explains the gap between `generated` and `delivered`, so a
+/// throughput number can never hide a silent loss. `explained()` must
+/// equal `generated` — [`DeliveryAccounting::unexplained`] is the
+/// residual a gate can assert to be zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveryAccounting {
+    /// Transfers the workload model generated.
+    pub generated: u64,
+    /// Transfers whose success acknowledgement closed the lifecycle.
+    pub delivered: u64,
+    /// Generated but never submitted: still sitting in the workload
+    /// queue when the run ended.
+    pub still_queued: u64,
+    /// Submitted and refunded by a timeout close.
+    pub timed_out: u64,
+    /// Submitted and closed by an error acknowledgement (app-level
+    /// rejection on the receiving chain).
+    pub error_acked: u64,
+    /// Submitted but still in flight — no terminal event by run end
+    /// (stranded at export).
+    pub stranded: u64,
+    /// Rejected before commitment (e.g. send on a closed or unknown
+    /// channel).
+    pub rejected: u64,
+}
+
+impl DeliveryAccounting {
+    /// Sum of every accounted outcome; equals `generated` when the
+    /// ledger balances.
+    pub fn explained(&self) -> u64 {
+        self.delivered
+            + self.still_queued
+            + self.timed_out
+            + self.error_acked
+            + self.stranded
+            + self.rejected
+    }
+
+    /// Transfers the breakdown fails to explain (0 when balanced).
+    pub fn unexplained(&self) -> u64 {
+        self.generated.saturating_sub(self.explained())
+    }
+}
+
 /// The aggregated output of one run: metadata, metrics, packet traces,
 /// invariant violations and monitor-alert transitions.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -187,6 +232,11 @@ pub struct RunReport {
     pub alerts: Vec<AlertTransitionReport>,
     /// Total journal records emitted.
     pub journal_len: u64,
+    /// Per-reason delivery accounting, filled in by harnesses that run a
+    /// workload model (`None` for bare telemetry runs and older
+    /// artifacts).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub delivery: Option<DeliveryAccounting>,
 }
 
 impl RunReport {
@@ -301,6 +351,23 @@ impl RunReport {
                 self.routes.iter().filter(|r| r.refunded).count(),
             ));
         }
+        if let Some(delivery) = &self.delivery {
+            out.push_str(&format!(
+                "  delivery accounting: {} generated = {} delivered + {} still queued + \
+                 {} timed out + {} error-acked + {} stranded + {} rejected",
+                delivery.generated,
+                delivery.delivered,
+                delivery.still_queued,
+                delivery.timed_out,
+                delivery.error_acked,
+                delivery.stranded,
+                delivery.rejected,
+            ));
+            if delivery.unexplained() > 0 {
+                out.push_str(&format!("  (UNEXPLAINED: {})", delivery.unexplained()));
+            }
+            out.push('\n');
+        }
         if !self.metrics.counters.is_empty() {
             out.push_str("  counters:\n");
             for (name, value) in &self.metrics.counters {
@@ -348,6 +415,15 @@ impl RunReport {
             out.push_str("  telemetry self-health (non-zero error counters):\n");
             for (name, value) in &errors {
                 out.push_str(&format!("    {name:<42} {value}\n"));
+            }
+        }
+        if !self.metrics.cardinality_rejected.is_empty() {
+            out.push_str(&format!(
+                "  metric names rejected by the cardinality guard (first {}):\n",
+                self.metrics.cardinality_rejected.len(),
+            ));
+            for name in &self.metrics.cardinality_rejected {
+                out.push_str(&format!("    {name}\n"));
             }
         }
         let scorecard = self.health_scorecard();

@@ -21,7 +21,7 @@ use profiler::{ProfileReport, Profiler};
 use relayer::{connect_chains, Endpoints, Relayer, RelayerFleet};
 use sim_crypto::rng::{seed_stream, SplitMix64};
 use sim_crypto::schnorr::Keypair;
-use telemetry::{RunReport, Telemetry};
+use telemetry::{DeliveryAccounting, RunReport, Telemetry};
 use workload::{Arrival, Direction, EventQueue, TrafficGenerator};
 
 use crate::config::{TelemetryMode, TestnetConfig};
@@ -82,6 +82,10 @@ pub struct Testnet {
     traffic: Option<TrafficGenerator>,
     /// The next generated arrival, buffered until its timestamp is due.
     pending_arrival: Option<Arrival>,
+    /// Generated arrivals rejected before submission (zero-amount draws
+    /// from broke users) — one of the per-reason delivery-accounting
+    /// buckets, so `generated - delivered` always decomposes.
+    rejected_broke: u64,
     next_outbound_ms: u64,
     next_inbound_ms: u64,
     next_cp_check_ms: u64,
@@ -91,7 +95,10 @@ pub struct Testnet {
     client_payer: Pubkey,
     validator_payers: Vec<Pubkey>,
     sign_tx_inflight: HashMap<u64, (usize, u64, u64)>,
-    send_tx_inflight: HashMap<u64, bool>,
+    /// Per-transfer tx tracking: `(used_bundle, submitted_ms)` — the
+    /// submit instant feeds the retroactive `packet.submitted` milestone
+    /// and the mempool-wait stage of the causal trace graph.
+    send_tx_inflight: HashMap<u64, (bool, u64)>,
     fisherman_tx_inflight: HashSet<u64>,
     submitted_signs: HashMap<u64, HashSet<usize>>,
     outbound_counter: u64,
@@ -316,6 +323,7 @@ impl Testnet {
             schedule: EventQueue::new(),
             traffic,
             pending_arrival: None,
+            rejected_broke: 0,
             next_outbound_ms: first_out,
             next_inbound_ms: first_in,
             next_cp_check_ms: 0,
@@ -376,9 +384,41 @@ impl Testnet {
     }
 
     /// Aggregates the telemetry collected so far into a structured run
-    /// report (packet lifecycles, metrics snapshot, linked violations).
+    /// report (packet lifecycles, metrics snapshot, linked violations),
+    /// with the delivery ledger attached in heavy-traffic mode.
     pub fn run_report(&self, scenario: &str) -> RunReport {
-        self.telemetry.run_report(scenario, self.config.seed, self.host.now_ms())
+        let mut report = self.telemetry.run_report(scenario, self.config.seed, self.host.now_ms());
+        report.delivery = self.delivery_accounting();
+        report
+    }
+
+    /// Per-reason ledger for the heavy-traffic workload, so that
+    /// `generated - delivered` always decomposes into named buckets:
+    /// rejected at the generator (broke users), still queued short of an
+    /// IBC send (buffered draw, host mempool, staging), timed out,
+    /// error-acked, or stranded mid-flight (sent but neither acked nor
+    /// timed out yet). `None` in legacy-workload mode, where no generator
+    /// ledger exists.
+    pub fn delivery_accounting(&self) -> Option<DeliveryAccounting> {
+        let generated = self.traffic.as_ref()?.generated();
+        let rejected = self.rejected_broke;
+        let sent = self.telemetry.counter("guest.packets.sent")
+            + self.telemetry.counter("cp.packets.sent");
+        let acked = self.telemetry.counter("guest.packets.acked")
+            + self.telemetry.counter("cp.packets.acked");
+        let timed_out = self.telemetry.counter("guest.packets.timed_out")
+            + self.telemetry.counter("cp.packets.timed_out");
+        let error_acked =
+            self.telemetry.counter("guest.acks.error") + self.telemetry.counter("cp.acks.error");
+        Some(DeliveryAccounting {
+            generated,
+            delivered: acked.saturating_sub(error_acked),
+            still_queued: generated.saturating_sub(rejected + sent),
+            timed_out,
+            error_acked,
+            stranded: sent.saturating_sub(acked + timed_out),
+            rejected,
+        })
     }
 
     /// The established link's identifiers.
@@ -557,9 +597,28 @@ impl Testnet {
             }
         }
         for (tx_id, sequence, fee) in send_results {
-            let used_bundle = self.send_tx_inflight.remove(&tx_id).expect("tracked");
+            let (used_bundle, submitted_ms) =
+                self.send_tx_inflight.remove(&tx_id).expect("tracked");
             self.telemetry.counter_add("fees.client", fee);
             if let Some(sequence) = sequence {
+                // The sequence is only knowable once the tx commits, so the
+                // submit milestone is emitted retroactively, stamped with
+                // the submit instant: the causal graph's mempool-wait stage
+                // spans [packet.submitted, packet.send].
+                if let Some(trace) = self.telemetry.trace_for_packet(
+                    "guest",
+                    self.endpoints.guest_channel.as_str(),
+                    sequence,
+                ) {
+                    self.telemetry.event(
+                        submitted_ms,
+                        telemetry::names::PACKET_SUBMITTED,
+                        &[trace],
+                        &[("tx_id", tx_id.into()), ("bundle", used_bundle.into())],
+                    );
+                    self.telemetry
+                        .observe("stage.mempool_wait_ms", now.saturating_sub(submitted_ms) as f64);
+                }
                 self.send_records.push(SendRecord {
                     sequence,
                     sent_ms: now,
@@ -592,6 +651,21 @@ impl Testnet {
                             record.finalised_ms = Some(now);
                             self.telemetry
                                 .observe("send.finality_ms", (now - record.sent_ms) as f64);
+                            // Per-packet finality milestone: bounds the
+                            // finality-wait stage of the causal graph
+                            // (GUEST_FINALISED is per-block, trace-free).
+                            if let Some(trace) = self.telemetry.trace_for_packet(
+                                "guest",
+                                self.endpoints.guest_channel.as_str(),
+                                record.sequence,
+                            ) {
+                                self.telemetry.event(
+                                    now,
+                                    telemetry::names::PACKET_FINALISED,
+                                    &[trace],
+                                    &[("height", block.height.into())],
+                                );
+                            }
                         }
                     }
                     self.submitted_signs.remove(&block.height);
@@ -617,12 +691,16 @@ impl Testnet {
         if self.traffic.is_some() {
             while self.next_arrival_at().is_some_and(|at| at <= now) {
                 let arrival = self.pending_arrival.take().expect("just peeked");
-                // Broke users generate zero-amount draws; nothing to send.
+                // Broke users generate zero-amount draws; nothing to send,
+                // but the draw still counts against `generated`, so tally
+                // it as a rejection to keep the delivery ledger balanced.
                 if arrival.amount > 0 {
                     match arrival.direction {
                         Direction::Outbound => self.submit_traffic_outbound(&arrival, now),
                         Direction::Inbound => self.submit_traffic_inbound(&arrival, now),
                     }
+                } else {
+                    self.rejected_broke += 1;
                 }
             }
         } else {
@@ -982,7 +1060,7 @@ impl Testnet {
             FeePolicy::Bundle { .. } => self.host.submit_bundle(vec![tx])[0],
             _ => self.host.submit(tx),
         };
-        self.send_tx_inflight.insert(id, use_bundle);
+        self.send_tx_inflight.insert(id, (use_bundle, now));
     }
 
     /// Timestamp of the buffered next traffic arrival (generating it on
@@ -1033,7 +1111,7 @@ impl Testnet {
             FeePolicy::Bundle { .. } => self.host.submit_bundle(vec![tx])[0],
             _ => self.host.submit(tx),
         };
-        self.send_tx_inflight.insert(id, use_bundle);
+        self.send_tx_inflight.insert(id, (use_bundle, now));
     }
 
     /// Pre-aggregated per-shape workload metrics: one counter bump per
@@ -1094,8 +1172,9 @@ impl Testnet {
             FeePolicy::BaseOnly,
         )
         .expect("transfer op fits a transaction");
+        let submitted_ms = self.host.now_ms();
         let id = self.host.submit(tx);
-        self.send_tx_inflight.insert(id, false);
+        self.send_tx_inflight.insert(id, (false, submitted_ms));
     }
 
     /// A counterparty-side user sends tokens to the guest (drives the

@@ -26,17 +26,32 @@
 //! lifecycle plus each chain's per-application stack counters and the
 //! mesh-wide fee flow.
 //!
+//! With `--attribution`, the run's completed lifecycles are stitched
+//! into causal graphs and the critical-path latency attribution tables
+//! are rendered (per-stage, per-link, per-app), plus the slowest
+//! packet's causal graph with its critical path marked.
+//!
+//! With `--postmortem`, a post-mortem bundle is collected from the run —
+//! one trigger per invariant violation or firing alert, each with the
+//! implicated packets' causal graphs, the journal tail and the relevant
+//! metric families. Pair it with `--alerts` to have something to
+//! collect; a healthy run reports zero triggers.
+//!
 //! ```text
 //! cargo run --release --example trace_explorer -- \
 //!     [--seed N] [--days N] [--alerts] [--busiest N] [--sample N] \
-//!     [--apps] [--profile <BENCH_profile.json>]
+//!     [--apps] [--attribution] [--postmortem] \
+//!     [--profile <BENCH_profile.json>]
 //! ```
 
 use be_my_guest::apps::PacketFee;
 use be_my_guest::ibc_core::types::PortId;
 use be_my_guest::mesh::{ica_port, nft_port, Mesh, MeshConfig, PathPolicy};
 use be_my_guest::profiler::ProfileReport;
-use be_my_guest::telemetry::{render_packet_trace_with_alerts, render_route_trace_with_alerts};
+use be_my_guest::telemetry::{
+    render_packet_trace_with_alerts, render_route_trace_with_alerts, AttributionReport,
+    CausalGraph, PostmortemBundle, POSTMORTEM_TAIL,
+};
 use be_my_guest::testnet::{ChaosPlan, Fault, TelemetryMode, Testnet, TestnetConfig};
 
 const HOUR_MS: u64 = 60 * 60 * 1_000;
@@ -49,6 +64,8 @@ fn main() {
     let mut busiest = 0usize;
     let mut sample: Option<u64> = None;
     let mut with_apps = false;
+    let mut with_attribution = false;
+    let mut with_postmortem = false;
     let mut profile_path: Option<String> = None;
     let args: Vec<String> = std::env::args().collect();
     let mut iter = args.iter();
@@ -73,6 +90,8 @@ fn main() {
             }
             "--sample" => sample = iter.next().and_then(|v| v.parse().ok()),
             "--apps" => with_apps = true,
+            "--attribution" => with_attribution = true,
+            "--postmortem" => with_postmortem = true,
             _ => {}
         }
     }
@@ -125,6 +144,28 @@ fn main() {
 
     let report = net.run_report("trace-explorer");
     println!("{}", report.render_text());
+
+    // Critical-path attribution: where the simulated packets' time went,
+    // stitched from the causal graphs of every completed lifecycle.
+    if with_attribution {
+        let attribution = AttributionReport::from_report(&report);
+        println!("{}", attribution.render_text());
+        if let Some(packet) = report.slowest_packet() {
+            println!("slowest packet's causal graph (critical path marked *):");
+            println!("{}", CausalGraph::from_packet(packet).render_text());
+        }
+    }
+
+    // Post-mortem bundles: one per invariant violation or firing alert,
+    // with the implicated causal graphs, journal tail and metric families.
+    if with_postmortem {
+        let bundle =
+            PostmortemBundle::collect(&report, &net.telemetry().journal_jsonl(), POSTMORTEM_TAIL);
+        println!("{}", bundle.render_text());
+        if bundle.triggers.is_empty() && !with_alerts {
+            println!("(healthy run, nothing to collect — try --postmortem with --alerts)");
+        }
+    }
 
     // The N packets that spent the longest between their first and last
     // recorded event — where a heavy run's latency actually lives.
